@@ -1,0 +1,282 @@
+// Package-level benchmarks: one testing.B benchmark per table/figure of
+// the paper, each regenerating that experiment's key configuration and
+// reporting throughput-style metrics, plus micro-benchmarks of the native
+// lock implementations.
+//
+// Run everything with:
+//
+//	go test -bench=. -benchmem
+//
+// Figure benchmarks execute one representative sweep point per b.N loop
+// (the full sweeps live in cmd/shflbench); ops/sec on the simulated
+// machine is reported as the "simops/s" metric.
+package main
+
+import (
+	"sync"
+	"testing"
+
+	"shfllock/internal/core"
+	"shfllock/internal/simlocks"
+	"shfllock/internal/topology"
+	"shfllock/internal/workloads"
+)
+
+// benchParams returns a medium-sized configuration: full reference machine
+// at full core count, short measurement window so b.N iterations stay fast.
+func benchParams(threads int) workloads.Params {
+	return workloads.Params{
+		Topo:     topology.Reference(),
+		Threads:  threads,
+		Seed:     1,
+		Duration: 3_000_000,
+	}
+}
+
+func reportSim(b *testing.B, r workloads.Result) {
+	b.ReportMetric(r.OpsPerSec, "simops/s")
+	b.ReportMetric(r.Fairness, "fairness")
+}
+
+// --- Figure 1 / 9(b): MWCM ------------------------------------------------
+
+func BenchmarkFig1aMWCMStockRWSem(b *testing.B) {
+	var r workloads.Result
+	for i := 0; i < b.N; i++ {
+		r = workloads.MWCM(benchParams(96), simlocks.RWSemMaker())
+	}
+	reportSim(b, r)
+}
+
+func BenchmarkFig1aMWCMShflRW(b *testing.B) {
+	var r workloads.Result
+	for i := 0; i < b.N; i++ {
+		r = workloads.MWCM(benchParams(96), simlocks.ShflRWMaker())
+	}
+	reportSim(b, r)
+}
+
+func BenchmarkFig1bMWCMCohortLockMemory(b *testing.B) {
+	var r workloads.Result
+	for i := 0; i < b.N; i++ {
+		r = workloads.MWCM(benchParams(96), simlocks.CohortRWMaker())
+	}
+	b.ReportMetric(float64(r.LockBytes)/(1<<20), "lockMB")
+}
+
+// --- Figure 8: MWRL and lock1 ----------------------------------------------
+
+func BenchmarkFig8MWRLStock(b *testing.B) {
+	var r workloads.Result
+	for i := 0; i < b.N; i++ {
+		r = workloads.MWRL(benchParams(192), simlocks.QSpinLockMaker())
+	}
+	reportSim(b, r)
+}
+
+func BenchmarkFig8MWRLShflLockNB(b *testing.B) {
+	var r workloads.Result
+	for i := 0; i < b.N; i++ {
+		r = workloads.MWRL(benchParams(192), simlocks.ShflLockNBMaker())
+	}
+	reportSim(b, r)
+}
+
+func BenchmarkFig8Lock1CNA(b *testing.B) {
+	var r workloads.Result
+	for i := 0; i < b.N; i++ {
+		r = workloads.Lock1(benchParams(192), simlocks.CNAMaker())
+	}
+	reportSim(b, r)
+}
+
+// --- Figure 9(a)/(c): MWRM and MRDM ---------------------------------------
+
+func BenchmarkFig9aMWRMShflLockB(b *testing.B) {
+	var r workloads.Result
+	for i := 0; i < b.N; i++ {
+		r = workloads.MWRM(benchParams(384), simlocks.ShflLockBMaker())
+	}
+	reportSim(b, r)
+}
+
+func BenchmarkFig9aMWRMCohortOversub(b *testing.B) {
+	var r workloads.Result
+	for i := 0; i < b.N; i++ {
+		r = workloads.MWRM(benchParams(384), simlocks.CohortMaker())
+	}
+	reportSim(b, r)
+}
+
+func BenchmarkFig9cMRDMStockBravo(b *testing.B) {
+	var r workloads.Result
+	for i := 0; i < b.N; i++ {
+		r = workloads.MRDM(benchParams(192), simlocks.BravoMaker(simlocks.RWSemMaker()))
+	}
+	reportSim(b, r)
+}
+
+// --- Figure 10: application models ------------------------------------------
+
+func BenchmarkFig10aAFLShflKernel(b *testing.B) {
+	var r workloads.Result
+	for i := 0; i < b.N; i++ {
+		r = workloads.AFL(benchParams(96), workloads.ShflKernel())
+	}
+	reportSim(b, r)
+}
+
+func BenchmarkFig10bEximStockKernel(b *testing.B) {
+	var r workloads.Result
+	for i := 0; i < b.N; i++ {
+		r = workloads.Exim(benchParams(96), workloads.StockKernel())
+	}
+	reportSim(b, r)
+}
+
+func BenchmarkFig10cMetisShflKernel(b *testing.B) {
+	var r workloads.Result
+	for i := 0; i < b.N; i++ {
+		r = workloads.Metis(benchParams(96), workloads.ShflKernel())
+	}
+	reportSim(b, r)
+}
+
+// --- Figure 11: hash-table nano-benchmark -----------------------------------
+
+func BenchmarkFig11aHashTableShflNB(b *testing.B) {
+	var r workloads.Result
+	for i := 0; i < b.N; i++ {
+		r = workloads.HashTable(benchParams(192), simlocks.ShflLockNBMaker(), 1)
+	}
+	reportSim(b, r)
+}
+
+func BenchmarkFig11cHashTableShflB4x(b *testing.B) {
+	var r workloads.Result
+	for i := 0; i < b.N; i++ {
+		r = workloads.HashTable(benchParams(768), simlocks.ShflLockBMaker(), 1)
+	}
+	reportSim(b, r)
+}
+
+func BenchmarkFig11eFactorBase(b *testing.B) {
+	var r workloads.Result
+	for i := 0; i < b.N; i++ {
+		r = workloads.HashTable(benchParams(192), simlocks.ShflLockAblationMaker(0), 1)
+	}
+	reportSim(b, r)
+}
+
+func BenchmarkFig11eFactorQlast(b *testing.B) {
+	var r workloads.Result
+	for i := 0; i < b.N; i++ {
+		r = workloads.HashTable(benchParams(192), simlocks.ShflLockAblationMaker(3), 1)
+	}
+	reportSim(b, r)
+}
+
+func BenchmarkFig11gRWShfl1pct(b *testing.B) {
+	var r workloads.Result
+	for i := 0; i < b.N; i++ {
+		r = workloads.HashTableRW(benchParams(384), simlocks.ShflRWMaker(), 1)
+	}
+	reportSim(b, r)
+}
+
+func BenchmarkFig11hRWStock50pct(b *testing.B) {
+	var r workloads.Result
+	for i := 0; i < b.N; i++ {
+		r = workloads.HashTableRW(benchParams(384), simlocks.RWSemMaker(), 50)
+	}
+	reportSim(b, r)
+}
+
+// --- Figure 12: LevelDB and streamcluster -----------------------------------
+
+func BenchmarkFig12aLevelDBMCS(b *testing.B) {
+	var r workloads.Result
+	for i := 0; i < b.N; i++ {
+		r = workloads.LevelDB(benchParams(192), simlocks.MCSHeapMaker())
+	}
+	reportSim(b, r)
+}
+
+func BenchmarkFig12bLevelDBShflB4x(b *testing.B) {
+	var r workloads.Result
+	for i := 0; i < b.N; i++ {
+		r = workloads.LevelDB(benchParams(768), simlocks.ShflLockBMaker())
+	}
+	reportSim(b, r)
+}
+
+func BenchmarkFig12cStreamclusterShfl(b *testing.B) {
+	var r workloads.Result
+	for i := 0; i < b.N; i++ {
+		r = workloads.Streamcluster(benchParams(96), simlocks.ShflLockNBMaker(), 12)
+	}
+	b.ReportMetric(r.Extra["exec_cycles"]/1e6, "Mcycles")
+}
+
+// --- Figure 13: Dedup --------------------------------------------------------
+
+func BenchmarkFig13aDedupPthread(b *testing.B) {
+	var r workloads.Result
+	for i := 0; i < b.N; i++ {
+		r = workloads.Dedup(benchParams(96), simlocks.PthreadMaker())
+	}
+	reportSim(b, r)
+}
+
+func BenchmarkFig13bDedupMCSLockMemory(b *testing.B) {
+	var r workloads.Result
+	for i := 0; i < b.N; i++ {
+		r = workloads.Dedup(benchParams(96), simlocks.MCSHeapMaker())
+	}
+	b.ReportMetric(float64(r.LockBytes)/1024, "lockKB")
+}
+
+// --- Table 1: uncontended acquire cost of every simulated lock ---------------
+
+func BenchmarkTable1UncontendedShflNB(b *testing.B) {
+	var r workloads.Result
+	for i := 0; i < b.N; i++ {
+		r = workloads.Lock1(benchParams(1), simlocks.ShflLockNBMaker())
+	}
+	reportSim(b, r)
+}
+
+func BenchmarkTable1UncontendedCohort(b *testing.B) {
+	var r workloads.Result
+	for i := 0; i < b.N; i++ {
+		r = workloads.Lock1(benchParams(1), simlocks.CohortMaker())
+	}
+	reportSim(b, r)
+}
+
+// --- Native lock micro-benchmarks (real goroutines) --------------------------
+
+func benchNative(b *testing.B, l sync.Locker, goroutines int) {
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			l.Lock()
+			l.Unlock() //nolint:staticcheck // empty critical section on purpose
+		}
+	})
+}
+
+func BenchmarkNativeShflMutex(b *testing.B) { benchNative(b, &core.Mutex{}, 0) }
+func BenchmarkNativeShflSpin(b *testing.B)  { benchNative(b, &core.SpinLock{}, 0) }
+func BenchmarkNativeMCS(b *testing.B)       { benchNative(b, &core.MCSLock{}, 0) }
+func BenchmarkNativeTAS(b *testing.B)       { benchNative(b, &core.TASLock{}, 0) }
+func BenchmarkNativeTicket(b *testing.B)    { benchNative(b, &core.TicketLock{}, 0) }
+func BenchmarkNativeSyncMutex(b *testing.B) { benchNative(b, &sync.Mutex{}, 0) }
+func BenchmarkNativeShflRWRead(b *testing.B) {
+	var l core.RWMutex
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			l.RLock()
+			l.RUnlock()
+		}
+	})
+}

@@ -1,0 +1,149 @@
+// Command locktorture stress-tests the native lock implementations the way
+// the kernel's locktorture module does: a mix of lockers with random hold
+// and think times, periodic TryLock barging, and continuous invariant
+// checking (single writer, bounded readers).
+//
+// Usage: locktorture [-lock mutex|spinlock|rwmutex|tas|ticket|mcs]
+// [-threads 16] [-duration 5s] [-sockets 4]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"shfllock/internal/core"
+)
+
+type locker interface {
+	Lock()
+	Unlock()
+	TryLock() bool
+}
+
+func main() {
+	var (
+		lockName = flag.String("lock", "mutex", "lock to torture: mutex|spinlock|rwmutex|tas|ticket|mcs")
+		threads  = flag.Int("threads", 16, "torture goroutines")
+		duration = flag.Duration("duration", 5*time.Second, "how long to run")
+		sockets  = flag.Int("sockets", 4, "sockets assumed by the shuffling policy")
+	)
+	flag.Parse()
+	core.SetSockets(*sockets)
+
+	if *lockName == "rwmutex" {
+		tortureRW(*threads, *duration)
+		return
+	}
+
+	var l locker
+	switch *lockName {
+	case "mutex":
+		l = &core.Mutex{}
+	case "spinlock":
+		l = &core.SpinLock{}
+	case "tas":
+		l = &core.TASLock{}
+	case "ticket":
+		l = &core.TicketLock{}
+	case "mcs":
+		l = &core.MCSLock{}
+	default:
+		fmt.Fprintf(os.Stderr, "unknown lock %q\n", *lockName)
+		os.Exit(2)
+	}
+
+	var stop atomic.Bool
+	var inCS atomic.Int32
+	var acquires, tries, violations atomic.Int64
+	var wg sync.WaitGroup
+	for g := 0; g < *threads; g++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(seed))
+			for !stop.Load() {
+				got := false
+				if rng.Intn(8) == 0 {
+					got = l.TryLock()
+					tries.Add(1)
+				} else {
+					l.Lock()
+					got = true
+				}
+				if !got {
+					continue
+				}
+				if inCS.Add(1) != 1 {
+					violations.Add(1)
+				}
+				for i := 0; i < rng.Intn(200); i++ {
+					_ = i
+				}
+				inCS.Add(-1)
+				l.Unlock()
+				acquires.Add(1)
+			}
+		}(int64(g) + 1)
+	}
+	time.Sleep(*duration)
+	stop.Store(true)
+	wg.Wait()
+
+	fmt.Printf("lock=%s threads=%d duration=%v\n", *lockName, *threads, *duration)
+	fmt.Printf("acquires=%d trylocks=%d violations=%d\n", acquires.Load(), tries.Load(), violations.Load())
+	if violations.Load() > 0 {
+		fmt.Println("TORTURE FAILED: mutual exclusion violated")
+		os.Exit(1)
+	}
+	fmt.Println("torture passed")
+}
+
+func tortureRW(threads int, duration time.Duration) {
+	var l core.RWMutex
+	var stop atomic.Bool
+	var readers, writers atomic.Int32
+	var rops, wops, violations atomic.Int64
+	var wg sync.WaitGroup
+	for g := 0; g < threads; g++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(seed))
+			for !stop.Load() {
+				if rng.Intn(10) == 0 {
+					l.Lock()
+					if writers.Add(1) != 1 || readers.Load() != 0 {
+						violations.Add(1)
+					}
+					writers.Add(-1)
+					l.Unlock()
+					wops.Add(1)
+				} else {
+					l.RLock()
+					readers.Add(1)
+					if writers.Load() != 0 {
+						violations.Add(1)
+					}
+					readers.Add(-1)
+					l.RUnlock()
+					rops.Add(1)
+				}
+			}
+		}(int64(g) + 1)
+	}
+	time.Sleep(duration)
+	stop.Store(true)
+	wg.Wait()
+	fmt.Printf("lock=rwmutex threads=%d duration=%v\n", threads, duration)
+	fmt.Printf("reads=%d writes=%d violations=%d\n", rops.Load(), wops.Load(), violations.Load())
+	if violations.Load() > 0 {
+		fmt.Println("TORTURE FAILED")
+		os.Exit(1)
+	}
+	fmt.Println("torture passed")
+}

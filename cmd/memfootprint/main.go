@@ -1,0 +1,27 @@
+// Command memfootprint prints Table 1: the per-lock, per-waiter and
+// per-holder memory footprint of every lock algorithm, plus measured
+// atomic operations per acquire in uncontended and contended runs.
+package main
+
+import (
+	"flag"
+	"os"
+
+	"shfllock/internal/bench"
+	"shfllock/internal/topology"
+)
+
+func main() {
+	var (
+		quick   = flag.Bool("quick", false, "shorter measurement runs")
+		sockets = flag.Int("sockets", 8, "simulated sockets")
+		cores   = flag.Int("cores", 24, "cores per socket")
+	)
+	flag.Parse()
+	e, _ := bench.ByID("table1")
+	e.Run(bench.Config{
+		Topo:  topology.Machine{Sockets: *sockets, CoresPerSocket: *cores},
+		Quick: *quick,
+		Seed:  1,
+	}, os.Stdout)
+}

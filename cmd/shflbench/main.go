@@ -1,0 +1,62 @@
+// Command shflbench regenerates the paper's tables and figures on the
+// simulated NUMA machine.
+//
+// Usage:
+//
+//	shflbench -list
+//	shflbench -exp fig9a [-quick] [-sockets 8] [-cores 24] [-seed 1]
+//	shflbench -exp all -quick
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"shfllock/internal/bench"
+	"shfllock/internal/topology"
+)
+
+func main() {
+	var (
+		list    = flag.Bool("list", false, "list available experiments")
+		exp     = flag.String("exp", "", "experiment id to run (or 'all')")
+		quick   = flag.Bool("quick", false, "fewer sweep points, shorter windows")
+		sockets = flag.Int("sockets", 8, "simulated sockets")
+		cores   = flag.Int("cores", 24, "cores per socket")
+		seed    = flag.Int64("seed", 1, "simulation seed")
+	)
+	flag.Parse()
+
+	if *list || *exp == "" {
+		fmt.Println("experiments:")
+		for _, e := range bench.All() {
+			fmt.Printf("  %-8s %s\n", e.ID, e.Title)
+		}
+		if *exp == "" && !*list {
+			fmt.Println("\nrun one with: shflbench -exp <id> [-quick]")
+		}
+		return
+	}
+
+	cfg := bench.Config{
+		Topo:  topology.Machine{Sockets: *sockets, CoresPerSocket: *cores},
+		Seed:  *seed,
+		Quick: *quick,
+	}
+
+	if *exp == "all" {
+		for _, e := range bench.All() {
+			fmt.Printf("=== %s: %s ===\n", e.ID, e.Title)
+			e.Run(cfg, os.Stdout)
+			fmt.Println()
+		}
+		return
+	}
+	e, ok := bench.ByID(*exp)
+	if !ok {
+		fmt.Fprintf(os.Stderr, "unknown experiment %q; use -list\n", *exp)
+		os.Exit(1)
+	}
+	e.Run(cfg, os.Stdout)
+}

@@ -1,0 +1,41 @@
+// Filesystem example: the Figure 1 scenario on the simulated machine.
+// Threads create 4KB files in one shared directory; we compare the stock
+// rwsem against the readers-writer ShflLock and a cohort lock, reporting
+// both throughput and the lock memory embedded in the created inodes.
+package main
+
+import (
+	"flag"
+	"fmt"
+
+	"shfllock/internal/simlocks"
+	"shfllock/internal/topology"
+	"shfllock/internal/workloads"
+)
+
+func main() {
+	threads := flag.Int("threads", 48, "concurrent file creators")
+	sockets := flag.Int("sockets", 8, "simulated sockets")
+	flag.Parse()
+
+	topo := topology.Machine{Sockets: *sockets, CoresPerSocket: 24}
+	p := workloads.Params{Topo: topo, Threads: *threads, Duration: 10_000_000, Seed: 1}
+
+	fmt.Printf("MWCM: %d threads creating 4KB files in one shared directory (%s)\n\n", *threads, topo)
+	fmt.Printf("%-14s %14s %16s %14s\n", "inode lock", "files/sec", "lock bytes/file", "alloc MB")
+	for _, mk := range []simlocks.RWMaker{
+		simlocks.RWSemMaker(),
+		simlocks.CohortRWMaker(),
+		simlocks.CSTRWMaker(),
+		simlocks.ShflRWMaker(),
+	} {
+		r := workloads.MWCM(p, mk)
+		fmt.Printf("%-14s %14.0f %16.1f %14.1f\n",
+			mk.Name, r.OpsPerSec,
+			float64(r.LockBytes)/float64(r.TotalOps),
+			float64(r.AllocBytes)/(1<<20))
+	}
+	fmt.Println("\nThe hierarchical locks bloat every inode by their per-socket")
+	fmt.Println("structures; the ShflLock keeps the footprint near the stock rwsem")
+	fmt.Println("while sustaining the highest creation rate.")
+}

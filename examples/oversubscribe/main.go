@@ -1,0 +1,59 @@
+// Oversubscribe example: why blocking locks exist. Runs the native locks
+// with 4x more goroutines than GOMAXPROCS and compares wall-clock time for
+// a fixed amount of locked work: spinlocks burn the CPU other goroutines
+// need, while the blocking ShflLock parks surplus waiters.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"runtime"
+	"sync"
+	"time"
+
+	"shfllock/internal/core"
+)
+
+type locker interface {
+	Lock()
+	Unlock()
+}
+
+func run(name string, l locker, goroutines, iters int) {
+	var wg sync.WaitGroup
+	counter := 0
+	start := time.Now()
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < iters; i++ {
+				l.Lock()
+				counter += 2
+				counter--
+				l.Unlock()
+			}
+		}()
+	}
+	wg.Wait()
+	if counter != goroutines*iters {
+		panic("lost updates")
+	}
+	fmt.Printf("%-18s %8d goroutines x %6d ops: %v\n", name, goroutines, iters, time.Since(start))
+}
+
+func main() {
+	factor := flag.Int("factor", 4, "goroutines per CPU")
+	iters := flag.Int("iters", 20000, "operations per goroutine")
+	flag.Parse()
+	core.SetSockets(2)
+
+	goroutines := *factor * runtime.GOMAXPROCS(0)
+	fmt.Printf("GOMAXPROCS=%d, %dx over-subscription\n\n", runtime.GOMAXPROCS(0), *factor)
+
+	run("shfllock-mutex", &core.Mutex{}, goroutines, *iters)
+	run("shfllock-spin", &core.SpinLock{}, goroutines, *iters)
+	run("mcs", &core.MCSLock{}, goroutines, *iters)
+	run("tas", &core.TASLock{}, goroutines, *iters)
+	run("sync.Mutex", &sync.Mutex{}, goroutines, *iters)
+}

@@ -1,0 +1,71 @@
+// Quickstart: use the native ShflLock family as drop-in sync.Locker
+// replacements in an ordinary Go program.
+package main
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"shfllock/internal/core"
+)
+
+func main() {
+	// Tell the shuffling policy how many NUMA sockets to assume. On a
+	// multi-socket server with pinned OS threads this enables the
+	// NUMA-grouping policy; on a laptop it simply behaves as a compact
+	// blocking lock.
+	core.SetSockets(2)
+
+	// Mutex is the blocking ShflLock: TAS fast path, shuffled waiter
+	// queue, spin-then-park waiters woken ahead of time by shufflers.
+	var mu core.Mutex
+	counter := 0
+
+	var wg sync.WaitGroup
+	start := time.Now()
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 100_000; i++ {
+				mu.Lock()
+				counter++
+				mu.Unlock()
+			}
+		}()
+	}
+	wg.Wait()
+	fmt.Printf("800000 locked increments -> counter=%d in %v\n", counter, time.Since(start))
+
+	// TryLock is one compare-and-swap thanks to lock-state decoupling.
+	if mu.TryLock() {
+		fmt.Println("TryLock on a free Mutex: acquired")
+		mu.Unlock()
+	}
+
+	// RWMutex is the blocking readers-writer ShflLock.
+	var rw core.RWMutex
+	data := map[string]int{"answer": 42}
+	var rg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		rg.Add(1)
+		go func() {
+			defer rg.Done()
+			rw.RLock()
+			_ = data["answer"]
+			rw.RUnlock()
+		}()
+	}
+	rw.Lock()
+	data["answer"] = 43
+	rw.Unlock()
+	rg.Wait()
+	fmt.Printf("rwmutex-guarded map: answer=%d\n", data["answer"])
+
+	// SpinLock is the non-blocking variant for short critical sections.
+	var sl core.SpinLock
+	sl.Lock()
+	fmt.Println("spinlock acquired and released")
+	sl.Unlock()
+}

@@ -1,0 +1,3 @@
+module shfllock
+
+go 1.23

@@ -1,0 +1,77 @@
+// Package alloc models a kernel slab allocator well enough to reproduce the
+// paper's memory-footprint effects: allocation cost grows with object size,
+// and concurrent allocation storms contend on shared free-list state. This
+// is the mechanism behind Figure 1 and Figure 9(b): embedding a 1KB+
+// hierarchical lock in every inode bloats the inode, which stresses the
+// allocator and caps file-creation scalability, and behind CST's collapse
+// in Figure 9(a): allocating per-socket structures on the lock's critical
+// path.
+package alloc
+
+import (
+	"shfllock/internal/sim"
+)
+
+// Cost parameters of the slab model.
+const (
+	baseCost     = 150 // fixed per-allocation path length, cycles
+	perByteCost  = 4   // cycles per 16 bytes (zeroing, slab bookkeeping)
+	classBytes   = 512 // one shared free-list RMW per this many bytes
+	numClasses   = 8   // size classes hashed to shared free-list words
+	freeBaseCost = 80
+)
+
+// Allocator simulates a slab allocator shared by all threads of an engine.
+type Allocator struct {
+	e *sim.Engine
+	// classes are the shared per-size-class free-list words; allocations
+	// RMW them, so parallel allocation storms serialize here.
+	classes []sim.Word
+
+	BytesLive  uint64
+	BytesTotal uint64
+	Allocs     uint64
+	Frees      uint64
+}
+
+// New creates an allocator backed by the engine's simulated memory.
+func New(e *sim.Engine) *Allocator {
+	return &Allocator{
+		e:       e,
+		classes: e.Mem().AllocPadded("alloc/freelist", numClasses),
+	}
+}
+
+func (a *Allocator) class(bytes uint64) sim.Word {
+	c := 0
+	for s := uint64(64); s < bytes && c < numClasses-1; s <<= 1 {
+		c++
+	}
+	return a.classes[c]
+}
+
+// Alloc charges thread t for allocating an object of the given size and
+// accounts it. Larger objects touch the shared free lists more often
+// (slab refills), which is what makes bloated inodes collapse under
+// parallel creation storms.
+func (a *Allocator) Alloc(t *sim.Thread, bytes uint64) {
+	a.Allocs++
+	a.BytesLive += bytes
+	a.BytesTotal += bytes
+	t.Delay(baseCost + bytes/16*perByteCost)
+	w := a.class(bytes)
+	for n := uint64(0); n <= bytes/classBytes; n++ {
+		t.Add(w, 1)
+	}
+}
+
+// Free charges thread t for releasing an object.
+func (a *Allocator) Free(t *sim.Thread, bytes uint64) {
+	a.Frees++
+	if bytes > a.BytesLive {
+		bytes = a.BytesLive
+	}
+	a.BytesLive -= bytes
+	t.Delay(freeBaseCost)
+	t.Add(a.class(bytes), ^uint64(0))
+}

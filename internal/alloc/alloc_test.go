@@ -1,0 +1,84 @@
+package alloc
+
+import (
+	"testing"
+
+	"shfllock/internal/sim"
+	"shfllock/internal/topology"
+)
+
+func TestAllocAccounting(t *testing.T) {
+	e := sim.NewEngine(sim.Config{Topo: topology.Laptop(), Seed: 1, HardStop: 1_000_000_000})
+	a := New(e)
+	e.Spawn("t", 0, func(th *sim.Thread) {
+		a.Alloc(th, 1000)
+		a.Alloc(th, 2000)
+		a.Free(th, 1000)
+	})
+	e.Run()
+	if a.Allocs != 2 || a.Frees != 1 {
+		t.Errorf("allocs=%d frees=%d", a.Allocs, a.Frees)
+	}
+	if a.BytesTotal != 3000 {
+		t.Errorf("total=%d, want 3000", a.BytesTotal)
+	}
+	if a.BytesLive != 2000 {
+		t.Errorf("live=%d, want 2000", a.BytesLive)
+	}
+}
+
+func TestBiggerObjectsCostMore(t *testing.T) {
+	run := func(bytes uint64) uint64 {
+		e := sim.NewEngine(sim.Config{Topo: topology.Laptop(), Seed: 1, HardStop: 10_000_000_000})
+		a := New(e)
+		e.Spawn("t", 0, func(th *sim.Thread) {
+			for i := 0; i < 50; i++ {
+				a.Alloc(th, bytes)
+			}
+		})
+		e.Run()
+		return e.Now()
+	}
+	small, big := run(64), run(4096)
+	if big <= small {
+		t.Errorf("4KB allocs (%d cycles) should cost more than 64B (%d)", big, small)
+	}
+}
+
+// TestParallelAllocContention checks the key emergent effect: many threads
+// allocating big objects serialize on shared free lists, so per-thread
+// allocation slows down with concurrency.
+func TestParallelAllocContention(t *testing.T) {
+	run := func(threads int) uint64 {
+		e := sim.NewEngine(sim.Config{Topo: topology.Reference(), Seed: 1, HardStop: 100_000_000_000})
+		a := New(e)
+		for i := 0; i < threads; i++ {
+			e.Spawn("t", -1, func(th *sim.Thread) {
+				for k := 0; k < 40; k++ {
+					a.Alloc(th, 2300) // a cohort-bloated inode
+				}
+			})
+		}
+		e.Run()
+		return e.Now()
+	}
+	solo := run(1)
+	many := run(96) // 96 threads x same per-thread work
+	// Perfect scaling would finish in ~solo time; contention must show.
+	if many < solo*3 {
+		t.Errorf("no allocator contention: solo=%d, 96 threads=%d", solo, many)
+	}
+}
+
+func TestFreeUnderflowClamped(t *testing.T) {
+	e := sim.NewEngine(sim.Config{Topo: topology.Laptop(), Seed: 1, HardStop: 1_000_000_000})
+	a := New(e)
+	e.Spawn("t", 0, func(th *sim.Thread) {
+		a.Alloc(th, 100)
+		a.Free(th, 5000) // more than live: clamp, don't wrap
+	})
+	e.Run()
+	if a.BytesLive != 0 {
+		t.Errorf("live=%d, want 0 after over-free", a.BytesLive)
+	}
+}

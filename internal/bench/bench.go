@@ -1,0 +1,143 @@
+// Package bench defines one runnable experiment per table and figure of
+// the paper's evaluation. Each experiment sweeps thread counts (and lock
+// algorithms) on the simulated reference machine and prints the same rows
+// or series the paper reports, plus a one-line shape check against the
+// paper's qualitative claim.
+package bench
+
+import (
+	"fmt"
+	"io"
+	"sort"
+
+	"shfllock/internal/stats"
+	"shfllock/internal/topology"
+	"shfllock/internal/workloads"
+)
+
+// Config controls an experiment run.
+type Config struct {
+	Topo  topology.Machine
+	Seed  int64
+	Quick bool // fewer sweep points, shorter measurement windows
+}
+
+func (c Config) withDefaults() Config {
+	if c.Topo.Sockets == 0 {
+		c.Topo = topology.Reference()
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+	return c
+}
+
+// duration returns the measured window length in cycles.
+func (c Config) duration() uint64 {
+	if c.Quick {
+		return 6_000_000
+	}
+	return 20_000_000
+}
+
+// threadPoints returns the sweep's x values up to max cores times oversub.
+func (c Config) threadPoints(oversub int) []int {
+	cores := c.Topo.Cores()
+	var pts []int
+	if c.Quick {
+		pts = []int{1, 4, 16, 48, 96, 192}
+	} else {
+		pts = []int{1, 2, 4, 8, 16, 24, 48, 96, 144, 192}
+	}
+	var out []int
+	for _, p := range pts {
+		if p <= cores {
+			out = append(out, p)
+		}
+	}
+	for f := 2; f <= oversub; f *= 2 {
+		out = append(out, f*cores)
+	}
+	return out
+}
+
+// params builds workload parameters for one sweep point.
+func (c Config) params(threads int) workloads.Params {
+	return workloads.Params{
+		Topo:     c.Topo,
+		Threads:  threads,
+		Seed:     c.Seed,
+		Duration: c.duration(),
+	}
+}
+
+// Experiment is one reproducible table or figure.
+type Experiment struct {
+	ID    string
+	Title string
+	Run   func(c Config, w io.Writer)
+}
+
+var registry []Experiment
+
+func register(id, title string, run func(c Config, w io.Writer)) {
+	registry = append(registry, Experiment{ID: id, Title: title, Run: run})
+}
+
+// All returns every registered experiment, sorted by ID.
+func All() []Experiment {
+	out := append([]Experiment(nil), registry...)
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// ByID finds an experiment.
+func ByID(id string) (Experiment, bool) {
+	for _, e := range registry {
+		if e.ID == id {
+			return e, true
+		}
+	}
+	return Experiment{}, false
+}
+
+// sweep runs fn for every (lock, threads) pair and assembles series.
+func sweep(c Config, names []string, points []int, fn func(name string, threads int) float64) []stats.Series {
+	out := make([]stats.Series, len(names))
+	for i, name := range names {
+		s := stats.Series{Label: name, X: points}
+		for _, n := range points {
+			s.Y = append(s.Y, fn(name, n))
+		}
+		out[i] = s
+	}
+	return out
+}
+
+// header prints the experiment banner.
+func header(w io.Writer, e Config, title string) {
+	fmt.Fprintf(w, "## %s\n## machine: %s, window: %d cycles (quick=%v)\n\n",
+		title, e.Topo, e.duration(), e.Quick)
+}
+
+// shapeCheck prints an at-a-glance comparison of two series at the last
+// common x (the paper's usual "X is N x faster than Y at 192 threads").
+func shapeCheck(w io.Writer, s []stats.Series, a, b string) {
+	var sa, sb *stats.Series
+	for i := range s {
+		switch s[i].Label {
+		case a:
+			sa = &s[i]
+		case b:
+			sb = &s[i]
+		}
+	}
+	if sa == nil || sb == nil || len(sa.Y) == 0 || len(sb.Y) == 0 {
+		return
+	}
+	last := len(sa.Y) - 1
+	if sb.Y[last] > 0 {
+		fmt.Fprintf(w, "shape: %s / %s at %d threads = %.2fx\n",
+			a, b, sa.X[last], sa.Y[last]/sb.Y[last])
+	}
+}

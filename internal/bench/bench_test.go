@@ -1,0 +1,95 @@
+package bench
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"shfllock/internal/simlocks"
+	"shfllock/internal/topology"
+)
+
+func TestRegistryComplete(t *testing.T) {
+	// Every table and figure of the evaluation must be registered.
+	want := []string{
+		"fig1a", "fig1b", "fig2", "table1",
+		"fig8a", "fig8b",
+		"fig9a", "fig9b", "fig9c",
+		"fig10a", "fig10b", "fig10c",
+		"fig11a", "fig11b", "fig11c", "fig11d", "fig11e", "fig11f", "fig11g", "fig11h",
+		"fig12a", "fig12b", "fig12c",
+		"fig13a", "fig13b",
+	}
+	for _, id := range want {
+		if _, ok := ByID(id); !ok {
+			t.Errorf("experiment %s not registered", id)
+		}
+	}
+	if len(All()) != len(want) {
+		t.Errorf("registry has %d experiments, want %d", len(All()), len(want))
+	}
+}
+
+func TestByIDUnknown(t *testing.T) {
+	if _, ok := ByID("fig99"); ok {
+		t.Error("unknown experiment found")
+	}
+}
+
+// tinyConfig runs experiments on a small machine so smoke tests are fast.
+func tinyConfig() Config {
+	return Config{Topo: topology.Machine{Sockets: 2, CoresPerSocket: 4}, Seed: 1, Quick: true}
+}
+
+// TestExperimentsSmoke runs the cheap experiments end to end on a tiny
+// machine and checks they produce tabular output.
+func TestExperimentsSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiment smoke tests are slow")
+	}
+	for _, id := range []string{"fig2", "fig8b", "fig11e", "fig11f", "fig13b"} {
+		e, _ := ByID(id)
+		var buf bytes.Buffer
+		e.Run(tinyConfig(), &buf)
+		out := buf.String()
+		if len(out) < 50 {
+			t.Errorf("%s: suspiciously short output:\n%s", id, out)
+		}
+		if id != "fig2" && !strings.Contains(out, "machine:") {
+			t.Errorf("%s: missing banner", id)
+		}
+	}
+}
+
+func TestThreadPoints(t *testing.T) {
+	c := Config{Topo: topology.Reference(), Quick: true}.withDefaults()
+	pts := c.threadPoints(4)
+	if pts[0] != 1 {
+		t.Errorf("sweep must start at 1 thread: %v", pts)
+	}
+	last := pts[len(pts)-1]
+	if last != 4*192 {
+		t.Errorf("4x oversubscription point = %d, want 768", last)
+	}
+	for i := 1; i < len(pts); i++ {
+		if pts[i] <= pts[i-1] {
+			t.Errorf("sweep not increasing: %v", pts)
+		}
+	}
+}
+
+func TestMeasureAtomicsUncontendedShfl(t *testing.T) {
+	// Table 1 claims ShflLock needs ~1 atomic per uncontended acquire.
+	c := tinyConfig()
+	m, _ := simlocks.MakerByName("shfllock-nb")
+	a := measureAtomics(c, m, 1, 100)
+	if a < 0.9 || a > 1.5 {
+		t.Errorf("uncontended shfllock atomics/acquire = %.2f, want ~1", a)
+	}
+	// And the cohort lock needs several (Table 1 says 4).
+	m2, _ := simlocks.MakerByName("cohort")
+	a2 := measureAtomics(c, m2, 1, 100)
+	if a2 < 2 {
+		t.Errorf("uncontended cohort atomics/acquire = %.2f, want >=2", a2)
+	}
+}

@@ -1,0 +1,56 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+
+	"shfllock/internal/stats"
+	"shfllock/internal/workloads"
+)
+
+// appExperiment runs one Figure 10 panel: throughput and lock memory for
+// every kernel lock set.
+func appExperiment(c Config, w io.Writer, title string,
+	run func(p workloads.Params, k workloads.KernelLocks) workloads.Result) {
+	c = c.withDefaults()
+	header(w, c, title)
+	pts := c.threadPoints(1)
+	kernels := workloads.AllKernels()
+	names := make([]string, len(kernels))
+	for i, k := range kernels {
+		names[i] = k.Name
+	}
+	mem := map[string]float64{}
+	s := sweep(c, names, pts, func(name string, n int) float64 {
+		for _, k := range kernels {
+			if k.Name == name {
+				r := run(c.params(n), k)
+				if n == pts[len(pts)-1] {
+					mem[name] = float64(r.LockBytes) / (1 << 10)
+				}
+				return r.OpsPerSec
+			}
+		}
+		return 0
+	})
+	fmt.Fprint(w, stats.Table("threads", "ops/sec", s))
+	fmt.Fprintf(w, "\nlock memory at %d threads (KB):", pts[len(pts)-1])
+	for _, name := range names {
+		fmt.Fprintf(w, "  %s=%.1f", name, mem[name])
+	}
+	fmt.Fprintln(w)
+	shapeCheck(w, s, "shfllock", "stock")
+	shapeCheck(w, s, "shfllock", "cohort")
+}
+
+func init() {
+	register("fig10a", "Figure 10(a): AFL fuzzer model — throughput and lock memory", func(c Config, w io.Writer) {
+		appExperiment(c, w, "Figure 10(a) — AFL (fork + file churn + gettimeofday)", workloads.AFL)
+	})
+	register("fig10b", "Figure 10(b): Exim mail server model — throughput and lock memory", func(c Config, w io.Writer) {
+		appExperiment(c, w, "Figure 10(b) — Exim (fork-per-message, 3 files/message)", workloads.Exim)
+	})
+	register("fig10c", "Figure 10(c): Metis map-reduce model — page faults on mmap_sem", func(c Config, w io.Writer) {
+		appExperiment(c, w, "Figure 10(c) — Metis (reader side of mmap_sem)", workloads.Metis)
+	})
+}

@@ -1,0 +1,95 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+
+	"shfllock/internal/simlocks"
+	"shfllock/internal/stats"
+	"shfllock/internal/workloads"
+)
+
+// rwSet is the blocking readers-writer lock lineup of Figures 1 and 9(b,c).
+func rwSet() []string {
+	return []string{"stock-rwsem", "cst-rw", "cohort-rw", "shfllock-rw"}
+}
+
+func rwMaker(name string) simlocks.RWMaker {
+	m, ok := simlocks.RWMakerByName(name)
+	if !ok {
+		panic("unknown rw lock " + name)
+	}
+	return m
+}
+
+func mkMaker(name string) simlocks.Maker {
+	m, ok := simlocks.MakerByName(name)
+	if !ok {
+		panic("unknown lock " + name)
+	}
+	return m
+}
+
+func init() {
+	register("fig1a", "Figure 1(a): MWCM file creation throughput (writer side of inode rwsem)", func(c Config, w io.Writer) {
+		c = c.withDefaults()
+		header(w, c, "Figure 1(a) — MWCM throughput, shared directory, 4KB files")
+		pts := c.threadPoints(1)
+		s := sweep(c, rwSet(), pts, func(name string, n int) float64 {
+			return workloads.MWCM(c.params(n), rwMaker(name)).OpsPerSec
+		})
+		fmt.Fprint(w, stats.Table("threads", "files/sec", s))
+		shapeCheck(w, s, "shfllock-rw", "cohort-rw")
+		shapeCheck(w, s, "shfllock-rw", "stock-rwsem")
+	})
+
+	register("fig1b", "Figure 1(b): lock memory consumed by inodes during MWCM", func(c Config, w io.Writer) {
+		c = c.withDefaults()
+		header(w, c, "Figure 1(b) — lock bytes embedded in live inodes (MB)")
+		pts := c.threadPoints(1)
+		s := sweep(c, rwSet(), pts, func(name string, n int) float64 {
+			r := workloads.MWCM(c.params(n), rwMaker(name))
+			return float64(r.LockBytes) / (1 << 20)
+		})
+		fmt.Fprint(w, stats.Table("threads", "lock MB", s))
+		shapeCheck(w, s, "cohort-rw", "shfllock-rw")
+	})
+
+	register("fig9a", "Figure 9(a): MWRM rename into a shared directory (sb rename mutex)", func(c Config, w io.Writer) {
+		c = c.withDefaults()
+		header(w, c, "Figure 9(a) — MWRM throughput with blocking locks, up to 2x over-subscription")
+		pts := c.threadPoints(2)
+		names := []string{"stock-mutex", "cohort", "cst", "shfllock-b"}
+		s := sweep(c, names, pts, func(name string, n int) float64 {
+			return workloads.MWRM(c.params(n), mkMaker(name)).OpsPerSec
+		})
+		fmt.Fprint(w, stats.Table("threads", "renames/sec", s))
+		shapeCheck(w, s, "shfllock-b", "stock-mutex")
+		shapeCheck(w, s, "shfllock-b", "cohort")
+	})
+
+	register("fig9b", "Figure 9(b): MWCM with blocking locks, up to 2x over-subscription", func(c Config, w io.Writer) {
+		c = c.withDefaults()
+		header(w, c, "Figure 9(b) — MWCM throughput (writer side), blocking locks")
+		pts := c.threadPoints(2)
+		s := sweep(c, rwSet(), pts, func(name string, n int) float64 {
+			return workloads.MWCM(c.params(n), rwMaker(name)).OpsPerSec
+		})
+		fmt.Fprint(w, stats.Table("threads", "files/sec", s))
+		shapeCheck(w, s, "shfllock-rw", "cohort-rw")
+	})
+
+	register("fig9c", "Figure 9(c): MRDM directory enumeration (reader side) incl. BRAVO", func(c Config, w io.Writer) {
+		c = c.withDefaults()
+		header(w, c, "Figure 9(c) — MRDM throughput (reader side), blocking locks + BRAVO")
+		pts := c.threadPoints(2)
+		names := append(rwSet(), "stock-rwsem+bravo", "shfllock-rw+bravo")
+		s := sweep(c, names, pts, func(name string, n int) float64 {
+			return workloads.MRDM(c.params(n), rwMaker(name)).OpsPerSec
+		})
+		fmt.Fprint(w, stats.Table("threads", "readdirs/sec", s))
+		shapeCheck(w, s, "shfllock-rw", "stock-rwsem")
+		shapeCheck(w, s, "cohort-rw", "shfllock-rw")
+		shapeCheck(w, s, "shfllock-rw+bravo", "stock-rwsem+bravo")
+	})
+}

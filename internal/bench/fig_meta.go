@@ -1,0 +1,101 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+
+	"shfllock/internal/sim"
+	"shfllock/internal/simlocks"
+)
+
+// linuxLockCalls is the historical dataset behind Figure 2: the number of
+// lock() API call sites in the Linux kernel source by release year, as
+// published in the paper's motivation. cmd/lockcount reproduces the method
+// on any source tree.
+var linuxLockCalls = []struct {
+	Year      int
+	Version   string
+	CallSites int
+}{
+	{2002, "2.5.0", 21000},
+	{2004, "2.6.0", 29000},
+	{2006, "2.6.16", 38000},
+	{2008, "2.6.24", 47000},
+	{2010, "2.6.32", 57000},
+	{2012, "3.2", 67000},
+	{2014, "3.14", 78000},
+	{2016, "4.4", 92000},
+	{2018, "4.19", 110000},
+}
+
+// measureAtomics runs a short single-lock stress and returns atomic RMWs
+// per acquire, using the memory model's per-tag accounting.
+func measureAtomics(c Config, mk simlocks.Maker, threads, ops int) float64 {
+	e := sim.NewEngine(sim.Config{Topo: c.Topo, Seed: c.Seed, HardStop: 3_000_000_000_000})
+	l := mk.New(e, "t1")
+	for i := 0; i < threads; i++ {
+		e.Spawn("w", -1, func(t *sim.Thread) {
+			t.Delay(uint64(t.Rng().Intn(20_000)))
+			for k := 0; k < ops; k++ {
+				l.Lock(t)
+				t.Delay(uint64(300 + t.Rng().Intn(200)))
+				l.Unlock(t)
+				t.Delay(uint64(t.Rng().Intn(200)))
+			}
+		})
+	}
+	e.Run()
+	st := e.Mem().StatsPrefix("t1")
+	acq := simlocks.StatsOf(l)
+	if acq == nil || acq.Acquires == 0 {
+		return 0
+	}
+	return float64(st.Atomics) / float64(acq.Acquires)
+}
+
+func init() {
+	register("fig2", "Figure 2: lock() call sites in the Linux kernel over time", func(c Config, w io.Writer) {
+		c = c.withDefaults()
+		header(w, c, "Figure 2 — growth of lock usage in Linux (published dataset)")
+		fmt.Fprintf(w, "%-6s %-10s %12s\n", "year", "version", "call sites")
+		for _, r := range linuxLockCalls {
+			fmt.Fprintf(w, "%-6d %-10s %12d\n", r.Year, r.Version, r.CallSites)
+		}
+		fmt.Fprintln(w, "\n(use cmd/lockcount to reproduce the count on any source tree)")
+	})
+
+	register("table1", "Table 1: memory footprint and atomics per acquire for every lock", func(c Config, w io.Writer) {
+		c = c.withDefaults()
+		header(w, c, "Table 1 — footprint (bytes) and atomic ops per acquire")
+		sockets := c.Topo.Sockets
+		ops := 400
+		contended := c.Topo.Cores() / 2
+		if c.Quick {
+			ops = 120
+			contended = c.Topo.Cores() / 4
+		}
+		fmt.Fprintf(w, "%-18s %9s %10s %10s %9s %12s %12s\n",
+			"lock", "per-lock", "per-waiter", "per-holder", "dynamic", "atomics(1t)", "atomics(cont)")
+		rows := simlocks.AllMutexMakers()
+		for _, mk := range rows {
+			fp := mk.Footprint(sockets)
+			a1 := measureAtomics(c, mk, 1, ops)
+			an := measureAtomics(c, mk, contended, ops/8+4)
+			dyn := ""
+			if fp.Dynamic {
+				dyn = "yes"
+			}
+			if fp.HeapNodes {
+				dyn += " heap"
+			}
+			fmt.Fprintf(w, "%-18s %9d %10d %10d %9s %12.2f %12.2f\n",
+				mk.Name, fp.PerLock, fp.PerWaiter, fp.PerHolder, dyn, a1, an)
+		}
+		fmt.Fprintln(w, "\nRW lock footprints:")
+		fmt.Fprintf(w, "%-18s %9s %10s\n", "lock", "per-lock", "per-waiter")
+		for _, mk := range simlocks.AllRWMakers() {
+			fp := mk.Footprint(sockets)
+			fmt.Fprintf(w, "%-18s %9d %10d\n", mk.Name, fp.PerLock, fp.PerWaiter)
+		}
+	})
+}

@@ -1,0 +1,135 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+
+	"shfllock/internal/stats"
+	"shfllock/internal/workloads"
+)
+
+func init() {
+	register("fig8a", "Figure 8: MWRL rename in private directories (spinlocks)", func(c Config, w io.Writer) {
+		c = c.withDefaults()
+		header(w, c, "Figure 8 (left) — MWRL throughput with non-blocking locks")
+		pts := c.threadPoints(1)
+		names := []string{"stock-qspinlock", "cna", "shfllock-nb"}
+		s := sweep(c, names, pts, func(name string, n int) float64 {
+			return workloads.MWRL(c.params(n), mkMaker(name)).OpsPerSec
+		})
+		fmt.Fprint(w, stats.Table("threads", "renames/sec", s))
+		shapeCheck(w, s, "shfllock-nb", "stock-qspinlock")
+		shapeCheck(w, s, "cna", "stock-qspinlock")
+	})
+
+	register("fig8b", "Figure 8: lock1 empty-critical-section stress (spinlocks)", func(c Config, w io.Writer) {
+		c = c.withDefaults()
+		header(w, c, "Figure 8 (right) — lock1 throughput with non-blocking locks")
+		pts := c.threadPoints(1)
+		names := []string{"stock-qspinlock", "cna", "shfllock-nb"}
+		s := sweep(c, names, pts, func(name string, n int) float64 {
+			return workloads.Lock1(c.params(n), mkMaker(name)).OpsPerSec
+		})
+		fmt.Fprint(w, stats.Table("threads", "ops/sec", s))
+		shapeCheck(w, s, "shfllock-nb", "stock-qspinlock")
+	})
+
+	register("fig11a", "Figure 11(a): hash-table nano-bench, non-blocking locks, throughput", func(c Config, w io.Writer) {
+		c = c.withDefaults()
+		header(w, c, "Figure 11(a) — hash table 1% writes, non-blocking locks")
+		pts := c.threadPoints(1)
+		names := []string{"stock-qspinlock", "cna", "cohort", "shfllock-nb"}
+		s := sweep(c, names, pts, func(name string, n int) float64 {
+			return workloads.HashTable(c.params(n), mkMaker(name), 1).OpsPerSec
+		})
+		fmt.Fprint(w, stats.Table("threads", "ops/sec", s))
+		shapeCheck(w, s, "shfllock-nb", "stock-qspinlock")
+	})
+
+	register("fig11b", "Figure 11(b): hash-table nano-bench, non-blocking locks, fairness", func(c Config, w io.Writer) {
+		c = c.withDefaults()
+		header(w, c, "Figure 11(b) — fairness factor (0.5 = strictly fair)")
+		pts := c.threadPoints(1)
+		names := []string{"stock-qspinlock", "cna", "cohort", "shfllock-nb"}
+		s := sweep(c, names, pts, func(name string, n int) float64 {
+			return workloads.HashTable(c.params(n), mkMaker(name), 1).Fairness
+		})
+		fmt.Fprint(w, stats.Table("threads", "fairness", s))
+	})
+
+	register("fig11c", "Figure 11(c): hash-table nano-bench, blocking locks, up to 4x over-subscription", func(c Config, w io.Writer) {
+		c = c.withDefaults()
+		header(w, c, "Figure 11(c) — hash table 1% writes, blocking locks")
+		pts := c.threadPoints(4)
+		names := []string{"stock-mutex", "cst", "malthusian", "shfllock-b"}
+		s := sweep(c, names, pts, func(name string, n int) float64 {
+			return workloads.HashTable(c.params(n), mkMaker(name), 1).OpsPerSec
+		})
+		fmt.Fprint(w, stats.Table("threads", "ops/sec", s))
+		shapeCheck(w, s, "shfllock-b", "stock-mutex")
+	})
+
+	register("fig11d", "Figure 11(d): blocking locks fairness incl. NUMA-only stealing", func(c Config, w io.Writer) {
+		c = c.withDefaults()
+		header(w, c, "Figure 11(d) — fairness factor, blocking locks (+ShflLock NUMA-steal)")
+		pts := c.threadPoints(4)
+		names := []string{"stock-mutex", "cst", "shfllock-b", "shfllock-b-numa"}
+		s := sweep(c, names, pts, func(name string, n int) float64 {
+			return workloads.HashTable(c.params(n), mkMaker(name), 1).Fairness
+		})
+		fmt.Fprint(w, stats.Table("threads", "fairness", s))
+	})
+
+	register("fig11e", "Figure 11(e): ShflLock factor analysis (Base/+Shuffler/+Shufflers/+qlast)", func(c Config, w io.Writer) {
+		c = c.withDefaults()
+		header(w, c, "Figure 11(e) — factor analysis at full machine contention")
+		n := c.Topo.Cores()
+		names := []string{"shfl-base", "shfl+shuffler", "shfl+shufflers", "shfl+qlast"}
+		fmt.Fprintf(w, "%-16s %14s %10s\n", "variant", "ops/sec", "vs base")
+		var base float64
+		for _, name := range names {
+			r := workloads.HashTable(c.params(n), mkMaker(name), 1)
+			if base == 0 {
+				base = r.OpsPerSec
+			}
+			fmt.Fprintf(w, "%-16s %14.0f %9.1f%%\n", name, r.OpsPerSec, 100*(r.OpsPerSec/base-1))
+		}
+	})
+
+	register("fig11f", "Figure 11(f): wakeups on vs off the critical path (blocking ShflLock)", func(c Config, w io.Writer) {
+		c = c.withDefaults()
+		header(w, c, "Figure 11(f) — waiter wakeups by where they are issued")
+		pts := c.threadPoints(4)
+		fmt.Fprintf(w, "%-10s %14s %14s %14s %14s\n", "threads", "acquires", "in-CS wakeups", "off-CS wakeups", "parks")
+		for _, n := range pts {
+			r := workloads.HashTable(c.params(n), mkMaker("shfllock-b"), 1)
+			fmt.Fprintf(w, "%-10d %14.0f %14.0f %14.0f %14.0f\n", n,
+				r.Extra["acquires"], r.Extra["wakeups_in_cs"], r.Extra["wakeups_off_cs"], r.Extra["parks"])
+		}
+		fmt.Fprintln(w, "shape: the shuffler's proactive wakeups keep in-CS wakeups near zero")
+	})
+
+	register("fig11g", "Figure 11(g): readers-writer locks, 1% writes, up to 4x over-subscription", func(c Config, w io.Writer) {
+		c = c.withDefaults()
+		header(w, c, "Figure 11(g) — hash table 1% writes, RW locks")
+		pts := c.threadPoints(4)
+		names := []string{"stock-rwsem", "shfllock-rw"}
+		s := sweep(c, names, pts, func(name string, n int) float64 {
+			return workloads.HashTableRW(c.params(n), rwMaker(name), 1).OpsPerSec
+		})
+		fmt.Fprint(w, stats.Table("threads", "ops/sec", s))
+		shapeCheck(w, s, "shfllock-rw", "stock-rwsem")
+	})
+
+	register("fig11h", "Figure 11(h): readers-writer locks, 50% writes", func(c Config, w io.Writer) {
+		c = c.withDefaults()
+		header(w, c, "Figure 11(h) — hash table 50% writes, RW locks")
+		pts := c.threadPoints(4)
+		names := []string{"stock-rwsem", "shfllock-rw"}
+		s := sweep(c, names, pts, func(name string, n int) float64 {
+			return workloads.HashTableRW(c.params(n), rwMaker(name), 50).OpsPerSec
+		})
+		fmt.Fprint(w, stats.Table("threads", "ops/sec", s))
+		shapeCheck(w, s, "shfllock-rw", "stock-rwsem")
+	})
+}

@@ -1,0 +1,84 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+
+	"shfllock/internal/stats"
+	"shfllock/internal/workloads"
+)
+
+func init() {
+	register("fig12a", "Figure 12(a): LevelDB readrandom, non-blocking userspace locks", func(c Config, w io.Writer) {
+		c = c.withDefaults()
+		header(w, c, "Figure 12(a) — LevelDB readrandom, non-blocking locks")
+		pts := c.threadPoints(1)
+		names := []string{"pthread", "mcs-heap", "cna-heap", "hmcs-heap", "mcstp", "shfllock-nb"}
+		s := sweep(c, names, pts, func(name string, n int) float64 {
+			return workloads.LevelDB(c.params(n), mkMaker(name)).OpsPerSec
+		})
+		fmt.Fprint(w, stats.Table("threads", "reads/sec", s))
+		shapeCheck(w, s, "shfllock-nb", "mcs-heap")
+	})
+
+	register("fig12b", "Figure 12(b): LevelDB readrandom, blocking locks, up to 4x over-subscription", func(c Config, w io.Writer) {
+		c = c.withDefaults()
+		header(w, c, "Figure 12(b) — LevelDB readrandom, blocking locks")
+		pts := c.threadPoints(4)
+		names := []string{"pthread", "mutexee", "malthusian", "shfllock-b"}
+		s := sweep(c, names, pts, func(name string, n int) float64 {
+			return workloads.LevelDB(c.params(n), mkMaker(name)).OpsPerSec
+		})
+		fmt.Fprint(w, stats.Table("threads", "reads/sec", s))
+		shapeCheck(w, s, "shfllock-b", "pthread")
+		shapeCheck(w, s, "shfllock-b", "mutexee")
+	})
+
+	register("fig12c", "Figure 12(c): streamcluster barrier phases (trylock-heavy)", func(c Config, w io.Writer) {
+		c = c.withDefaults()
+		header(w, c, "Figure 12(c) — streamcluster execution time (lower is better)")
+		pts := c.threadPoints(1)
+		phases := 48
+		if c.Quick {
+			phases = 16
+		}
+		names := []string{"pthread", "mcs-heap", "cna-heap", "hmcs-heap", "mcstp", "shfllock-nb"}
+		s := sweep(c, names, pts, func(name string, n int) float64 {
+			r := workloads.Streamcluster(c.params(n), mkMaker(name), phases)
+			return r.Extra["exec_cycles"] / 1e6 // Mcycles, lower = better
+		})
+		fmt.Fprint(w, stats.Table("threads", "Mcycles (lower=better)", s))
+		shapeCheck(w, s, "mcs-heap", "shfllock-nb")
+		shapeCheck(w, s, "cna-heap", "shfllock-nb")
+	})
+
+	register("fig13a", "Figure 13(a): Dedup pipeline throughput", func(c Config, w io.Writer) {
+		c = c.withDefaults()
+		header(w, c, "Figure 13(a) — Dedup jobs per hour (scaled)")
+		pts := c.threadPoints(2)
+		names := []string{"pthread", "mcs-heap", "cna-heap", "hmcs-heap", "shfllock-nb", "shfllock-b"}
+		s := sweep(c, names, pts, func(name string, n int) float64 {
+			return workloads.Dedup(c.params(n), mkMaker(name)).OpsPerSec
+		})
+		fmt.Fprint(w, stats.Table("threads", "chunks/sec", s))
+		shapeCheck(w, s, "shfllock-b", "pthread")
+	})
+
+	register("fig13b", "Figure 13(b): Dedup lock-related memory relative to pthread", func(c Config, w io.Writer) {
+		c = c.withDefaults()
+		header(w, c, "Figure 13(b) — lock allocation ratio vs pthread")
+		n := c.Topo.Cores()
+		if c.Quick {
+			n = c.Topo.Cores() / 2
+		}
+		base := workloads.Dedup(c.params(n), mkMaker("pthread"))
+		names := []string{"pthread", "mutexee", "mcs-heap", "cna-heap", "hmcs-heap", "shfllock-b"}
+		fmt.Fprintf(w, "%-14s %16s %12s\n", "lock", "lock bytes", "vs pthread")
+		for _, name := range names {
+			r := workloads.Dedup(c.params(n), mkMaker(name))
+			ratio := float64(r.LockBytes) / float64(base.LockBytes)
+			fmt.Fprintf(w, "%-14s %16d %11.1fx\n", name, r.LockBytes, ratio)
+		}
+		fmt.Fprintln(w, "shape: heap queue-node locks allocate orders of magnitude more than pthread")
+	})
+}

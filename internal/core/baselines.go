@@ -1,0 +1,136 @@
+package core
+
+import (
+	"runtime"
+	"sync/atomic"
+)
+
+// TASLock is a test-and-test-and-set spinlock baseline. The zero value is
+// an unlocked TASLock.
+type TASLock struct {
+	v atomic.Uint32
+}
+
+// Lock spins until the lock is acquired.
+func (l *TASLock) Lock() {
+	for i := 0; ; i++ {
+		if l.v.Load() == 0 && l.v.CompareAndSwap(0, 1) {
+			return
+		}
+		if i%32 == 31 {
+			runtime.Gosched()
+		}
+	}
+}
+
+// Unlock releases the lock.
+func (l *TASLock) Unlock() { l.v.Store(0) }
+
+// TryLock attempts a single acquisition.
+func (l *TASLock) TryLock() bool {
+	return l.v.Load() == 0 && l.v.CompareAndSwap(0, 1)
+}
+
+// TicketLock is a fair ticket spinlock baseline. The zero value is an
+// unlocked TicketLock.
+type TicketLock struct {
+	v atomic.Uint64 // high 32: next ticket, low 32: now serving
+}
+
+// Lock takes a ticket and waits to be served.
+func (l *TicketLock) Lock() {
+	my := (l.v.Add(1<<32) >> 32) - 1
+	for i := 0; l.v.Load()&0xffffffff != my; i++ {
+		if i%32 == 31 {
+			runtime.Gosched()
+		}
+	}
+}
+
+// Unlock serves the next ticket.
+func (l *TicketLock) Unlock() { l.v.Add(1) }
+
+// TryLock succeeds only when no one holds or waits for the lock.
+func (l *TicketLock) TryLock() bool {
+	v := l.v.Load()
+	return v>>32 == v&0xffffffff && l.v.CompareAndSwap(v, v+1<<32)
+}
+
+// mcsNode is a queue node for the MCSLock baseline.
+type mcsNode struct {
+	locked atomic.Bool
+	next   atomic.Pointer[mcsNode]
+}
+
+// MCSLock is a classic MCS queue spinlock baseline: FIFO, local spinning,
+// NUMA-oblivious. Unlike ShflLock, the holder keeps its queue node through
+// the critical section, so the lock stores the holder's node internally.
+// The zero value is an unlocked MCSLock.
+type MCSLock struct {
+	tail   atomic.Pointer[mcsNode]
+	holder atomic.Pointer[mcsNode]
+}
+
+var mcsPool = make(chan *mcsNode, 1024)
+
+func getMCSNode() *mcsNode {
+	select {
+	case n := <-mcsPool:
+		n.locked.Store(false)
+		n.next.Store(nil)
+		return n
+	default:
+		return &mcsNode{}
+	}
+}
+
+func putMCSNode(n *mcsNode) {
+	select {
+	case mcsPool <- n:
+	default:
+	}
+}
+
+// Lock enqueues and spins on the private node.
+func (l *MCSLock) Lock() {
+	n := getMCSNode()
+	prev := l.tail.Swap(n)
+	if prev != nil {
+		n.locked.Store(true)
+		prev.next.Store(n)
+		for i := 0; n.locked.Load(); i++ {
+			if i%32 == 31 {
+				runtime.Gosched()
+			}
+		}
+	}
+	l.holder.Store(n)
+}
+
+// Unlock passes the lock to the successor.
+func (l *MCSLock) Unlock() {
+	n := l.holder.Load()
+	next := n.next.Load()
+	if next == nil {
+		if l.tail.CompareAndSwap(n, nil) {
+			putMCSNode(n)
+			return
+		}
+		for next = n.next.Load(); next == nil; next = n.next.Load() {
+			runtime.Gosched()
+		}
+	}
+	next.locked.Store(false)
+	putMCSNode(n)
+}
+
+// TryLock succeeds only on an empty queue.
+func (l *MCSLock) TryLock() bool {
+	n := getMCSNode()
+	if l.tail.Load() == nil && l.tail.CompareAndSwap(nil, n) {
+		l.holder.Store(n)
+		return true
+	}
+	putMCSNode(n)
+	return false
+}

@@ -1,0 +1,253 @@
+package core
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"testing/quick"
+)
+
+// locker abstracts the native locks for table-driven tests.
+type locker interface {
+	Lock()
+	Unlock()
+	TryLock() bool
+}
+
+func allLockers() map[string]func() locker {
+	return map[string]func() locker{
+		"spinlock": func() locker { return &SpinLock{} },
+		"mutex":    func() locker { return &Mutex{} },
+		"tas":      func() locker { return &TASLock{} },
+		"ticket":   func() locker { return &TicketLock{} },
+		"mcs":      func() locker { return &MCSLock{} },
+	}
+}
+
+// hammer runs goroutines incrementing a plain counter under the lock; any
+// mutual-exclusion failure shows up as a lost update (and under -race as a
+// data race).
+func hammer(t *testing.T, l locker, goroutines, iters int) {
+	t.Helper()
+	var wg sync.WaitGroup
+	counter := 0
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < iters; i++ {
+				l.Lock()
+				counter++
+				l.Unlock()
+			}
+		}()
+	}
+	wg.Wait()
+	if counter != goroutines*iters {
+		t.Fatalf("lost updates: %d != %d", counter, goroutines*iters)
+	}
+}
+
+func TestMutualExclusion(t *testing.T) {
+	for name, mk := range allLockers() {
+		t.Run(name, func(t *testing.T) {
+			hammer(t, mk(), 8, 2000)
+		})
+	}
+}
+
+func TestMutualExclusionManyGoroutines(t *testing.T) {
+	SetSockets(4)
+	defer SetSockets(1)
+	for name, mk := range allLockers() {
+		t.Run(name, func(t *testing.T) {
+			hammer(t, mk(), 64, 300)
+		})
+	}
+}
+
+func TestGOMAXPROCS1(t *testing.T) {
+	old := runtime.GOMAXPROCS(1)
+	defer runtime.GOMAXPROCS(old)
+	for name, mk := range allLockers() {
+		t.Run(name, func(t *testing.T) {
+			hammer(t, mk(), 8, 500)
+		})
+	}
+}
+
+func TestTryLockSemantics(t *testing.T) {
+	for name, mk := range allLockers() {
+		t.Run(name, func(t *testing.T) {
+			l := mk()
+			if !l.TryLock() {
+				t.Fatal("TryLock on free lock failed")
+			}
+			if l.TryLock() {
+				t.Fatal("TryLock on held lock succeeded")
+			}
+			l.Unlock()
+			if !l.TryLock() {
+				t.Fatal("TryLock after Unlock failed")
+			}
+			l.Unlock()
+		})
+	}
+}
+
+func TestMutexBlockingPath(t *testing.T) {
+	// Force the parking path: hold the lock while many waiters exceed
+	// their spin budget.
+	var m Mutex
+	var wg sync.WaitGroup
+	counter := 0
+	m.Lock()
+	for g := 0; g < 16; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				m.Lock()
+				counter++
+				m.Unlock()
+			}
+		}()
+	}
+	// Let waiters pile up and park.
+	for i := 0; i < 1000; i++ {
+		runtime.Gosched()
+	}
+	m.Unlock()
+	wg.Wait()
+	if counter != 16*50 {
+		t.Fatalf("lost updates: %d", counter)
+	}
+}
+
+func TestRWMutexExclusion(t *testing.T) {
+	var l RWMutex
+	var wg sync.WaitGroup
+	var readers, writers atomic.Int32
+	fail := atomic.Bool{}
+	for g := 0; g < 12; g++ {
+		wg.Add(1)
+		writer := g%4 == 0
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 400; i++ {
+				if writer {
+					l.Lock()
+					if writers.Add(1) != 1 || readers.Load() != 0 {
+						fail.Store(true)
+					}
+					writers.Add(-1)
+					l.Unlock()
+				} else {
+					l.RLock()
+					readers.Add(1)
+					if writers.Load() != 0 {
+						fail.Store(true)
+					}
+					readers.Add(-1)
+					l.RUnlock()
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if fail.Load() {
+		t.Fatal("reader/writer overlap detected")
+	}
+}
+
+// TestRWMutexReadersConcurrent verifies readers actually overlap.
+func TestRWMutexReadersConcurrent(t *testing.T) {
+	var l RWMutex
+	var wg sync.WaitGroup
+	var cur, max atomic.Int32
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 300; i++ {
+				l.RLock()
+				c := cur.Add(1)
+				for {
+					m := max.Load()
+					if c <= m || max.CompareAndSwap(m, c) {
+						break
+					}
+				}
+				runtime.Gosched()
+				cur.Add(-1)
+				l.RUnlock()
+			}
+		}()
+	}
+	wg.Wait()
+	if max.Load() < 2 {
+		t.Errorf("readers never overlapped (max concurrent = %d)", max.Load())
+	}
+}
+
+func TestRWMutexTry(t *testing.T) {
+	var l RWMutex
+	if !l.TryLock() {
+		t.Fatal("TryLock on free RWMutex failed")
+	}
+	if l.TryRLock() {
+		t.Fatal("TryRLock succeeded under writer")
+	}
+	l.Unlock()
+	if !l.TryRLock() {
+		t.Fatal("TryRLock on free RWMutex failed")
+	}
+	if l.TryLock() {
+		t.Fatal("TryLock succeeded under reader")
+	}
+	l.RUnlock()
+}
+
+func TestSetSockets(t *testing.T) {
+	SetSockets(0)
+	if Sockets() != 1 {
+		t.Errorf("Sockets() = %d, want clamped to 1", Sockets())
+	}
+	SetSockets(8)
+	if Sockets() != 8 {
+		t.Errorf("Sockets() = %d, want 8", Sockets())
+	}
+	SetSockets(1)
+}
+
+// Property: any interleaving of lock/unlock pairs across goroutines keeps
+// a guarded map consistent.
+func TestQuickGuardedMap(t *testing.T) {
+	f := func(keys []uint8) bool {
+		if len(keys) > 64 {
+			keys = keys[:64]
+		}
+		var m Mutex
+		store := map[uint8]int{}
+		var wg sync.WaitGroup
+		for _, k := range keys {
+			wg.Add(1)
+			go func(k uint8) {
+				defer wg.Done()
+				m.Lock()
+				store[k]++
+				m.Unlock()
+			}(k)
+		}
+		wg.Wait()
+		total := 0
+		for _, v := range store {
+			total += v
+		}
+		return total == len(keys)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}

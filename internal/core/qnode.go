@@ -1,0 +1,111 @@
+// Package core is the native Go implementation of the paper's lock family:
+// SpinLock (the non-blocking ShflLock), Mutex (the blocking ShflLock) and
+// RWMutex (the blocking readers-writer ShflLock), all usable as drop-in
+// sync.Locker replacements, plus simple TAS/ticket/MCS baselines for
+// comparison benchmarks.
+//
+// Shuffling needs to know which NUMA socket a waiter runs on. Go offers no
+// portable way to query the current CPU, so the package approximates: queue
+// nodes are recycled through a sync.Pool (which is per-P under the hood)
+// and each node is assigned a socket round-robin when first created. On a
+// real NUMA machine with GOMAXPROCS pinned OS threads this correlates well
+// enough for batching to help; callers with better knowledge can set the
+// socket explicitly via LockWithSocket.
+package core
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Queue-node status values (Figure 4 and Figure 6 of the paper).
+const (
+	sWaiting  = iota // spinning on the node; may park
+	sReady           // head of the queue: go take the TAS lock
+	sParked          // descheduled; wake via the park channel
+	sSpinning        // marked by a shuffler: keep spinning
+)
+
+// maxShuffles bounds same-socket batching for long-term fairness.
+const maxShuffles = 1024
+
+// spinBudget is how many local spin iterations a blocking waiter performs
+// before parking (the userspace ShflLock^B parks after a constant spin,
+// paper footnote 3).
+const spinBudget = 128
+
+// qnode is a waiter's queue node. It lives for the duration of one acquire
+// (lock-state decoupling: the holder releases it before the critical
+// section) and is recycled through a pool.
+type qnode struct {
+	status   atomic.Uint32
+	next     atomic.Pointer[qnode]
+	shuffler atomic.Uint32
+	lastHint atomic.Pointer[qnode]
+	batch    atomic.Uint32 // written by shufflers, read by the owner
+	socket   uint32        // write-once at node creation
+	park     chan struct{}
+}
+
+// numSockets is the socket count used for round-robin node placement.
+var numSockets atomic.Uint32
+
+// nextSocket assigns sockets to fresh queue nodes.
+var nextSocket atomic.Uint32
+
+func init() {
+	n := uint32(runtime.NumCPU() / 24)
+	if n < 1 {
+		n = 1
+	}
+	numSockets.Store(n)
+}
+
+// SetSockets overrides the number of NUMA sockets assumed by the shuffling
+// policy. One socket disables NUMA grouping (shuffling still powers the
+// wakeup policy of the blocking locks).
+func SetSockets(n int) {
+	if n < 1 {
+		n = 1
+	}
+	numSockets.Store(uint32(n))
+}
+
+// Sockets returns the configured socket count.
+func Sockets() int { return int(numSockets.Load()) }
+
+var nodePool = sync.Pool{
+	New: func() any {
+		return &qnode{
+			socket: nextSocket.Add(1) % numSockets.Load(),
+			park:   make(chan struct{}, 1),
+		}
+	},
+}
+
+// getNode returns an initialized node for one acquisition.
+func getNode() *qnode {
+	n := nodePool.Get().(*qnode)
+	n.status.Store(sWaiting)
+	n.next.Store(nil)
+	n.shuffler.Store(0)
+	n.lastHint.Store(nil)
+	n.batch.Store(0)
+	return n
+}
+
+func putNode(n *qnode) { nodePool.Put(n) }
+
+// parkSelf blocks until wakeNode delivers a token. A stale token from an
+// earlier acquisition is indistinguishable from a wakeup; callers always
+// re-check their condition, so the worst case is one spurious loop.
+func (n *qnode) parkSelf() { <-n.park }
+
+// wakeNode delivers a wakeup token without blocking.
+func (n *qnode) wakeNode() {
+	select {
+	case n.park <- struct{}{}:
+	default:
+	}
+}

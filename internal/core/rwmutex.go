@@ -1,0 +1,90 @@
+package core
+
+import (
+	"runtime"
+	"sync/atomic"
+)
+
+// RWMutex count-word layout (§4.2.3): writer byte (WB), writer-waiting bit
+// (WWb), reader count above bit 16.
+const (
+	rwWB    uint64 = 1
+	rwWWb   uint64 = 1 << 8
+	rwRUnit uint64 = 1 << 16
+)
+
+// RWMutex is the blocking readers-writer ShflLock: a centralized reader
+// indicator combined with a writer byte and writer-waiting bit, ordered by
+// an internal blocking ShflLock. At most one reader or writer spins on the
+// indicator; the rest wait on the shuffled queue. Writer-preferred for
+// throughput, with long-term fairness from the underlying lock's batching
+// bound. The zero value is an unlocked RWMutex.
+type RWMutex struct {
+	count atomic.Uint64
+	wlock Mutex
+}
+
+// RLock acquires a read share.
+func (l *RWMutex) RLock() {
+	v := l.count.Add(rwRUnit)
+	if v&(rwWB|rwWWb) == 0 {
+		return
+	}
+	l.count.Add(^(rwRUnit - 1)) // undo
+	l.wlock.Lock()
+	// Holding wlock: announce, then wait only for the active writer.
+	l.count.Add(rwRUnit)
+	for i := 0; l.count.Load()&rwWB != 0; i++ {
+		if i%32 == 31 {
+			runtime.Gosched()
+		}
+	}
+	l.wlock.Unlock()
+}
+
+// RUnlock releases a read share.
+func (l *RWMutex) RUnlock() {
+	l.count.Add(^(rwRUnit - 1))
+}
+
+// Lock acquires the write side.
+func (l *RWMutex) Lock() {
+	if l.count.CompareAndSwap(0, rwWB) {
+		return
+	}
+	l.wlock.Lock()
+	l.count.Or(rwWWb) // stop new readers
+	for i := 0; ; i++ {
+		v := l.count.Load()
+		if v>>16 == 0 && v&rwWB == 0 {
+			if l.count.CompareAndSwap(v, (v&^rwWWb)|rwWB) {
+				break
+			}
+			continue
+		}
+		if i%32 == 31 {
+			runtime.Gosched()
+		}
+	}
+	l.wlock.Unlock()
+}
+
+// Unlock releases the write side.
+func (l *RWMutex) Unlock() {
+	l.count.And(^rwWB)
+}
+
+// TryLock attempts an uncontended write acquisition with a single CAS.
+func (l *RWMutex) TryLock() bool {
+	return l.count.CompareAndSwap(0, rwWB)
+}
+
+// TryRLock attempts a read acquisition without queueing.
+func (l *RWMutex) TryRLock() bool {
+	v := l.count.Add(rwRUnit)
+	if v&(rwWB|rwWWb) == 0 {
+		return true
+	}
+	l.count.Add(^(rwRUnit - 1))
+	return false
+}

@@ -1,0 +1,282 @@
+package core
+
+import (
+	"runtime"
+	"sync/atomic"
+)
+
+// glock bit layout: bit 0 = locked, bit 8 = no-stealing.
+const (
+	glkLocked  uint32 = 1
+	glkNoSteal uint32 = 1 << 8
+)
+
+// shflState is the 12-byte-equivalent lock state shared by the
+// non-blocking and blocking ShflLocks: a TAS word plus the waiter-queue
+// tail. All policy work happens in the waiters (shuffling).
+type shflState struct {
+	glock atomic.Uint32
+	tail  atomic.Pointer[qnode]
+}
+
+// trySteal is the TAS fast path; with stealing permitted it also barges
+// past a populated queue.
+func (l *shflState) trySteal() bool {
+	return l.glock.Load() == 0 && l.glock.CompareAndSwap(0, glkLocked)
+}
+
+// tryLock attempts a single CAS — cheap because the lock state is
+// decoupled from the queue.
+func (l *shflState) tryLock() bool {
+	return l.glock.Load() == 0 && l.glock.CompareAndSwap(0, glkLocked)
+}
+
+// unlock releases the TAS lock, preserving the no-stealing bit.
+func (l *shflState) unlock() {
+	for {
+		v := l.glock.Load()
+		if l.glock.CompareAndSwap(v, v&^glkLocked) {
+			return
+		}
+	}
+}
+
+// lock acquires via fast path or the shuffled waiter queue (Figure 4 / 6).
+func (l *shflState) lock(blocking bool) {
+	if l.trySteal() {
+		return
+	}
+	n := getNode()
+	prev := l.tail.Swap(n)
+	if prev != nil {
+		l.spinUntilVeryNextWaiter(blocking, prev, n)
+	} else if !blocking {
+		// Preserve FIFO while a queue exists; the blocking variant keeps
+		// stealing enabled so the lock stays live across wakeup latency.
+		l.glock.Or(glkNoSteal)
+	}
+
+	if blocking {
+		// Figure 7: pre-wake the successor off the critical path.
+		if nx := n.next.Load(); nx != nil {
+			l.setSpinning(nx)
+		}
+	}
+
+	// Head of the queue: grab the TAS lock the moment it is free; shuffle
+	// while it is held.
+	spins := 0
+	for {
+		v := l.glock.Load()
+		if v&0xff == 0 {
+			if l.glock.CompareAndSwap(v, v|glkLocked) {
+				break
+			}
+			spins++
+			if spins%16 == 0 {
+				runtime.Gosched()
+			}
+			continue
+		}
+		if n.batch.Load() == 0 || n.shuffler.Load() != 0 {
+			l.shuffleWaiters(blocking, n, true)
+			if l.glock.Load()&0xff == 0 {
+				continue
+			}
+		}
+		spins++
+		if spins%16 == 0 {
+			runtime.Gosched()
+		}
+	}
+
+	// MCS unlock phase, moved to the acquire side: hand head status to the
+	// successor and release our node before entering the critical section.
+	next := n.next.Load()
+	if next == nil {
+		if l.tail.CompareAndSwap(n, nil) {
+			if !blocking {
+				v := l.glock.Load()
+				if v&glkNoSteal != 0 {
+					l.glock.CompareAndSwap(v, v&^glkNoSteal)
+				}
+			}
+			putNode(n)
+			return
+		}
+		for next = n.next.Load(); next == nil; next = n.next.Load() {
+			runtime.Gosched()
+		}
+	}
+	// Relay a still-held shuffler role (and scan frontier) to the successor.
+	if n.shuffler.Load() != 0 {
+		if h := n.lastHint.Load(); h != nil && h != next && h != n {
+			next.lastHint.Store(h)
+		}
+		next.shuffler.Store(1)
+	}
+	if blocking {
+		if old := next.status.Swap(sReady); old == sParked {
+			next.wakeNode()
+		}
+	} else {
+		next.status.Store(sReady)
+	}
+	putNode(n)
+}
+
+// spinUntilVeryNextWaiter links behind prev and waits for head status,
+// shuffling when handed the role and parking after the spin budget in the
+// blocking variant.
+func (l *shflState) spinUntilVeryNextWaiter(blocking bool, prev, n *qnode) {
+	prev.next.Store(n)
+	spins := 0
+	for {
+		v := n.status.Load()
+		if v == sReady {
+			return
+		}
+		if n.shuffler.Load() != 0 {
+			l.shuffleWaiters(blocking, n, false)
+			continue
+		}
+		spins++
+		if spins%8 == 0 {
+			runtime.Gosched()
+		}
+		if blocking && v == sWaiting && spins > spinBudget {
+			if n.status.CompareAndSwap(sWaiting, sParked) {
+				n.parkSelf()
+			}
+			spins = 0
+		}
+	}
+}
+
+// setSpinning moves a waiter into the spinning state, waking it if parked
+// (shuffler wakeup policy, Figure 6).
+func (l *shflState) setSpinning(n *qnode) {
+	if n.status.CompareAndSwap(sWaiting, sSpinning) {
+		return
+	}
+	if n.status.CompareAndSwap(sParked, sSpinning) {
+		n.wakeNode()
+	}
+}
+
+// shuffleWaiters reorders the waiter queue, grouping nodes of the
+// shuffler's socket directly behind the already-shuffled chain, waking
+// sleepers along the way in the blocking variant (Figures 4 and 6, plus
+// the +qlast traversal-resumption optimization).
+func (l *shflState) shuffleWaiters(blocking bool, n *qnode, vnextWaiter bool) {
+	qlast := n
+	qprev := n
+
+	if n.batch.Load() == 0 {
+		n.batch.Store(1)
+	}
+	n.shuffler.Store(0)
+	if n.batch.Load() >= maxShuffles {
+		return
+	}
+	if blocking && !vnextWaiter {
+		if old := n.status.Swap(sSpinning); old == sReady {
+			n.status.Store(sReady) // preserve a racing grant
+		}
+	}
+	if h := n.lastHint.Load(); h != nil {
+		qprev = h
+	}
+	batch := n.batch.Load()
+
+	for {
+		qcurr := qprev.next.Load()
+		if qcurr == nil || qcurr == l.tail.Load() {
+			break
+		}
+		if qcurr == n {
+			// Stale resume hint: abandon it and restart next round.
+			n.lastHint.Store(nil)
+			break
+		}
+		if qcurr.socket == n.socket {
+			if qprev == qlast {
+				// Contiguous same-socket chain: mark it.
+				batch++
+				qcurr.batch.Store(batch)
+				if blocking {
+					l.setSpinning(qcurr)
+				}
+				qlast = qcurr
+				qprev = qcurr
+			} else {
+				qnext := qcurr.next.Load()
+				if qnext == nil {
+					break
+				}
+				batch++
+				qcurr.batch.Store(batch)
+				if blocking {
+					l.setSpinning(qcurr)
+				}
+				qprev.next.Store(qnext)
+				qcurr.next.Store(qlast.next.Load())
+				qlast.next.Store(qcurr)
+				qlast = qcurr
+			}
+		} else {
+			qprev = qcurr
+		}
+		if vnextWaiter && l.glock.Load()&0xff == 0 {
+			break
+		}
+		if !vnextWaiter && n.status.Load() == sReady {
+			break
+		}
+	}
+
+	if qlast == n {
+		if qprev != n {
+			n.lastHint.Store(qprev)
+		}
+		n.shuffler.Store(1) // keep retrying
+		return
+	}
+	if qprev != qlast {
+		qlast.lastHint.Store(qprev)
+	}
+	qlast.shuffler.Store(1)
+}
+
+// SpinLock is the non-blocking ShflLock (ShflLock^NB): a NUMA-aware
+// spinlock with a 12-byte-equivalent footprint, single-CAS TryLock, and
+// waiter-driven queue shuffling. The zero value is an unlocked SpinLock.
+type SpinLock struct {
+	s shflState
+}
+
+// Lock acquires the spinlock.
+func (l *SpinLock) Lock() { l.s.lock(false) }
+
+// Unlock releases the spinlock.
+func (l *SpinLock) Unlock() { l.s.unlock() }
+
+// TryLock attempts the acquisition with a single compare-and-swap.
+func (l *SpinLock) TryLock() bool { return l.s.tryLock() }
+
+// Mutex is the blocking ShflLock (ShflLock^B): waiters spin briefly and
+// then park; shufflers wake parked waiters that are about to get the lock,
+// off the critical path; the TAS fast path permits stealing so the lock
+// stays live across wakeup latencies. The zero value is an unlocked Mutex.
+type Mutex struct {
+	s shflState
+}
+
+// Lock acquires the mutex, parking under contention.
+func (m *Mutex) Lock() { m.s.lock(true) }
+
+// Unlock releases the mutex.
+func (m *Mutex) Unlock() { m.s.unlock() }
+
+// TryLock attempts the acquisition with a single compare-and-swap.
+func (m *Mutex) TryLock() bool { return m.s.tryLock() }

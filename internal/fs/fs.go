@@ -1,0 +1,238 @@
+// Package fs is an in-memory filesystem substrate modelled after the parts
+// of Linux VFS + tmpfs that the paper's microbenchmarks stress: inodes with
+// an embedded readers-writer lock (i_rwsem), directory entry maps, a
+// superblock rename mutex (s_vfs_rename_mutex), and a rename path spinlock.
+//
+// The lock types are pluggable, and — crucially for Figure 1 and Figure
+// 9(b) — each created inode is charged to the slab allocator at its full
+// size *including the embedded lock*, so hierarchical locks bloat inodes
+// and stress the allocator exactly as in the paper.
+package fs
+
+import (
+	"fmt"
+
+	"shfllock/internal/alloc"
+	"shfllock/internal/sim"
+	"shfllock/internal/simlocks"
+)
+
+// inodeBaseBytes is the size of a bare inode without its lock (ext4's
+// in-memory inode is ~1KB; tmpfs is smaller; we use a round figure whose
+// exact value only scales the allocator pressure).
+const inodeBaseBytes = 280
+
+// Path-walk and data-copy costs in cycles (~2.2GHz; a rename or create
+// spends on the order of a microsecond in the kernel's locked sections).
+const (
+	lookupCost  = 250  // path walk, outside the contended locks
+	initCost    = 2000 // inode initialization + dentry instantiation in-lock
+	perKBCost   = 900  // data copy per KB, outside the locks
+	renameCost  = 700  // dentry unhash/rehash inside the rename locks
+	unlinkCost  = 350  // dentry removal inside the directory lock
+	readdirCost = 60   // per entry enumerated under the read lock
+)
+
+// Config selects the lock implementations the filesystem embeds.
+type Config struct {
+	// RW builds the per-inode readers-writer lock (i_rwsem).
+	RW simlocks.RWMaker
+	// Mutex builds the superblock rename mutex (s_vfs_rename_mutex).
+	Mutex simlocks.Maker
+	// Spin builds the rename-path spinlock (dcache/rename_lock).
+	Spin simlocks.Maker
+}
+
+// Inode is a file or directory with its embedded lock and a couple of
+// cache lines of metadata that operations touch inside critical sections.
+type Inode struct {
+	ID      uint64
+	RW      simlocks.RWLock
+	meta    []sim.Word
+	entries map[string]*Inode // directories only
+	Bytes   uint64            // allocator charge incl. embedded lock
+}
+
+// FS is one mounted filesystem instance.
+type FS struct {
+	e   *sim.Engine
+	al  *alloc.Allocator
+	cfg Config
+
+	Root     *Inode
+	RenameMu simlocks.Lock // s_vfs_rename_mutex
+	SpinLk   simlocks.Lock // rename-path spinlock
+
+	nextID        uint64
+	lockBytes     int // per-inode lock footprint
+	LockBytesLive uint64
+	InodeCount    uint64
+}
+
+// New mounts a filesystem with the given lock configuration.
+func New(e *sim.Engine, al *alloc.Allocator, cfg Config) *FS {
+	f := &FS{
+		e:   e,
+		al:  al,
+		cfg: cfg,
+	}
+	f.lockBytes = cfg.RW.Footprint(e.Topology().Sockets).PerLock
+	f.RenameMu = cfg.Mutex.New(e, "fs/rename_mutex")
+	f.SpinLk = cfg.Spin.New(e, "fs/rename_lock")
+	f.Root = f.newInode(nil, true)
+	return f
+}
+
+// Allocator exposes the slab model for footprint reporting.
+func (f *FS) Allocator() *alloc.Allocator { return f.al }
+
+// LockBytesPerInode reports the embedded lock's size.
+func (f *FS) LockBytesPerInode() int { return f.lockBytes }
+
+// newInode builds an inode; when t is non-nil the allocation is charged to
+// that thread (on its critical path, as in the kernel).
+func (f *FS) newInode(t *sim.Thread, dir bool) *Inode {
+	f.nextID++
+	f.InodeCount++
+	ino := &Inode{
+		ID:    f.nextID,
+		Bytes: uint64(inodeBaseBytes + f.lockBytes),
+	}
+	if dir {
+		// Only directories need a live lock instance in these workloads;
+		// plain files still pay the full allocation (lock included), which
+		// is the footprint effect under study.
+		ino.RW = f.cfg.RW.New(f.e, "fs/i_rwsem")
+		ino.meta = f.e.Mem().Alloc("fs/inode", 8)
+		ino.entries = make(map[string]*Inode)
+	}
+	f.LockBytesLive += uint64(f.lockBytes)
+	if t != nil {
+		f.al.Alloc(t, ino.Bytes)
+		t.Delay(initCost)
+	}
+	return ino
+}
+
+func (f *FS) freeInode(t *sim.Thread, ino *Inode) {
+	f.InodeCount--
+	f.LockBytesLive -= uint64(f.lockBytes)
+	f.al.Free(t, ino.Bytes)
+}
+
+// touch dirties n metadata words of the inode — the critical-section data
+// movement (factor F1) that makes NUMA-ordered handoffs pay off.
+func (ino *Inode) touch(t *sim.Thread, n int) {
+	for i := 0; i < n && i < len(ino.meta); i++ {
+		t.Store(ino.meta[i], t.Load(ino.meta[i])+1)
+	}
+}
+
+// Mkdir creates a subdirectory (setup helper; charged to t if non-nil).
+func (f *FS) Mkdir(t *sim.Thread, parent *Inode, name string) *Inode {
+	d := f.newInode(t, true)
+	parent.entries[name] = d
+	return d
+}
+
+// Create makes a file of the given size in dir, holding the directory's
+// rwsem in write mode: the MWCM operation.
+func (f *FS) Create(t *sim.Thread, dir *Inode, name string, sizeKB int) *Inode {
+	t.Delay(lookupCost)
+	dir.RW.Lock(t)
+	dir.touch(t, 4)
+	ino := f.newInode(t, false)
+	dir.entries[name] = ino
+	dir.RW.Unlock(t)
+	if sizeKB > 0 {
+		t.Delay(uint64(sizeKB) * perKBCost)
+	}
+	return ino
+}
+
+// Unlink removes a file from dir under the directory write lock.
+func (f *FS) Unlink(t *sim.Thread, dir *Inode, name string) bool {
+	t.Delay(lookupCost)
+	dir.RW.Lock(t)
+	dir.touch(t, 2)
+	ino, ok := dir.entries[name]
+	if ok {
+		delete(dir.entries, name)
+	}
+	t.Delay(unlinkCost)
+	dir.RW.Unlock(t)
+	if ok {
+		f.freeInode(t, ino)
+	}
+	return ok
+}
+
+// RenameLocal renames within one directory under the rename-path spinlock:
+// the MWRL operation (each thread works in its private directory, but the
+// rename path serializes on a global spinlock).
+func (f *FS) RenameLocal(t *sim.Thread, dir *Inode, from, to string) bool {
+	t.Delay(lookupCost)
+	f.SpinLk.Lock(t)
+	dir.touch(t, 3)
+	ino, ok := dir.entries[from]
+	if ok {
+		delete(dir.entries, from)
+		dir.entries[to] = ino
+	}
+	t.Delay(renameCost) // dentry hash manipulation under d_lock
+	f.SpinLk.Unlock(t)
+	return ok
+}
+
+// RenameCross moves a file between directories under the superblock rename
+// mutex plus both directory locks: the MWRM operation.
+func (f *FS) RenameCross(t *sim.Thread, src, dst *Inode, from, to string) bool {
+	t.Delay(lookupCost)
+	f.RenameMu.Lock(t)
+	// Lock order by inode ID, as the kernel does.
+	a, b := src, dst
+	if a.ID > b.ID {
+		a, b = b, a
+	}
+	a.RW.Lock(t)
+	if a != b {
+		b.RW.Lock(t)
+	}
+	src.touch(t, 3)
+	dst.touch(t, 3)
+	ino, ok := src.entries[from]
+	if ok {
+		delete(src.entries, from)
+		dst.entries[to] = ino
+	}
+	t.Delay(renameCost)
+	if a != b {
+		b.RW.Unlock(t)
+	}
+	a.RW.Unlock(t)
+	f.RenameMu.Unlock(t)
+	return ok
+}
+
+// Readdir enumerates up to limit entries of dir under the directory's
+// read lock: the MRDM operation. It returns the number of entries seen.
+func (f *FS) Readdir(t *sim.Thread, dir *Inode, limit int) int {
+	dir.RW.RLock(t)
+	dir.touch2Read(t)
+	n := len(dir.entries)
+	if n > limit {
+		n = limit
+	}
+	t.Delay(uint64(n) * readdirCost)
+	dir.RW.RUnlock(t)
+	return n
+}
+
+// touch2Read reads two metadata words (shared, not exclusive).
+func (ino *Inode) touch2Read(t *sim.Thread) {
+	t.Load(ino.meta[0])
+	t.Load(ino.meta[1])
+}
+
+// MustName formats a per-thread unique file name.
+func MustName(tid, k int) string { return fmt.Sprintf("f%d-%d", tid, k) }

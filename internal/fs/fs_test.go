@@ -1,0 +1,134 @@
+package fs
+
+import (
+	"fmt"
+	"testing"
+
+	"shfllock/internal/alloc"
+	"shfllock/internal/sim"
+	"shfllock/internal/simlocks"
+	"shfllock/internal/topology"
+)
+
+func newFS(e *sim.Engine) *FS {
+	return New(e, alloc.New(e), Config{
+		RW:    simlocks.RWSemMaker(),
+		Mutex: simlocks.LinuxMutexMaker(),
+		Spin:  simlocks.QSpinLockMaker(),
+	})
+}
+
+func TestCreateUnlink(t *testing.T) {
+	e := sim.NewEngine(sim.Config{Topo: topology.Laptop(), Seed: 1, HardStop: 10_000_000_000})
+	f := newFS(e)
+	e.Spawn("t", 0, func(th *sim.Thread) {
+		d := f.Mkdir(th, f.Root, "dir")
+		ino := f.Create(th, d, "file", 4)
+		if ino == nil {
+			t.Error("Create returned nil")
+		}
+		if got := f.Readdir(th, d, 100); got != 1 {
+			t.Errorf("Readdir = %d, want 1", got)
+		}
+		if !f.Unlink(th, d, "file") {
+			t.Error("Unlink failed")
+		}
+		if f.Unlink(th, d, "file") {
+			t.Error("double Unlink succeeded")
+		}
+		if got := f.Readdir(th, d, 100); got != 0 {
+			t.Errorf("Readdir after unlink = %d, want 0", got)
+		}
+	})
+	e.Run()
+}
+
+func TestRenames(t *testing.T) {
+	e := sim.NewEngine(sim.Config{Topo: topology.Laptop(), Seed: 1, HardStop: 10_000_000_000})
+	f := newFS(e)
+	e.Spawn("t", 0, func(th *sim.Thread) {
+		d1 := f.Mkdir(th, f.Root, "d1")
+		d2 := f.Mkdir(th, f.Root, "d2")
+		f.Create(th, d1, "a", 0)
+		if !f.RenameLocal(th, d1, "a", "b") {
+			t.Error("RenameLocal failed")
+		}
+		if f.RenameLocal(th, d1, "a", "c") {
+			t.Error("RenameLocal of missing file succeeded")
+		}
+		if !f.RenameCross(th, d1, d2, "b", "b2") {
+			t.Error("RenameCross failed")
+		}
+		if got := f.Readdir(th, d2, 10); got != 1 {
+			t.Errorf("d2 entries = %d, want 1", got)
+		}
+		if got := f.Readdir(th, d1, 10); got != 0 {
+			t.Errorf("d1 entries = %d, want 0", got)
+		}
+	})
+	e.Run()
+}
+
+func TestLockMemoryAccounting(t *testing.T) {
+	e := sim.NewEngine(sim.Config{Topo: topology.Reference(), Seed: 1, HardStop: 10_000_000_000})
+	al := alloc.New(e)
+	f := New(e, al, Config{
+		RW:    simlocks.CohortRWMaker(),
+		Mutex: simlocks.LinuxMutexMaker(),
+		Spin:  simlocks.QSpinLockMaker(),
+	})
+	perInode := f.LockBytesPerInode()
+	if perInode < 1000 {
+		t.Errorf("cohort-rw per-inode lock bytes = %d, want >1000 on 8 sockets", perInode)
+	}
+	before := f.LockBytesLive
+	e.Spawn("t", 0, func(th *sim.Thread) {
+		d := f.Mkdir(th, f.Root, "d")
+		for i := 0; i < 10; i++ {
+			f.Create(th, d, MustName(0, i), 0)
+		}
+	})
+	e.Run()
+	grown := f.LockBytesLive - before
+	if grown != uint64(11*perInode) { // 1 dir + 10 files
+		t.Errorf("lock memory grew %d, want %d", grown, 11*perInode)
+	}
+	if al.BytesTotal == 0 {
+		t.Error("allocator saw no inode allocations")
+	}
+}
+
+func TestConcurrentCreatorsShareDirectory(t *testing.T) {
+	e := sim.NewEngine(sim.Config{Topo: topology.Laptop(), Seed: 1, HardStop: 100_000_000_000})
+	f := newFS(e)
+	var shared *Inode
+	e.Spawn("setup", 0, func(th *sim.Thread) {
+		shared = f.Mkdir(th, f.Root, "shared")
+	})
+	done := e.Mem().AllocWord("gate")
+	for i := 0; i < 6; i++ {
+		id := i
+		e.Spawn("w", -1, func(th *sim.Thread) {
+			th.SpinUntil(done, func(v uint64) bool { return v == 1 })
+			for k := 0; k < 20; k++ {
+				f.Create(th, shared, fmt.Sprintf("f-%d-%d", id, k), 1)
+			}
+		})
+	}
+	e.Spawn("gate", 1, func(th *sim.Thread) {
+		th.Delay(10_000)
+		th.Store(done, 1)
+	})
+	e.Run()
+	got := 0
+	e2 := sim.NewEngine(sim.Config{Topo: topology.Laptop(), Seed: 2, HardStop: 1_000_000_000})
+	_ = e2
+	// Count entries directly (engine has finished; structural check).
+	got = len(sharedEntries(shared))
+	if got != 120 {
+		t.Errorf("shared dir has %d entries, want 120", got)
+	}
+}
+
+// sharedEntries exposes the entry count for the test above.
+func sharedEntries(ino *Inode) map[string]*Inode { return ino.entries }

@@ -1,0 +1,69 @@
+// Package kvstore is a LevelDB-shaped key-value store substrate for the
+// Figure 12 experiments: an in-memory memtable behind the global database
+// mutex that leveldb's Get/Put take to reference the current version set.
+// The readrandom benchmark contends on that one lock, which is exactly what
+// the paper evaluates userspace locks with.
+package kvstore
+
+import (
+	"shfllock/internal/sim"
+	"shfllock/internal/simlocks"
+)
+
+// Costs in cycles.
+const (
+	versionTouch = 3    // version-set words touched under the mutex
+	searchCost   = 900  // memtable/SSTable binary search outside the lock
+	writeCost    = 1400 // memtable insert under the lock
+)
+
+// DB is a LevelDB-like store guarded by a global mutex.
+type DB struct {
+	mu      simlocks.Lock
+	version []sim.Word // version-set state touched under the lock
+	index   []sim.Word // read-mostly index lines probed during searches
+	data    map[uint64]uint64
+	seq     uint64
+}
+
+// New creates a database using the given lock implementation.
+func New(e *sim.Engine, mk simlocks.Maker, keys int) *DB {
+	db := &DB{
+		mu:      mk.New(e, "db/mutex"),
+		version: e.Mem().Alloc("db/version", 4),
+		index:   e.Mem().AllocPadded("db/index", 16),
+		data:    make(map[uint64]uint64, keys),
+	}
+	for k := 0; k < keys; k++ {
+		db.data[uint64(k)] = uint64(k) * 7
+	}
+	return db
+}
+
+// Get performs a readrandom-style lookup: take the DB mutex to reference
+// the version set, then search outside the lock.
+func (db *DB) Get(t *sim.Thread, key uint64) (uint64, bool) {
+	db.mu.Lock(t)
+	for i := 0; i < versionTouch; i++ {
+		t.Store(db.version[i], t.Load(db.version[i])+1)
+	}
+	db.mu.Unlock(t)
+	// Probe two read-mostly index lines, then binary-search.
+	t.Load(db.index[key%16])
+	t.Load(db.index[(key/16)%16])
+	t.Delay(searchCost)
+	v, ok := db.data[key]
+	return v, ok
+}
+
+// Put inserts under the DB mutex (memtable write).
+func (db *DB) Put(t *sim.Thread, key, val uint64) {
+	db.mu.Lock(t)
+	for i := 0; i < versionTouch; i++ {
+		t.Store(db.version[i], t.Load(db.version[i])+1)
+	}
+	db.seq++
+	db.data[key] = val
+	t.Delay(writeCost)
+	db.mu.Unlock(t)
+}

@@ -1,0 +1,465 @@
+// Package memsim models the memory hierarchy of a NUMA multiprocessor at
+// cache-line granularity. It is the substrate on which every simulated lock
+// runs: each 64-bit word lives on a cache line; lines are tracked with a
+// single-owner/sharer-set protocol (MESI collapsed to M/S/I); and each access
+// is charged a cost that depends on where the line currently lives relative
+// to the requesting core.
+//
+// The model is deliberately simple but captures the effects the paper's
+// evaluation depends on:
+//
+//   - a spinning TAS waiter pulls the lock line exclusive on every attempt,
+//     so lock handoff under contention costs one transfer per waiter;
+//   - an MCS waiter spins on its own line, which stays in its cache until
+//     the predecessor writes it, so handoff costs a single transfer;
+//   - consecutive lock holders on the same socket reacquire both the lock
+//     word and the critical-section data with cheap intra-socket transfers,
+//     which is where NUMA-aware locks win.
+package memsim
+
+import (
+	"fmt"
+	"math/bits"
+	"strings"
+
+	"shfllock/internal/topology"
+)
+
+// Word names a 64-bit cell of simulated memory.
+type Word int32
+
+// NoWord is the zero value sentinel for an unallocated word.
+const NoWord Word = -1
+
+const wordsPerLine = 8 // 64-byte lines
+
+// lineState is the coherence state of a cache line.
+type lineState uint8
+
+const (
+	stateInvalid lineState = iota // only in memory
+	stateOwned                    // exclusive/modified in owner's cache
+	stateShared                   // clean in one or more caches
+)
+
+type line struct {
+	state   lineState
+	owner   int32  // owning core when stateOwned
+	sharers bitset // caching cores when stateShared
+	group   int32  // stats group
+	watched int32  // number of threads spin-waiting on this line
+	// busyUntil serializes cache-to-cache transfers of this line: a line
+	// can move between caches only one transfer at a time, so concurrent
+	// misses queue behind each other. This is what makes a TAS release
+	// under contention O(waiters): every spinner's CAS must take its turn
+	// moving the line before the next acquirer can proceed.
+	busyUntil uint64
+}
+
+// AccessKind distinguishes the operations the cost model charges.
+type AccessKind uint8
+
+const (
+	AccessLoad AccessKind = iota
+	AccessStore
+	AccessRMW // atomic read-modify-write (CAS, SWAP, FAA)
+)
+
+// GroupStats aggregates line movement for one allocation group (tag).
+type GroupStats struct {
+	Loads       uint64
+	Stores      uint64
+	Atomics     uint64
+	L1Hits      uint64
+	LocalXfers  uint64 // intra-socket cache-line transfers
+	RemoteXfers uint64 // cross-socket cache-line transfers
+	MemFetches  uint64 // fetches from DRAM
+}
+
+// Transfers returns the total number of cache-to-cache transfers.
+func (g GroupStats) Transfers() uint64 { return g.LocalXfers + g.RemoteXfers }
+
+func (g *GroupStats) add(o GroupStats) {
+	g.Loads += o.Loads
+	g.Stores += o.Stores
+	g.Atomics += o.Atomics
+	g.L1Hits += o.L1Hits
+	g.LocalXfers += o.LocalXfers
+	g.RemoteXfers += o.RemoteXfers
+	g.MemFetches += o.MemFetches
+}
+
+// Memory is a simulated physical memory with per-line coherence tracking.
+type Memory struct {
+	topo  topology.Machine
+	costs topology.CostModel
+
+	vals  []uint64
+	lines []line
+
+	groups     []GroupStats
+	groupNames []string
+	groupOf    map[string]int32
+
+	// OnWrite, if set, is invoked after any store or RMW to a watched
+	// line. The simulator uses it to wake spin-waiting threads.
+	OnWrite func(line int32)
+}
+
+// New creates an empty memory for the given machine.
+func New(topo topology.Machine, costs topology.CostModel) *Memory {
+	return &Memory{
+		topo:    topo,
+		costs:   costs,
+		groupOf: make(map[string]int32),
+	}
+}
+
+// Topology returns the machine the memory was built for.
+func (m *Memory) Topology() topology.Machine { return m.topo }
+
+// Costs returns the cost model in effect.
+func (m *Memory) Costs() topology.CostModel { return m.costs }
+
+func (m *Memory) group(tag string) int32 {
+	if id, ok := m.groupOf[tag]; ok {
+		return id
+	}
+	id := int32(len(m.groups))
+	m.groups = append(m.groups, GroupStats{})
+	m.groupNames = append(m.groupNames, tag)
+	m.groupOf[tag] = id
+	return id
+}
+
+// Alloc allocates n contiguous words under the given stats tag. Words are
+// packed 8 to a cache line, and an Alloc never shares a line with a previous
+// Alloc (each allocation starts on a fresh line), mirroring how a C struct
+// containing a lock is laid out.
+func (m *Memory) Alloc(tag string, n int) []Word {
+	if n <= 0 {
+		panic("memsim: Alloc of non-positive size")
+	}
+	g := m.group(tag)
+	// Start on a fresh line: pad the value array to a line boundary so
+	// that LineOf(w) == w/wordsPerLine stays consistent.
+	for len(m.vals)%wordsPerLine != 0 {
+		m.vals = append(m.vals, 0)
+	}
+	ws := make([]Word, n)
+	for i := range ws {
+		if len(m.vals)%wordsPerLine == 0 {
+			m.lines = append(m.lines, line{state: stateInvalid, owner: -1, group: g})
+		}
+		ws[i] = Word(len(m.vals))
+		m.vals = append(m.vals, 0)
+	}
+	return ws
+}
+
+// AllocWord allocates a single word on its own cache line.
+func (m *Memory) AllocWord(tag string) Word { return m.Alloc(tag, 1)[0] }
+
+// AllocPadded allocates n words, each on its own cache line (padded to
+// avoid false sharing), as queue-lock implementations do for per-socket or
+// per-CPU structures.
+func (m *Memory) AllocPadded(tag string, n int) []Word {
+	ws := make([]Word, n)
+	for i := range ws {
+		ws[i] = m.AllocWord(tag)
+	}
+	return ws
+}
+
+// TagOf returns the allocation tag of the line holding w (diagnostics).
+func (m *Memory) TagOf(w Word) string {
+	return m.groupNames[m.lines[m.LineOf(w)].group]
+}
+
+// LineOf returns the cache line holding w.
+func (m *Memory) LineOf(w Word) int32 { return int32(int(w) / wordsPerLine) }
+
+// Watch marks the line holding w so that OnWrite fires when it is written.
+// Watch calls nest; each must be paired with an Unwatch.
+func (m *Memory) Watch(w Word) { m.lines[m.LineOf(w)].watched++ }
+
+// Unwatch removes one watcher from the line holding w.
+func (m *Memory) Unwatch(w Word) { m.lines[m.LineOf(w)].watched-- }
+
+// Peek reads a word's value without simulating an access (for assertions
+// and debugging only).
+func (m *Memory) Peek(w Word) uint64 { return m.vals[w] }
+
+// Poke sets a word's value without simulating an access (initialization).
+func (m *Memory) Poke(w Word, v uint64) { m.vals[w] = v }
+
+// Access performs a simulated memory access of the given kind by core at
+// virtual time now, and returns its total latency in cycles, including any
+// time spent queueing for the cache line. Cache hits complete immediately;
+// transfers serialize per line.
+func (m *Memory) Access(now uint64, core int, w Word, kind AccessKind) uint64 {
+	ln := &m.lines[m.LineOf(w)]
+	st := &m.groups[ln.group]
+	var cost uint64
+	switch kind {
+	case AccessLoad:
+		st.Loads++
+		cost = m.chargeRead(core, ln, st)
+	case AccessStore:
+		st.Stores++
+		cost = m.chargeWrite(core, ln, st)
+	case AccessRMW:
+		st.Atomics++
+		cost = m.chargeWrite(core, ln, st) + m.costs.AtomicExtra
+	}
+	if cost <= m.costs.L1Hit+m.costs.AtomicExtra {
+		return cost // hits don't occupy the line's transfer slot
+	}
+	start := now
+	if ln.busyUntil > start {
+		start = ln.busyUntil
+	}
+	// Writes and RMWs occupy the line's transfer slot for the full
+	// transfer (ownership moves serially); read transfers pipeline at the
+	// source cache and occupy only a fraction of the slot.
+	occupy := cost
+	if kind == AccessLoad {
+		occupy = cost / 4
+	}
+	ln.busyUntil = start + occupy
+	return (start - now) + cost
+}
+
+// NotifyWrite fires the OnWrite callback if the line holding w is watched.
+// The simulator calls it after the new value is visible, so woken spinners
+// observe the write.
+func (m *Memory) NotifyWrite(w Word) {
+	ln := m.LineOf(w)
+	if m.lines[ln].watched > 0 && m.OnWrite != nil {
+		m.OnWrite(ln)
+	}
+}
+
+// chargeRead brings the line into core's cache in shared state.
+func (m *Memory) chargeRead(core int, ln *line, st *GroupStats) uint64 {
+	switch ln.state {
+	case stateOwned:
+		if int(ln.owner) == core {
+			st.L1Hits++
+			return m.costs.L1Hit
+		}
+		// Fetch from the owner; owner demotes to sharer.
+		cost := m.xferCost(core, int(ln.owner), st)
+		ln.sharers.reset()
+		ln.sharers.set(int(ln.owner))
+		ln.sharers.set(core)
+		ln.state = stateShared
+		ln.owner = -1
+		return cost
+	case stateShared:
+		if ln.sharers.has(core) {
+			st.L1Hits++
+			return m.costs.L1Hit
+		}
+		src := m.nearestSharer(core, ln)
+		cost := m.xferCost(core, src, st)
+		ln.sharers.set(core)
+		return cost
+	default: // invalid: fetch from memory
+		st.MemFetches++
+		ln.state = stateShared
+		ln.sharers.reset()
+		ln.sharers.set(core)
+		return m.costs.DRAM
+	}
+}
+
+// chargeWrite obtains the line exclusively in core's cache, invalidating
+// all other copies. Note a failed CAS still performs this step, exactly as
+// real hardware acquires the line in M state before the compare.
+func (m *Memory) chargeWrite(core int, ln *line, st *GroupStats) uint64 {
+	switch ln.state {
+	case stateOwned:
+		if int(ln.owner) == core {
+			st.L1Hits++
+			return m.costs.L1Hit
+		}
+		cost := m.xferCost(core, int(ln.owner), st)
+		ln.owner = int32(core)
+		return cost
+	case stateShared:
+		if ln.sharers.has(core) && ln.sharers.count() == 1 {
+			// Sole sharer: silent upgrade.
+			st.L1Hits++
+			ln.state = stateOwned
+			ln.owner = int32(core)
+			ln.sharers.reset()
+			return m.costs.L1Hit
+		}
+		// Invalidate all sharers; cost is dominated by the farthest
+		// invalidation we must wait for.
+		cost := m.invalidateCost(core, ln, st)
+		ln.state = stateOwned
+		ln.owner = int32(core)
+		ln.sharers.reset()
+		return cost
+	default:
+		st.MemFetches++
+		ln.state = stateOwned
+		ln.owner = int32(core)
+		ln.sharers.reset()
+		return m.costs.DRAM
+	}
+}
+
+// xferCost is the cost of moving a line from core src to core dst.
+func (m *Memory) xferCost(dst, src int, st *GroupStats) uint64 {
+	if m.topo.SocketOf(dst) == m.topo.SocketOf(src) {
+		st.LocalXfers++
+		return m.costs.LocalXfer
+	}
+	st.RemoteXfers++
+	return m.costs.RemoteXfer
+}
+
+// nearestSharer picks a source core for a shared-line fetch, preferring a
+// sharer on the requester's socket.
+func (m *Memory) nearestSharer(core int, ln *line) int {
+	mySock := m.topo.SocketOf(core)
+	best := -1
+	for c := range ln.sharers.iter(m.topo.Cores()) {
+		if best == -1 {
+			best = c
+		}
+		if m.topo.SocketOf(c) == mySock {
+			return c
+		}
+	}
+	return best
+}
+
+// invalidateCost charges for invalidating every foreign copy of a shared
+// line; the requester stalls for the farthest acknowledgment.
+func (m *Memory) invalidateCost(core int, ln *line, st *GroupStats) uint64 {
+	mySock := m.topo.SocketOf(core)
+	remote := false
+	local := false
+	for c := range ln.sharers.iter(m.topo.Cores()) {
+		if c == core {
+			continue
+		}
+		if m.topo.SocketOf(c) == mySock {
+			local = true
+		} else {
+			remote = true
+		}
+	}
+	switch {
+	case remote:
+		st.RemoteXfers++
+		return m.costs.RemoteXfer
+	case local:
+		st.LocalXfers++
+		return m.costs.LocalXfer
+	default:
+		st.L1Hits++
+		return m.costs.L1Hit
+	}
+}
+
+// Value accessors used by the simulator's typed operations.
+
+// Get returns the current value of w (no cost; pair with Access).
+func (m *Memory) Get(w Word) uint64 { return m.vals[w] }
+
+// Set assigns the value of w (no cost; pair with Access).
+func (m *Memory) Set(w Word, v uint64) { m.vals[w] = v }
+
+// Stats returns aggregate statistics for the named group, or the zero
+// value if the tag was never allocated.
+func (m *Memory) Stats(tag string) GroupStats {
+	if id, ok := m.groupOf[tag]; ok {
+		return m.groups[id]
+	}
+	return GroupStats{}
+}
+
+// StatsPrefix sums statistics over all groups whose tag starts with
+// prefix (e.g. one lock's words plus its queue nodes).
+func (m *Memory) StatsPrefix(prefix string) GroupStats {
+	var t GroupStats
+	for i, name := range m.groupNames {
+		if strings.HasPrefix(name, prefix) {
+			t.add(m.groups[i])
+		}
+	}
+	return t
+}
+
+// TotalStats sums statistics over all groups.
+func (m *Memory) TotalStats() GroupStats {
+	var t GroupStats
+	for i := range m.groups {
+		t.add(m.groups[i])
+	}
+	return t
+}
+
+// Groups returns the allocation tags seen so far.
+func (m *Memory) Groups() []string { return append([]string(nil), m.groupNames...) }
+
+// Footprint returns the number of simulated bytes allocated.
+func (m *Memory) Footprint() uint64 { return uint64(len(m.lines)) * wordsPerLine * 8 }
+
+func (m *Memory) String() string {
+	return fmt.Sprintf("memsim(%d words, %d lines)", len(m.vals), len(m.lines))
+}
+
+// bitset is a variable-length bitmap of core IDs.
+type bitset struct{ w []uint64 }
+
+func (b *bitset) set(i int) {
+	idx := i >> 6
+	for len(b.w) <= idx {
+		b.w = append(b.w, 0)
+	}
+	b.w[idx] |= 1 << (uint(i) & 63)
+}
+
+func (b *bitset) has(i int) bool {
+	idx := i >> 6
+	return idx < len(b.w) && b.w[idx]&(1<<(uint(i)&63)) != 0
+}
+
+func (b *bitset) reset() {
+	for i := range b.w {
+		b.w[i] = 0
+	}
+}
+
+func (b *bitset) count() int {
+	n := 0
+	for _, w := range b.w {
+		n += bits.OnesCount64(w)
+	}
+	return n
+}
+
+// iter yields the set bits below limit.
+func (b *bitset) iter(limit int) func(func(int) bool) {
+	return func(yield func(int) bool) {
+		for wi, w := range b.w {
+			for w != 0 {
+				bit := bits.TrailingZeros64(w)
+				c := wi<<6 + bit
+				if c >= limit {
+					return
+				}
+				if !yield(c) {
+					return
+				}
+				w &^= 1 << uint(bit)
+			}
+		}
+	}
+}

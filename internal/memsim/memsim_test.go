@@ -1,0 +1,259 @@
+package memsim
+
+import (
+	"testing"
+	"testing/quick"
+
+	"shfllock/internal/topology"
+)
+
+func newMem() *Memory {
+	return New(topology.Reference(), topology.DefaultCosts())
+}
+
+func TestAllocLayout(t *testing.T) {
+	m := newMem()
+	a := m.Alloc("a", 3)
+	if len(a) != 3 {
+		t.Fatalf("Alloc returned %d words", len(a))
+	}
+	// Words of one allocation are contiguous and share a line.
+	if m.LineOf(a[0]) != m.LineOf(a[2]) {
+		t.Errorf("3-word alloc spans lines: %d vs %d", m.LineOf(a[0]), m.LineOf(a[2]))
+	}
+	// A second allocation starts on a fresh line.
+	b := m.Alloc("b", 1)
+	if m.LineOf(b[0]) == m.LineOf(a[0]) {
+		t.Errorf("separate allocs share a line")
+	}
+	// Nine words need two lines.
+	c := m.Alloc("c", 9)
+	if m.LineOf(c[0]) == m.LineOf(c[8]) {
+		t.Errorf("9-word alloc fits one line")
+	}
+	if m.LineOf(c[0]) != m.LineOf(c[7]) {
+		t.Errorf("first 8 words of alloc span lines")
+	}
+}
+
+func TestAllocPadded(t *testing.T) {
+	m := newMem()
+	ws := m.AllocPadded("p", 4)
+	seen := map[int32]bool{}
+	for _, w := range ws {
+		ln := m.LineOf(w)
+		if seen[ln] {
+			t.Fatalf("padded words share line %d", ln)
+		}
+		seen[ln] = true
+	}
+}
+
+func TestReadCosts(t *testing.T) {
+	m := newMem()
+	costs := m.Costs()
+	w := m.AllocWord("w")
+
+	// First access: DRAM fetch.
+	if c := access(m, 0, w, AccessLoad); c != costs.DRAM {
+		t.Errorf("cold load cost = %d, want %d", c, costs.DRAM)
+	}
+	// Re-read by same core: L1 hit.
+	if c := access(m, 0, w, AccessLoad); c != costs.L1Hit {
+		t.Errorf("warm load cost = %d, want %d", c, costs.L1Hit)
+	}
+	// Read by another core on the same socket: local transfer.
+	if c := access(m, 1, w, AccessLoad); c != costs.LocalXfer {
+		t.Errorf("same-socket load cost = %d, want %d", c, costs.LocalXfer)
+	}
+	// Read by a remote-socket core: remote transfer.
+	remote := topology.Reference().CoresPerSocket // first core of socket 1
+	if c := access(m, remote, w, AccessLoad); c != costs.RemoteXfer {
+		t.Errorf("remote load cost = %d, want %d", c, costs.RemoteXfer)
+	}
+	// Now shared by cores 0,1,remote: another same-socket core fetches
+	// from the nearest sharer (local).
+	if c := access(m, 2, w, AccessLoad); c != costs.LocalXfer {
+		t.Errorf("shared local fetch cost = %d, want %d", c, costs.LocalXfer)
+	}
+}
+
+func TestWriteInvalidatesSharers(t *testing.T) {
+	m := newMem()
+	costs := m.Costs()
+	w := m.AllocWord("w")
+	remote := topology.Reference().CoresPerSocket
+
+	access(m, 0, w, AccessLoad)      // shared by 0
+	access(m, remote, w, AccessLoad) // shared by 0, remote
+
+	// Core 0 writes: must invalidate the remote copy.
+	if c := access(m, 0, w, AccessStore); c != costs.RemoteXfer {
+		t.Errorf("write-with-remote-sharer cost = %d, want %d", c, costs.RemoteXfer)
+	}
+	// Remote core reads again: transfer from owner.
+	if c := access(m, remote, w, AccessLoad); c != costs.RemoteXfer {
+		t.Errorf("read-after-invalidate cost = %d, want %d", c, costs.RemoteXfer)
+	}
+}
+
+func TestSoleSharerUpgrade(t *testing.T) {
+	m := newMem()
+	costs := m.Costs()
+	w := m.AllocWord("w")
+	access(m, 3, w, AccessLoad)
+	if c := access(m, 3, w, AccessStore); c != costs.L1Hit {
+		t.Errorf("sole-sharer upgrade cost = %d, want L1 %d", c, costs.L1Hit)
+	}
+	// Now owned: repeated writes are L1 hits.
+	if c := access(m, 3, w, AccessStore); c != costs.L1Hit {
+		t.Errorf("owned store cost = %d, want %d", c, costs.L1Hit)
+	}
+}
+
+func TestRMWCost(t *testing.T) {
+	m := newMem()
+	costs := m.Costs()
+	w := m.AllocWord("w")
+	access(m, 0, w, AccessStore)
+	// Owned RMW: L1 + atomic premium.
+	if c := access(m, 0, w, AccessRMW); c != costs.L1Hit+costs.AtomicExtra {
+		t.Errorf("owned RMW cost = %d, want %d", c, costs.L1Hit+costs.AtomicExtra)
+	}
+	// RMW from another core: transfer + premium. This is why failed TAS
+	// attempts are expensive: the line bounces even when the CAS fails.
+	if c := access(m, 1, w, AccessRMW); c != costs.LocalXfer+costs.AtomicExtra {
+		t.Errorf("stolen RMW cost = %d, want %d", c, costs.LocalXfer+costs.AtomicExtra)
+	}
+}
+
+func TestStatsAccounting(t *testing.T) {
+	m := newMem()
+	w := m.AllocWord("lock")
+	access(m, 0, w, AccessLoad)
+	access(m, 0, w, AccessRMW)
+	access(m, 24, w, AccessRMW)
+	st := m.Stats("lock")
+	if st.Loads != 1 || st.Atomics != 2 {
+		t.Errorf("stats = %+v, want 1 load, 2 atomics", st)
+	}
+	if st.RemoteXfers != 1 {
+		t.Errorf("remote transfers = %d, want 1", st.RemoteXfers)
+	}
+	if got := m.TotalStats(); got != st {
+		t.Errorf("TotalStats %+v != group stats %+v", got, st)
+	}
+	if m.Stats("missing") != (GroupStats{}) {
+		t.Errorf("unknown tag has non-zero stats")
+	}
+}
+
+func TestWatchNotify(t *testing.T) {
+	m := newMem()
+	w := m.AllocWord("w")
+	var fired []int32
+	m.OnWrite = func(ln int32) { fired = append(fired, ln) }
+
+	m.Set(w, 1)
+	m.NotifyWrite(w)
+	if len(fired) != 0 {
+		t.Fatalf("notify fired with no watchers")
+	}
+	m.Watch(w)
+	m.NotifyWrite(w)
+	if len(fired) != 1 || fired[0] != m.LineOf(w) {
+		t.Fatalf("notify did not fire for watched line: %v", fired)
+	}
+	m.Unwatch(w)
+	m.NotifyWrite(w)
+	if len(fired) != 1 {
+		t.Fatalf("notify fired after Unwatch")
+	}
+}
+
+func TestNestedWatch(t *testing.T) {
+	m := newMem()
+	w := m.AllocWord("w")
+	n := 0
+	m.OnWrite = func(int32) { n++ }
+	m.Watch(w)
+	m.Watch(w)
+	m.Unwatch(w)
+	m.NotifyWrite(w)
+	if n != 1 {
+		t.Fatalf("nested watch lost: fired %d times", n)
+	}
+}
+
+func TestFootprint(t *testing.T) {
+	m := newMem()
+	m.Alloc("a", 1)
+	if m.Footprint() != 64 {
+		t.Errorf("1-word footprint = %d, want 64", m.Footprint())
+	}
+	m.Alloc("b", 9)
+	if m.Footprint() != 64*3 {
+		t.Errorf("footprint = %d, want %d", m.Footprint(), 64*3)
+	}
+}
+
+// Property: value semantics — the last Set wins regardless of the access
+// pattern driving coherence, and Access never corrupts values.
+func TestAccessPreservesValues(t *testing.T) {
+	topo := topology.Reference()
+	f := func(ops []uint16, vals []uint64) bool {
+		m := newMem()
+		ws := m.Alloc("w", 4)
+		want := make([]uint64, 4)
+		for i, op := range ops {
+			w := int(op) % 4
+			core := (int(op) / 7) % topo.Cores()
+			kind := AccessKind(int(op) % 3)
+			access(m, core, ws[w], kind)
+			if kind != AccessLoad && len(vals) > 0 {
+				v := vals[i%len(vals)]
+				m.Set(ws[w], v)
+				want[w] = v
+			}
+		}
+		for i := range ws {
+			if m.Get(ws[i]) != want[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: costs are always one of the defined cost levels (plus the
+// atomic premium for RMWs) — no access invents a cost.
+func TestCostLevels(t *testing.T) {
+	topo := topology.Reference()
+	costs := topology.DefaultCosts()
+	valid := map[uint64]bool{
+		costs.L1Hit: true, costs.LocalXfer: true,
+		costs.RemoteXfer: true, costs.DRAM: true,
+	}
+	f := func(ops []uint16) bool {
+		m := newMem()
+		w := m.AllocWord("w")
+		for _, op := range ops {
+			core := int(op) % topo.Cores()
+			kind := AccessKind(int(op) % 3)
+			c := access(m, core, w, kind)
+			if kind == AccessRMW {
+				c -= costs.AtomicExtra
+			}
+			if !valid[c] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,46 @@
+package sim
+
+// cpu models one simulated core: the thread currently holding it plus a
+// FIFO run queue of threads pinned to it that are runnable but descheduled.
+type cpu struct {
+	id     int
+	socket int
+	cur    *Thread
+	runq   []*Thread
+	head   int
+}
+
+func (c *cpu) qlen() int { return len(c.runq) - c.head }
+
+func (c *cpu) enqueue(t *Thread) {
+	c.runq = append(c.runq, t)
+}
+
+func (c *cpu) dequeue() *Thread {
+	if c.qlen() == 0 {
+		return nil
+	}
+	t := c.runq[c.head]
+	c.runq[c.head] = nil
+	c.head++
+	if c.head == len(c.runq) {
+		c.runq = c.runq[:0]
+		c.head = 0
+	}
+	return t
+}
+
+// dispatchNext picks the next runnable thread for the core, charging the
+// context-switch cost before the thread resumes. If the run queue is empty
+// the core goes idle.
+func (c *cpu) dispatchNext(e *Engine) {
+	next := c.dequeue()
+	c.cur = next
+	if next == nil {
+		return
+	}
+	next.state = tsDispatched
+	next.quantumLeft = int64(e.costs.Quantum)
+	next.needResched = false
+	e.push(event{at: e.now + e.costs.CtxSwitch, kind: evResume, t: next, epoch: next.epoch})
+}

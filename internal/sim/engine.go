@@ -1,0 +1,302 @@
+// Package sim is a deterministic discrete-event simulator of a NUMA
+// multiprocessor. Simulated threads are ordinary Go functions that run as
+// goroutines, but the engine executes exactly one of them at a time, handing
+// control back and forth over channels; all simulator state is therefore
+// mutated race-free and every run is bit-reproducible for a given seed.
+//
+// Threads interact with the machine through the Thread API: typed atomic
+// operations on simulated memory words (charged by the memsim cost model),
+// busy-wait primitives that consume CPU quantum, and scheduler calls
+// (park/unpark/yield) that model the kernel's blocking primitives. Lock
+// algorithms from the paper are written against this API in ordinary
+// sequential style.
+package sim
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+
+	"shfllock/internal/memsim"
+	"shfllock/internal/topology"
+)
+
+// Word re-exports memsim.Word so lock implementations only import sim.
+type Word = memsim.Word
+
+// Config parameterizes an Engine.
+type Config struct {
+	Topo  topology.Machine
+	Costs topology.CostModel
+	Seed  int64
+	// HardStop aborts the simulation (panic) if virtual time exceeds this
+	// bound; it guards against livelocked protocols. Zero disables it.
+	HardStop uint64
+}
+
+// Engine owns the virtual clock, the event queue, the simulated memory, and
+// the per-core scheduler state.
+type Engine struct {
+	topo  topology.Machine
+	costs topology.CostModel
+	mem   *memsim.Memory
+
+	now  uint64
+	seq  uint64
+	evq  eventHeap
+	cpus []cpu
+
+	threads []*Thread
+	live    int
+
+	back    chan struct{} // threads signal the engine here
+	running *Thread
+
+	watchers map[int32][]*Thread // cache line -> spin-waiting threads
+
+	stopped  bool
+	hardStop uint64
+	rng      *rand.Rand
+
+	// Counters of scheduler activity, reported by experiments.
+	Preemptions uint64
+	CtxSwitches uint64
+	ParkCount   uint64
+	UnparkCount uint64
+	YieldCount  uint64
+	started     bool
+}
+
+// NewEngine builds an engine for the given machine.
+func NewEngine(cfg Config) *Engine {
+	if err := cfg.Topo.Validate(); err != nil {
+		panic(err)
+	}
+	if cfg.Costs == (topology.CostModel{}) {
+		cfg.Costs = topology.DefaultCosts()
+	}
+	if err := cfg.Costs.Validate(); err != nil {
+		panic(err)
+	}
+	e := &Engine{
+		topo:     cfg.Topo,
+		costs:    cfg.Costs,
+		mem:      memsim.New(cfg.Topo, cfg.Costs),
+		back:     make(chan struct{}),
+		watchers: make(map[int32][]*Thread),
+		hardStop: cfg.HardStop,
+		rng:      rand.New(rand.NewSource(cfg.Seed)),
+	}
+	e.cpus = make([]cpu, cfg.Topo.Cores())
+	for i := range e.cpus {
+		e.cpus[i] = cpu{id: i, socket: cfg.Topo.SocketOf(i)}
+	}
+	return e
+}
+
+// Mem exposes the simulated memory for allocation and statistics.
+func (e *Engine) Mem() *memsim.Memory { return e.mem }
+
+// Topology returns the simulated machine layout.
+func (e *Engine) Topology() topology.Machine { return e.topo }
+
+// Costs returns the cost model in effect.
+func (e *Engine) Costs() topology.CostModel { return e.costs }
+
+// Now returns the current virtual time in cycles.
+func (e *Engine) Now() uint64 { return e.now }
+
+// Stopped reports whether the stop flag has been raised.
+func (e *Engine) Stopped() bool { return e.stopped }
+
+// Threads returns all spawned threads.
+func (e *Engine) Threads() []*Thread { return e.threads }
+
+// Spawn creates a simulated thread pinned to the given core. Threads must
+// be spawned before Run. Pass core -1 to pin round-robin by spawn order,
+// which matches how the paper's benchmarks pin threads (over-subscription
+// lands thread N on core N mod cores).
+func (e *Engine) Spawn(name string, core int, fn func(*Thread)) *Thread {
+	if e.started {
+		panic("sim: Spawn after Run")
+	}
+	if core < 0 {
+		core = len(e.threads) % len(e.cpus)
+	}
+	if core >= len(e.cpus) {
+		panic(fmt.Sprintf("sim: core %d out of range", core))
+	}
+	t := &Thread{
+		id:        len(e.threads),
+		name:      name,
+		eng:       e,
+		cpu:       &e.cpus[core],
+		resume:    make(chan struct{}),
+		state:     tsReady,
+		watchLine: -1,
+		rng:       rand.New(rand.NewSource(e.rng.Int63())),
+	}
+	e.threads = append(e.threads, t)
+	e.live++
+	t.cpu.enqueue(t)
+	go t.run(fn)
+	return t
+}
+
+// StopAt raises the stop flag at the given virtual time. Workloads poll
+// Thread.Stopped and exit their measurement loops; the run then drains.
+func (e *Engine) StopAt(at uint64) {
+	e.push(event{at: at, kind: evStop})
+}
+
+func (e *Engine) push(ev event) {
+	ev.seq = e.seq
+	e.seq++
+	e.evq.push(ev)
+}
+
+// Run executes the simulation until every thread has finished. It panics on
+// deadlock (live threads but no pending events) and on HardStop overrun.
+func (e *Engine) Run() {
+	if e.started {
+		panic("sim: Run called twice")
+	}
+	e.started = true
+	e.mem.OnWrite = e.onWrite
+	for i := range e.cpus {
+		c := &e.cpus[i]
+		if c.qlen() > 0 {
+			c.dispatchNext(e)
+		}
+	}
+	for e.live > 0 {
+		if len(e.evq) == 0 {
+			panic("sim: deadlock — live threads but no pending events\n" + e.dump())
+		}
+		ev := e.evq.pop()
+		if ev.at < e.now {
+			panic("sim: time went backwards")
+		}
+		e.now = ev.at
+		if e.hardStop > 0 && e.now > e.hardStop {
+			panic("sim: hard stop exceeded — livelocked protocol?\n" + e.dump())
+		}
+		switch ev.kind {
+		case evStop:
+			e.stopped = true
+		case evResume:
+			t := ev.t
+			if t.epoch != ev.epoch {
+				continue // stale
+			}
+			e.transfer(t)
+		case evPreempt:
+			t := ev.t
+			if t.epoch != ev.epoch || t.state != tsSpinWait {
+				continue
+			}
+			// Hand the CPU back to the spin-waiting thread with
+			// needResched raised: transfer's spin-wait bookkeeping zeroes
+			// its quantum, so the thread's next scheduling check parks,
+			// yields, or rescheds it (kernel-style preemption point).
+			e.transfer(t)
+		case evWake:
+			t := ev.t
+			if t.epoch != ev.epoch || t.state != tsWaking {
+				continue
+			}
+			e.makeRunnable(t)
+		}
+	}
+}
+
+// transfer gives the CPU to t until it blocks again.
+func (e *Engine) transfer(t *Thread) {
+	t.epoch++
+	if t.state == tsSpinWait {
+		// Woken by a write to the watched line: account the time spent
+		// spinning against the quantum and detach from the watch set.
+		t.quantumLeft = t.spinQuantum - int64(e.now-t.spinStart)
+		if t.quantumLeft <= 0 {
+			t.needResched = true
+		}
+		t.detachWatch()
+	}
+	t.state = tsRunning
+	e.running = t
+	t.resume <- struct{}{}
+	<-e.back
+	e.running = nil
+}
+
+// makeRunnable places a woken thread on its core's run queue, dispatching
+// immediately if the core is idle and arranging preemption of a spinner
+// whose quantum has expired.
+func (e *Engine) makeRunnable(t *Thread) {
+	t.state = tsReady
+	t.epoch++
+	c := t.cpu
+	c.enqueue(t)
+	switch {
+	case c.cur == nil:
+		e.CtxSwitches++
+		c.dispatchNext(e)
+	case c.cur.state == tsSpinWait:
+		e.schedulePreempt(c.cur)
+	}
+}
+
+// schedulePreempt arms a preemption event for a spin-waiting thread at the
+// moment its remaining quantum runs out.
+func (e *Engine) schedulePreempt(t *Thread) {
+	rem := t.spinQuantum - int64(e.now-t.spinStart)
+	if rem < 0 {
+		rem = 0
+	}
+	e.push(event{at: e.now + uint64(rem), kind: evPreempt, t: t, epoch: t.epoch})
+}
+
+// onWrite is installed as the memory's write callback; it wakes every
+// thread spin-waiting on the written line.
+func (e *Engine) onWrite(line int32) {
+	ws := e.watchers[line]
+	if len(ws) == 0 {
+		return
+	}
+	delete(e.watchers, line)
+	for _, t := range ws {
+		if t.state != tsSpinWait || t.watchLine != line {
+			continue // stale entry: the thread was preempted or moved on
+		}
+		e.push(event{at: e.now + e.costs.SpinRecheck, kind: evResume, t: t, epoch: t.epoch})
+	}
+}
+
+// threadDone is called (from the thread goroutine) when a thread's function
+// returns.
+func (e *Engine) threadDone(t *Thread) {
+	t.state = tsDone
+	t.epoch++
+	e.live--
+	if t.cpu.cur == t {
+		e.CtxSwitches++
+		t.cpu.dispatchNext(e)
+	}
+}
+
+// dump renders scheduler state for deadlock diagnostics.
+func (e *Engine) dump() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "t=%d live=%d\n", e.now, e.live)
+	for _, t := range e.threads {
+		if t.state == tsDone {
+			continue
+		}
+		fmt.Fprintf(&b, "  thread %d %q core=%d state=%v", t.id, t.name, t.cpu.id, t.state)
+		if t.state == tsSpinWait && t.watchLine >= 0 {
+			fmt.Fprintf(&b, " watching w%d=%d (%s)", t.watchWord, e.mem.Peek(t.watchWord), e.mem.TagOf(t.watchWord))
+		}
+		fmt.Fprintf(&b, "\n")
+	}
+	return b.String()
+}

@@ -1,0 +1,74 @@
+package sim
+
+// eventKind discriminates the engine's event types.
+type eventKind uint8
+
+const (
+	// evResume hands the CPU back to a thread that is waiting inside one
+	// of its blocking primitives (charge, watch-wait, dispatch).
+	evResume eventKind = iota
+	// evPreempt forcibly deschedules a spin-waiting thread whose quantum
+	// has expired while other threads wait on its core's run queue.
+	evPreempt
+	// evWake makes a previously parked thread runnable after the wakeup
+	// latency has elapsed.
+	evWake
+	// evStop sets the engine's stop flag; workloads poll Thread.Stopped.
+	evStop
+)
+
+type event struct {
+	at    uint64
+	seq   uint64 // tie-breaker: FIFO among simultaneous events
+	kind  eventKind
+	t     *Thread
+	epoch uint64
+}
+
+// eventHeap is a binary min-heap ordered by (at, seq).
+type eventHeap []event
+
+func (h *eventHeap) push(ev event) {
+	*h = append(*h, ev)
+	i := len(*h) - 1
+	for i > 0 {
+		p := (i - 1) / 2
+		if !less((*h)[i], (*h)[p]) {
+			break
+		}
+		(*h)[i], (*h)[p] = (*h)[p], (*h)[i]
+		i = p
+	}
+}
+
+func (h *eventHeap) pop() event {
+	old := *h
+	top := old[0]
+	n := len(old) - 1
+	old[0] = old[n]
+	*h = old[:n]
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		m := i
+		if l < n && less(old[l], old[m]) {
+			m = l
+		}
+		if r < n && less(old[r], old[m]) {
+			m = r
+		}
+		if m == i {
+			break
+		}
+		old[i], old[m] = old[m], old[i]
+		i = m
+	}
+	return top
+}
+
+func less(a, b event) bool {
+	if a.at != b.at {
+		return a.at < b.at
+	}
+	return a.seq < b.seq
+}

@@ -1,0 +1,13 @@
+package simlocks
+
+import (
+	"testing"
+
+	"shfllock/internal/topology"
+)
+
+func TestDbgShflB96(t *testing.T) {
+	shflTrace = []string{}
+	defer func() { shflTrace = nil }()
+	runContention(t, withOracle(ShflLockBMaker()), topology.Reference(), 96, 40)
+}

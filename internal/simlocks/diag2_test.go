@@ -1,0 +1,59 @@
+package simlocks
+
+import (
+	"fmt"
+	"testing"
+
+	"shfllock/internal/sim"
+	"shfllock/internal/topology"
+)
+
+// TestDiagMWRLRegime profiles lock behavior in the MWRL-like regime:
+// private per-thread CS data, ~600-cycle critical sections.
+func TestDiagMWRLRegime(t *testing.T) {
+	if testing.Short() {
+		t.Skip("calibration helper")
+	}
+	topo := topology.Reference()
+	for _, mk := range []Maker{QSpinLockMaker(), CNAMaker(), ShflLockNBMaker()} {
+		e := sim.NewEngine(sim.Config{Topo: topo, Seed: 1, HardStop: 8_000_000_000_000})
+		l := mk.New(e, "lock")
+		var seq []int
+		priv := make([][]sim.Word, 192)
+		for i := range priv {
+			priv[i] = e.Mem().Alloc("priv", 3)
+		}
+		for i := 0; i < 192; i++ {
+			e.Spawn("w", -1, func(th *sim.Thread) {
+				th.Delay(uint64(th.Rng().Intn(100_000)))
+				for k := 0; k < 40; k++ {
+					th.Delay(250) // lookup
+					l.Lock(th)
+					seq = append(seq, th.Socket())
+					for _, w := range priv[th.ID()] {
+						th.Store(w, th.Load(w)+1)
+					}
+					th.Delay(100)
+					l.Unlock(th)
+					th.Delay(uint64(100 + th.Rng().Intn(100)))
+				}
+			})
+		}
+		e.Run()
+		same := 0
+		for i := 1; i < len(seq); i++ {
+			if seq[i] == seq[i-1] {
+				same++
+			}
+		}
+		st := StatsOf(l)
+		lockStats := e.Mem().Stats("lock")
+		qnodeStats := e.Mem().Stats("lock/qnode")
+		acq := float64(st.Acquires)
+		fmt.Printf("%-16s same=%4.1f%% dur=%4.1fM  lock:remote/acq=%.2f local/acq=%.2f atomics/acq=%.2f  qnode:remote/acq=%.2f local/acq=%.2f  shuffles=%d moves=%d\n",
+			mk.Name, 100*float64(same)/float64(len(seq)-1), float64(e.Now())/1e6,
+			float64(lockStats.RemoteXfers)/acq, float64(lockStats.LocalXfers)/acq, float64(lockStats.Atomics)/acq,
+			float64(qnodeStats.RemoteXfers)/acq, float64(qnodeStats.LocalXfers)/acq,
+			st.Shuffles, st.ShuffleMoves)
+	}
+}

@@ -1,0 +1,60 @@
+package simlocks
+
+import (
+	"fmt"
+	"testing"
+
+	"shfllock/internal/sim"
+	"shfllock/internal/topology"
+)
+
+func TestDiagSocketBatching(t *testing.T) {
+	if testing.Short() {
+		t.Skip("calibration helper")
+	}
+	topo := topology.Reference()
+	for _, mk := range []Maker{MCSMaker(), CNAMaker(), ShflLockNBMaker()} {
+		e := sim.NewEngine(sim.Config{Topo: topo, Seed: 1, HardStop: 4_000_000_000_000})
+		l := mk.New(e, "lock")
+		var seq []int
+		data := e.Mem().Alloc("csdata", 4)
+		for i := 0; i < 192; i++ {
+			e.Spawn("w", -1, func(th *sim.Thread) {
+				th.Delay(uint64(th.Rng().Intn(100_000))) // scramble arrival order
+				for k := 0; k < 100; k++ {
+					l.Lock(th)
+					seq = append(seq, th.Socket())
+					for _, w := range data {
+						th.Store(w, th.Load(w)+1)
+					}
+					th.Delay(uint64(2500 + th.Rng().Intn(1000)))
+					l.Unlock(th)
+					th.Delay(uint64(800 + th.Rng().Intn(400)))
+				}
+			})
+		}
+		e.Run()
+		same := 0
+		var windows []float64
+		ws, wn := 0, 0
+		for i := 1; i < len(seq); i++ {
+			if seq[i] == seq[i-1] {
+				same++
+				ws++
+			}
+			wn++
+			if wn == 2000 {
+				windows = append(windows, 100*float64(ws)/float64(wn))
+				ws, wn = 0, 0
+			}
+		}
+		fmt.Printf("  windows: %.0f\n", windows)
+		st := StatsOf(l)
+		lockStats := e.Mem().Stats("lock")
+		qnodeStats := e.Mem().Stats("lock/qnode")
+		fmt.Printf("%-14s same-socket handoffs: %4.1f%%  shuffles=%d moves=%d scanned=%d marked=%d  lockline remote/acq=%.2f qnode remote/acq=%.2f  dur=%dM\n",
+			mk.Name, 100*float64(same)/float64(len(seq)-1), st.Shuffles, st.ShuffleMoves, st.ShuffleScanned, st.ShuffleMarked,
+			float64(lockStats.RemoteXfers)/float64(st.Acquires),
+			float64(qnodeStats.RemoteXfers)/float64(st.Acquires), e.Now()/1_000_000)
+	}
+}

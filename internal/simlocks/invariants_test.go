@@ -1,0 +1,55 @@
+package simlocks
+
+import (
+	"testing"
+
+	"shfllock/internal/sim"
+	"shfllock/internal/topology"
+)
+
+// withOracle wraps a ShflLock maker so the single-active-shuffler invariant
+// (invariant 2 of §4.2.1) is asserted throughout the run.
+func withOracle(mk Maker) Maker {
+	orig := mk.New
+	mk.New = func(e *sim.Engine, tag string) Lock {
+		l := orig(e, tag).(*ShflLock)
+		l.roleOracle = true
+		return l
+	}
+	return mk
+}
+
+// TestShflSingleShufflerInvariant runs the NB and B locks at scale with the
+// role oracle armed; any moment with two active shufflers panics.
+func TestShflSingleShufflerInvariant(t *testing.T) {
+	runContention(t, withOracle(ShflLockNBMaker()), topology.Reference(), 96, 40)
+	runContention(t, withOracle(ShflLockBMaker()), topology.Reference(), 96, 40)
+}
+
+// TestShflSingleShufflerOversubscribed arms the oracle with parking in play.
+func TestShflSingleShufflerOversubscribed(t *testing.T) {
+	topo := topology.Laptop()
+	mk := withOracle(ShflLockBMaker())
+	e := sim.NewEngine(sim.Config{Topo: topo, Seed: 11, HardStop: 8_000_000_000_000})
+	l := mk.New(e, "lock")
+	for i := 0; i < 4*topo.Cores(); i++ {
+		e.Spawn("w", -1, func(th *sim.Thread) {
+			th.Delay(uint64(th.Rng().Intn(100_000)))
+			for k := 0; k < 80; k++ {
+				l.Lock(th)
+				th.Delay(uint64(800 + th.Rng().Intn(800)))
+				l.Unlock(th)
+				th.Delay(uint64(th.Rng().Intn(400)))
+			}
+		})
+	}
+	e.Run()
+}
+
+// TestShflAblationInvariants arms the oracle for each factor-analysis
+// variant.
+func TestShflAblationInvariants(t *testing.T) {
+	for stage := 0; stage < 4; stage++ {
+		runContention(t, withOracle(ShflLockAblationMaker(stage)), topology.Reference(), 48, 20)
+	}
+}

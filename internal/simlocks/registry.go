@@ -1,0 +1,75 @@
+package simlocks
+
+// AllMutexMakers returns every mutual-exclusion lock the suite implements,
+// in a stable order.
+func AllMutexMakers() []Maker {
+	return []Maker{
+		TASMaker(),
+		TicketMaker(),
+		MCSMaker(),
+		QSpinLockMaker(),
+		CNAMaker(),
+		CohortMaker(),
+		HMCSMaker(),
+		CSTMaker(),
+		MalthusianMaker(),
+		MCSTPMaker(),
+		PthreadMaker(),
+		MutexeeMaker(),
+		LinuxMutexMaker(),
+		ShflLockNBMaker(),
+		ShflLockBMaker(),
+	}
+}
+
+// AllRWMakers returns every readers-writer lock the suite implements.
+func AllRWMakers() []RWMaker {
+	return []RWMaker{
+		RWSemMaker(),
+		CohortRWMaker(),
+		CSTRWMaker(),
+		ShflRWMaker(),
+		BravoMaker(RWSemMaker()),
+		BravoMaker(ShflRWMaker()),
+	}
+}
+
+// MakerByName finds a mutex maker by its name.
+func MakerByName(name string) (Maker, bool) {
+	for _, m := range AllMutexMakers() {
+		if m.Name == name {
+			return m, true
+		}
+	}
+	switch name {
+	case "mcs-heap":
+		return MCSHeapMaker(), true
+	case "cna-heap":
+		return CNAHeapMaker(), true
+	case "hmcs-heap":
+		return HMCSHeapMaker(), true
+	case "shfllock-b-numa":
+		return ShflLockBNUMAStealMaker(), true
+	case "shfl-base":
+		return ShflLockAblationMaker(0), true
+	case "shfl+shuffler":
+		return ShflLockAblationMaker(1), true
+	case "shfl+shufflers":
+		return ShflLockAblationMaker(2), true
+	case "shfl+qlast":
+		return ShflLockAblationMaker(3), true
+	case "shfllock-prio":
+		return ShflLockPriorityMaker(), true
+	}
+	return Maker{}, false
+}
+
+// RWMakerByName finds a readers-writer maker by its name.
+func RWMakerByName(name string) (RWMaker, bool) {
+	for _, m := range AllRWMakers() {
+		if m.Name == name {
+			return m, true
+		}
+	}
+	return RWMaker{}, false
+}

@@ -1,0 +1,25 @@
+package simlocks
+
+import (
+	"fmt"
+	"testing"
+
+	"shfllock/internal/topology"
+)
+
+// TestShapeExploration prints throughput curves for manual calibration; it
+// is skipped unless -run ShapeExploration is requested explicitly with -v.
+func TestShapeExploration(t *testing.T) {
+	if testing.Short() {
+		t.Skip("calibration helper")
+	}
+	topo := topology.Reference()
+	for _, mk := range []Maker{TASMaker(), TicketMaker(), MCSMaker(), QSpinLockMaker(), CNAMaker(), ShflLockNBMaker(), ShflLockBMaker()} {
+		fmt.Printf("%-16s", mk.Name)
+		for _, n := range []int{1, 2, 8, 24, 48, 96, 192} {
+			tp := throughput(t, mk, topo, n, 2000/n+20)
+			fmt.Printf(" %7.0f", tp*1000)
+		}
+		fmt.Println()
+	}
+}

@@ -1,0 +1,625 @@
+package simlocks
+
+import (
+	"fmt"
+
+	"shfllock/internal/sim"
+)
+
+// shflTrace, when non-nil, receives protocol events for debugging.
+var shflTrace []string
+
+func strace(format string, args ...any) {
+	if shflTrace != nil {
+		shflTrace = append(shflTrace, fmt.Sprintf(format, args...))
+		if len(shflTrace) > 400 {
+			shflTrace = shflTrace[200:]
+		}
+	}
+}
+
+// ShflLock queue-node status values (Figures 4 and 6 of the paper).
+const (
+	sWaiting  = 0 // spinning on the node, may park (blocking variant)
+	sReady    = 1 // at the head of the queue; go take the TAS lock
+	sParked   = 2 // descheduled; must be woken by SWAP/CAS + unpark
+	sSpinning = 3 // marked by a shuffler: keep spinning, lock is near
+)
+
+// ShflLock queue-node field offsets.
+const (
+	shStatus = iota
+	shNext
+	shSocket
+	shBatch
+	shShuffler
+	shLastHint // +qlast optimization: where the previous shuffler stopped
+	shPrio     // waiter priority, used by the priority policy (§7)
+	shWords
+)
+
+// glock bit layout: byte 0 = locked, bit 8 = no-stealing.
+const (
+	shLocked  = 1
+	shNoSteal = 1 << 8
+)
+
+// maxShuffles caps how many waiters one socket may batch before the
+// shuffler must stand down, bounding unfairness to remote sockets
+// (MAX_SHUFFLES = 1024 in the paper's pseudocode). Long batches make the
+// fairness factor look high over millisecond measurement windows — the
+// paper measures 30-second runs — but they are what keeps throughput flat
+// under over-subscription.
+const maxShuffles = 1024
+
+// shufflePoll paces a shuffler's retry loop while it has not yet found a
+// same-socket successor (the real implementation busy-polls the queue).
+const shufflePoll = 300
+
+// ShflLock is the paper's lock: a TAS lock guarding the critical section
+// plus an MCS-style waiter queue whose *waiters* reorder it (shuffling)
+// according to a policy — here NUMA grouping, plus wakeup hints in the
+// blocking variant. The lock state is decoupled from the queue: the holder
+// releases its queue node before entering the critical section, TryLock is
+// a single CAS, and the TAS path permits stealing.
+//
+// Policy knobs reproduce the factor analysis of Figure 11(e):
+//
+//	PolicyShuffle=false                 -> "Base" (NUMA-oblivious)
+//	PassRole=false                      -> "+Shuffler" (head shuffles only)
+//	PassRole=true                       -> "+Shufflers"
+//	OptQlast=true                       -> "+qlast"
+type ShflLock struct {
+	e     *sim.Engine
+	glock sim.Word
+	tail  sim.Word
+	nodes *nodeTable
+
+	// Blocking selects the ShflLock^B behaviour of Figure 6/7: waiters
+	// park under over-subscription, shufflers wake sleepers, stealing
+	// stays enabled.
+	Blocking bool
+
+	PolicyShuffle bool
+	PassRole      bool
+	OptQlast      bool
+
+	// StealLocalOnly restricts TAS stealing to threads on the same socket
+	// as the previous holder (the "ShflLock (NUMA)" variant of Fig 11d).
+	StealLocalOnly bool
+	lastSocket     sim.Word
+
+	// PolicyMatch, when non-nil, replaces the NUMA grouping predicate:
+	// the shuffler groups candidate waiters for which it returns true
+	// directly behind its shuffled chain. This is the §7 extension point
+	// ("shuffling ... gives us the freedom to design and multiplex new
+	// policies"); see ShflLockPriorityMaker for a priority policy that
+	// counters priority inversion.
+	PolicyMatch func(t *sim.Thread, shuffler, candidate []sim.Word) bool
+
+	// prios holds per-thread priorities for the priority policy.
+	prios map[int]uint64
+
+	// roleOracle, when enabled, tracks which thread handle holds the
+	// shuffler role and panics on a duplicate (debug assertion only; it
+	// is engine metadata, not simulated state).
+	roleOracle bool
+	roleHolder uint64
+	cnt        Counters
+}
+
+// NewShflLockNB creates the non-blocking ShflLock with all optimizations.
+func NewShflLockNB(e *sim.Engine, tag string) *ShflLock {
+	return newShfl(e, tag, false)
+}
+
+// NewShflLockB creates the blocking ShflLock with all optimizations.
+func NewShflLockB(e *sim.Engine, tag string) *ShflLock {
+	return newShfl(e, tag, true)
+}
+
+func newShfl(e *sim.Engine, tag string, blocking bool) *ShflLock {
+	ws := e.Mem().Alloc(tag, 2)
+	l := &ShflLock{
+		e: e, glock: ws[0], tail: ws[1],
+		Blocking:      blocking,
+		PolicyShuffle: true,
+		PassRole:      true,
+		OptQlast:      true,
+	}
+	l.nodes = newNodeTable(e, tag, shWords, &l.cnt)
+	return l
+}
+
+func (l *ShflLock) Name() string {
+	if l.Blocking {
+		return "shfllock-b"
+	}
+	return "shfllock-nb"
+}
+
+// Stats returns the lock's counters.
+func (l *ShflLock) Stats() *Counters { return &l.cnt }
+
+// giveRole is the single point where the shuffler flag is set; the oracle
+// asserts role uniqueness.
+func (l *ShflLock) giveRole(t *sim.Thread, to uint64, why string) {
+	if l.roleOracle {
+		if l.roleHolder != 0 && l.roleHolder != to && l.roleHolder != handle(t) {
+			panic(fmt.Sprintf("shfllock: duplicate role: T%d gives role to T%d (%s) while T%d holds it\n%v",
+				t.ID(), to-1, why, l.roleHolder-1, shflTrace))
+		}
+		l.roleHolder = to
+		strace("t=%d T%d role -> T%d (%s)", t.Now(), t.ID(), to-1, why)
+	}
+	t.Store(l.node(to)[shShuffler], 1)
+}
+
+// takeRole is called at shuffle start when the flag is consumed.
+func (l *ShflLock) takeRole(t *sim.Thread) {
+	if l.roleOracle {
+		if l.roleHolder != 0 && l.roleHolder != handle(t) {
+			panic(fmt.Sprintf("shfllock: T%d shuffles but role is at T%d\n%v", t.ID(), l.roleHolder-1, shflTrace))
+		}
+		l.roleHolder = handle(t)
+	}
+}
+
+func (l *ShflLock) node(h uint64) []sim.Word {
+	return l.nodes.get(threadOf(l.e, h))
+}
+
+// trySteal attempts the TAS fast path (also the stealing path).
+func (l *ShflLock) trySteal(t *sim.Thread) bool {
+	if t.Load(l.glock) != 0 {
+		return false
+	}
+	if l.StealLocalOnly && l.lastSocket != 0 {
+		if t.Load(l.lastSocket) != uint64(t.Socket())+1 && l.e.Mem().Peek(l.tail) != 0 {
+			return false
+		}
+	}
+	if t.CAS(l.glock, 0, shLocked) {
+		if l.StealLocalOnly && l.lastSocket != 0 {
+			t.Store(l.lastSocket, uint64(t.Socket())+1)
+		}
+		if l.e.Mem().Peek(l.tail) != 0 {
+			l.cnt.Steals++
+		}
+		return true
+	}
+	return false
+}
+
+// Lock acquires the lock (Figure 4 spin_lock / Figure 6 mutex_lock).
+func (l *ShflLock) Lock(t *sim.Thread) {
+	if l.trySteal(t) {
+		l.cnt.Acquires++
+		return
+	}
+
+	// Join the waiter queue; the qnode lives on the waiter's stack.
+	n := l.nodes.get(t)
+	t.Store(n[shStatus], sWaiting)
+	t.Store(n[shNext], 0)
+	t.Store(n[shSocket], uint64(t.Socket()))
+	t.Store(n[shBatch], 0)
+	t.Store(n[shShuffler], 0)
+	t.Store(n[shLastHint], 0)
+	if l.prios != nil {
+		t.Store(n[shPrio], l.prios[t.ID()])
+	}
+
+	prev := t.Swap(l.tail, handle(t))
+	strace("t=%d T%d join prev=T%d", t.Now(), t.ID(), prev-1)
+	if prev != 0 {
+		l.spinUntilVeryNextWaiter(t, prev, n)
+	} else if !l.Blocking {
+		// Disable stealing to preserve FIFO while a queue exists. The
+		// blocking variant skips this (optimization 1, §4.2.2): waking a
+		// waiter can take up to 10ms, so stealing keeps the lock live.
+		t.FetchOr(l.glock, shNoSteal)
+	}
+
+	if l.Blocking {
+		// Figure 7: proactively put the successor in spinning mode and
+		// wake it if parked, off the critical path, so the head handoff
+		// after our critical section does not need a wakeup.
+		if qnext := t.Load(n[shNext]); qnext != 0 {
+			l.setSpinning(t, qnext, false)
+		}
+	}
+
+	// Head of the queue: shuffle, then take the TAS lock (Figure 4 lines
+	// 20-30). The shuffler's exit condition fires as soon as the lock is
+	// free, so a shuffle on the handoff path costs at most one scanned
+	// node — the transient price of sorting the queue. An unproductive
+	// head keeps the role without rescanning; it relays role and frontier
+	// to its successor when it acquires.
+	roleMine := false
+	for {
+		if !roleMine && (t.Load(n[shBatch]) == 0 || t.Load(n[shShuffler]) != 0) {
+			roleMine = l.shuffleWaiters(t, n, true)
+		}
+		x := t.Load(l.glock)
+		if x&0xff == 0 {
+			if t.CAS(l.glock, x, x|shLocked) {
+				break
+			}
+			continue
+		}
+		t.WatchWait(l.glock, x)
+	}
+	if l.StealLocalOnly && l.lastSocket != 0 {
+		t.Store(l.lastSocket, uint64(t.Socket())+1)
+	}
+
+	// MCS unlock phase, moved to the acquire side (lock-state decoupling):
+	// release the queue node before entering the critical section.
+	next := t.Load(n[shNext])
+	if next == 0 {
+		if t.CAS(l.tail, handle(t), 0) {
+			// The queue is empty: if we still held the shuffler role it
+			// dies with the queue.
+			if l.roleOracle && l.roleHolder == handle(t) {
+				l.roleHolder = 0
+			}
+			if !l.Blocking {
+				// Re-enable stealing now that the queue is empty.
+				x := t.Load(l.glock)
+				if x&shNoSteal != 0 {
+					t.CAS(l.glock, x, x&^uint64(shNoSteal))
+				}
+			}
+			l.cnt.Acquires++
+			return
+		}
+		next = t.SpinUntil(n[shNext], func(v uint64) bool { return v != 0 })
+	}
+	if next == handle(t) {
+		panic(fmt.Sprintf("shfllock: T%d granting itself\n%v", t.ID(), shflTrace))
+	}
+	strace("t=%d T%d acquired; grant head to T%d", t.Now(), t.ID(), next-1)
+	// If we still hold the shuffler role (our scan never found a local
+	// waiter), relay it — with the scan frontier — to our successor, so
+	// traversal resumes near where it stopped instead of restarting
+	// (invariant 4: a shuffler may pass the role to one of its
+	// successors; this is what makes +qlast "traverse mostly from the
+	// near end of the tail"). These stores happen while we hold the TAS
+	// lock, off the handoff path.
+	if l.PassRole && (roleMine || l.e.Mem().Peek(n[shShuffler]) != 0) {
+		if l.OptQlast {
+			// Forward the frontier only if it names a node that is still
+			// queued behind the recipient: not the recipient, and not
+			// ourselves (we are about to leave the queue).
+			if h := t.Load(n[shLastHint]); h != 0 && h != next && h != handle(t) {
+				t.Store(l.node(next)[shLastHint], h)
+			}
+		}
+		l.giveRole(t, next, "relay")
+	} else if l.roleOracle && l.roleHolder == handle(t) {
+		// Leaving the queue while holding the role without relaying it
+		// (PassRole disabled, or the role was never ours): it dies here.
+		l.roleHolder = 0
+	}
+	// Notify the very next waiter that it is now the queue head.
+	if l.Blocking {
+		old := t.Swap(l.node(next)[shStatus], sReady)
+		if old == sParked {
+			// Rare thanks to the Figure 7 optimization; this is the
+			// wakeup-inside-the-critical-path that Figure 11(f) counts.
+			l.cnt.WakeupsInCS++
+			t.Unpark(threadOf(l.e, next))
+		}
+	} else {
+		t.Store(l.node(next)[shStatus], sReady)
+	}
+	l.cnt.Acquires++
+}
+
+// Unlock releases the TAS lock with a byte store (Figure 4 spin_unlock).
+func (l *ShflLock) Unlock(t *sim.Thread) {
+	t.StorePartial(l.glock, 0xff, 0)
+}
+
+// TryLock is a single compare-and-swap thanks to lock-state decoupling.
+func (l *ShflLock) TryLock(t *sim.Thread) bool {
+	if t.Load(l.glock) == 0 && t.CAS(l.glock, 0, shLocked) {
+		l.cnt.TrySuccess++
+		l.cnt.Acquires++
+		return true
+	}
+	l.cnt.TryFail++
+	return false
+}
+
+// spinUntilVeryNextWaiter links into the predecessor and spins until
+// granted head status, shuffling when handed the role, and parking under
+// over-subscription in the blocking variant.
+func (l *ShflLock) spinUntilVeryNextWaiter(t *sim.Thread, prev uint64, n []sim.Word) {
+	t.Store(l.node(prev)[shNext], handle(t))
+	for {
+		v := t.Load(n[shStatus])
+		if v == sReady {
+			return
+		}
+		if t.Load(n[shShuffler]) != 0 {
+			l.shuffleWaiters(t, n, false)
+			if t.Load(n[shShuffler]) != 0 {
+				// Still holding the role after an unproductive scan:
+				// pace the retry loop (the real shuffler busy-polls).
+				t.Delay(shufflePoll)
+			}
+			continue
+		}
+		if l.Blocking && v == sWaiting && t.NeedResched() {
+			// Scheduling-aware parking: park only when the core is
+			// over-subscribed, otherwise just yield (§4.2 "Scheduling-
+			// aware parking strategy").
+			if t.NrRunning() > 1 {
+				if t.CAS(n[shStatus], sWaiting, sParked) {
+					l.cnt.Parks++
+					t.Park()
+				}
+				continue
+			}
+			t.Yield()
+			continue
+		}
+		t.WatchWait(n[shStatus], v)
+	}
+}
+
+// setSpinning moves a waiter to the spinning state, waking it if parked.
+// Used by shufflers (off the critical path) and by the Figure 7 successor
+// pre-wake.
+func (l *ShflLock) setSpinning(t *sim.Thread, h uint64, byShuffler bool) {
+	st := l.node(h)[shStatus]
+	if t.CAS(st, sWaiting, sSpinning) {
+		return
+	}
+	if t.CAS(st, sParked, sSpinning) {
+		l.cnt.WakeupsOffCS++
+		_ = byShuffler
+		t.Unpark(threadOf(l.e, h))
+	}
+}
+
+// shuffleWaiters is the shuffling mechanism (Figure 4, lines 59-108, plus
+// the +qlast traversal-resumption optimization): the shuffler walks the
+// queue grouping waiters of its own socket immediately behind the already-
+// shuffled chain, then passes the shuffler role to the last grouped waiter.
+func (l *ShflLock) shuffleWaiters(t *sim.Thread, n []sim.Word, vnextWaiter bool) (retained bool) {
+	if !l.PolicyShuffle {
+		t.Store(n[shShuffler], 0)
+		return false
+	}
+	l.cnt.Shuffles++
+	me := handle(t)
+	qlast := me
+	qprev := me
+
+	batch := t.Load(n[shBatch])
+	if batch == 0 {
+		batch++
+		t.Store(n[shBatch], batch)
+	}
+	l.takeRole(t)
+	// The shuffler is decided at the end, so clear our own flag.
+	t.Store(n[shShuffler], 0)
+	if batch >= maxShuffles {
+		if l.roleOracle {
+			l.roleHolder = 0
+		}
+		return false // no more batching: avoid starving remote sockets
+	}
+	if l.Blocking && !vnextWaiter {
+		// We will soon acquire the lock: make sure we never park. If the
+		// grant raced with us, put it back — the granter has already left
+		// the queue and will not write our status again.
+		if old := t.Swap(n[shStatus], sSpinning); old == sReady {
+			t.Store(n[shStatus], sReady)
+		}
+	}
+	mySkt := uint64(t.Socket())
+	if l.OptQlast {
+		if h := t.Load(n[shLastHint]); h != 0 {
+			qprev = h // resume where the previous shuffler stopped
+		}
+	}
+	for {
+		qcurr := t.Load(l.node(qprev)[shNext])
+		strace("t=%d T%d scan qprev=T%d qcurr=T%d qlast=T%d vnext=%v", t.Now(), t.ID(), qprev-1, qcurr-1, qlast-1, vnextWaiter)
+		if qcurr == 0 {
+			break
+		}
+		// The pseudocode compares qcurr against lock.tail so the scan
+		// never moves a node a joiner may be linking behind. The
+		// qnext==0 guard below covers the same hazard without re-reading
+		// the contended lock line: a node with a non-nil next is no
+		// longer the tail.
+		if qcurr == me {
+			panic(fmt.Sprintf("shfllock: T%d scan reached itself (qprev=T%d)\n%v", t.ID(), qprev-1, shflTrace))
+		}
+		cn := l.node(qcurr)
+		l.cnt.ShuffleScanned++
+		match := t.Load(cn[shSocket]) == mySkt
+		if l.PolicyMatch != nil {
+			match = l.PolicyMatch(t, n, cn)
+		}
+		if match {
+			// The contiguous case applies only when qcurr directly
+			// follows our shuffled chain (for a fresh scan this is
+			// exactly the pseudocode's qprev.skt == qnode.skt test; with
+			// +qlast scan resumption it must be the chain end itself, or
+			// the marked chain would fragment and the shuffler-role
+			// handoff would lose its single-shuffler invariant).
+			if qprev == qlast {
+				// Contiguous same-socket chain: just mark it.
+				batch++
+				t.Store(cn[shBatch], batch)
+				if l.Blocking {
+					l.setSpinning(t, qcurr, true)
+				}
+				l.cnt.ShuffleMarked++
+				qlast = qcurr
+				qprev = qcurr
+			} else {
+				// Remote waiters sit between the chain and qcurr: move
+				// qcurr to the end of the shuffled chain.
+				qnext := t.Load(cn[shNext])
+				if qnext == 0 {
+					break
+				}
+				batch++
+				t.Store(cn[shBatch], batch)
+				if l.Blocking {
+					l.setSpinning(t, qcurr, true)
+				}
+				t.Store(l.node(qprev)[shNext], qnext)
+				t.Store(cn[shNext], t.Load(l.node(qlast)[shNext]))
+				t.Store(l.node(qlast)[shNext], qcurr)
+				strace("t=%d T%d MOVE T%d after T%d (qprev=T%d qnext=T%d)", t.Now(), t.ID(), qcurr-1, qlast-1, qprev-1, qnext-1)
+				qlast = qcurr
+				l.cnt.ShuffleMoves++
+			}
+		} else {
+			qprev = qcurr
+		}
+		// Exit: the TAS lock is free and we are the queue head, or a
+		// predecessor made us the head.
+		if vnextWaiter && t.Load(l.glock)&0xff == 0 {
+			break
+		}
+		if !vnextWaiter && t.Load(n[shStatus]) == sReady {
+			break
+		}
+	}
+
+	if qlast == me {
+		// No local waiter found yet: the role stays with us, resuming the
+		// scan where it stopped ("the shuffler keeps retrying to find a
+		// waiter from the same socket"). A waiting (non-head) shuffler
+		// re-arms its flag and polls; the head retains the role silently
+		// and relays it to its successor at acquisition, so the handoff
+		// path is not burdened with a rescan per lock transition.
+		if l.OptQlast && qprev != me {
+			t.Store(n[shLastHint], qprev)
+		}
+		if !vnextWaiter {
+			l.giveRole(t, me, "self-retry")
+		} else if l.roleOracle {
+			l.roleHolder = handle(t)
+		}
+		return true
+	}
+	if l.OptQlast && qprev != qlast {
+		t.Store(l.node(qlast)[shLastHint], qprev)
+	}
+	if l.PassRole {
+		l.giveRole(t, qlast, "pass-qlast")
+	} else if l.roleOracle {
+		l.roleHolder = 0
+	}
+	return false
+}
+
+// ShflLockNBMaker registers the non-blocking ShflLock.
+func ShflLockNBMaker() Maker {
+	return Maker{
+		Name: "shfllock-nb",
+		Kind: NonBlocking,
+		New:  func(e *sim.Engine, tag string) Lock { return NewShflLockNB(e, tag) },
+		Footprint: func(int) Footprint {
+			return Footprint{PerLock: 12, PerWaiter: 28, PerHolder: 0}
+		},
+	}
+}
+
+// ShflLockBMaker registers the blocking ShflLock.
+func ShflLockBMaker() Maker {
+	return Maker{
+		Name: "shfllock-b",
+		Kind: Blocking,
+		New:  func(e *sim.Engine, tag string) Lock { return NewShflLockB(e, tag) },
+		Footprint: func(int) Footprint {
+			return Footprint{PerLock: 12, PerWaiter: 28, PerHolder: 0}
+		},
+	}
+}
+
+// ShflLockBNUMAStealMaker registers the blocking variant that restricts
+// stealing to the previous holder's socket (Figure 11d "ShflLock (NUMA)").
+func ShflLockBNUMAStealMaker() Maker {
+	return Maker{
+		Name: "shfllock-b-numa",
+		Kind: Blocking,
+		New: func(e *sim.Engine, tag string) Lock {
+			l := NewShflLockB(e, tag)
+			l.StealLocalOnly = true
+			l.lastSocket = e.Mem().AllocWord(tag + "/lastskt")
+			return l
+		},
+		Footprint: func(int) Footprint {
+			return Footprint{PerLock: 12, PerWaiter: 28, PerHolder: 0}
+		},
+	}
+}
+
+// ShflLockAblationMaker builds the Figure 11(e) factor-analysis variants.
+// stage: 0=Base, 1=+Shuffler, 2=+Shufflers, 3=+qlast.
+func ShflLockAblationMaker(stage int) Maker {
+	names := []string{"shfl-base", "shfl+shuffler", "shfl+shufflers", "shfl+qlast"}
+	return Maker{
+		Name: names[stage],
+		Kind: NonBlocking,
+		New: func(e *sim.Engine, tag string) Lock {
+			l := NewShflLockNB(e, tag)
+			l.PolicyShuffle = stage >= 1
+			l.PassRole = stage >= 2
+			l.OptQlast = stage >= 3
+			return l
+		},
+		Footprint: func(int) Footprint {
+			return Footprint{PerLock: 12, PerWaiter: 28, PerHolder: 0}
+		},
+	}
+}
+
+// SetPriority records the scheduling priority the priority policy uses for
+// the given thread (higher is more urgent). Only effective on locks built
+// by ShflLockPriorityMaker.
+func (l *ShflLock) SetPriority(threadID int, prio uint64) {
+	if l.prios == nil {
+		l.prios = make(map[int]uint64)
+	}
+	l.prios[threadID] = prio
+}
+
+// ShflLockPriorityMaker builds a non-blocking ShflLock whose shuffling
+// policy groups waiters with higher priority than the shuffler directly
+// behind the shuffled chain — the priority-inversion counter-measure the
+// paper sketches in §7. Ties fall back to NUMA grouping, so the lock keeps
+// its locality when priorities are uniform.
+func ShflLockPriorityMaker() Maker {
+	return Maker{
+		Name: "shfllock-prio",
+		Kind: NonBlocking,
+		New: func(e *sim.Engine, tag string) Lock {
+			l := NewShflLockNB(e, tag)
+			l.prios = make(map[int]uint64)
+			l.PolicyMatch = func(t *sim.Thread, shuffler, candidate []sim.Word) bool {
+				sp := t.Load(shuffler[shPrio])
+				cp := t.Load(candidate[shPrio])
+				if cp != sp {
+					return cp > sp
+				}
+				return t.Load(candidate[shSocket]) == uint64(t.Socket())
+			}
+			return l
+		},
+		Footprint: func(int) Footprint {
+			return Footprint{PerLock: 12, PerWaiter: 32, PerHolder: 0}
+		},
+	}
+}

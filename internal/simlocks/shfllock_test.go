@@ -1,0 +1,140 @@
+package simlocks
+
+import (
+	"testing"
+
+	"shfllock/internal/sim"
+	"shfllock/internal/topology"
+)
+
+func TestShflLockNBMutualExclusion(t *testing.T) {
+	runContention(t, ShflLockNBMaker(), topology.Laptop(), 8, 60)
+	runContention(t, ShflLockNBMaker(), topology.Reference(), 48, 20)
+}
+
+func TestShflLockBMutualExclusion(t *testing.T) {
+	runContention(t, ShflLockBMaker(), topology.Laptop(), 8, 60)
+	runContention(t, ShflLockBMaker(), topology.Reference(), 48, 20)
+}
+
+func TestShflLockBOversubscribed(t *testing.T) {
+	// 4x oversubscription: parking must engage and nothing may deadlock.
+	topo := topology.Laptop()
+	mk := ShflLockBMaker()
+	e := sim.NewEngine(sim.Config{Topo: topo, Seed: 5, HardStop: 3_000_000_000_000})
+	l := mk.New(e, "lock")
+	inCS := 0
+	n := 4 * topo.Cores()
+	for i := 0; i < n; i++ {
+		e.Spawn("w", -1, func(th *sim.Thread) {
+			for k := 0; k < 120; k++ {
+				l.Lock(th)
+				inCS++
+				if inCS != 1 {
+					t.Errorf("mutual exclusion violated")
+				}
+				th.Delay(1200)
+				inCS--
+				l.Unlock(th)
+				th.Delay(500)
+			}
+		})
+	}
+	e.Run()
+	if st := StatsOf(l); st.Parks == 0 {
+		t.Errorf("no waiter ever parked under 4x oversubscription")
+	}
+}
+
+func TestCNAMutualExclusion(t *testing.T) {
+	runContention(t, CNAMaker(), topology.Laptop(), 8, 60)
+	runContention(t, CNAMaker(), topology.Reference(), 48, 20)
+}
+
+func TestQSpinLockMutualExclusion(t *testing.T) {
+	runContention(t, QSpinLockMaker(), topology.Laptop(), 8, 60)
+	runContention(t, QSpinLockMaker(), topology.Reference(), 48, 20)
+}
+
+func TestShflLockAblations(t *testing.T) {
+	for stage := 0; stage < 4; stage++ {
+		runContention(t, ShflLockAblationMaker(stage), topology.Reference(), 48, 15)
+	}
+}
+
+func TestShflLockNUMAStealVariant(t *testing.T) {
+	runContention(t, ShflLockBNUMAStealMaker(), topology.Reference(), 48, 15)
+}
+
+func TestShflLockShufflingHappens(t *testing.T) {
+	mk := ShflLockNBMaker()
+	e := sim.NewEngine(sim.Config{Topo: topology.Reference(), Seed: 2, HardStop: 2_000_000_000_000})
+	l := mk.New(e, "lock")
+	for i := 0; i < 96; i++ {
+		e.Spawn("w", -1, func(th *sim.Thread) {
+			for k := 0; k < 20; k++ {
+				l.Lock(th)
+				th.Delay(uint64(300 + th.Rng().Intn(500)))
+				l.Unlock(th)
+				// Random think time mixes socket order in the queue.
+				th.Delay(uint64(th.Rng().Intn(3000)))
+			}
+		})
+	}
+	e.Run()
+	st := StatsOf(l)
+	if st.Shuffles == 0 || st.ShuffleMoves == 0 {
+		t.Errorf("no shuffling activity: %+v", st)
+	}
+}
+
+// TestPriorityPolicy exercises the §7 extension: with the priority policy,
+// high-priority threads must complete more acquisitions per unit time than
+// low-priority ones, while the plain NUMA lock treats them equally.
+func TestPriorityPolicy(t *testing.T) {
+	run := func(mk Maker) (hi, lo float64) {
+		e := sim.NewEngine(sim.Config{Topo: topology.Reference(), Seed: 4, HardStop: 4_000_000_000_000})
+		l := mk.New(e, "lock")
+		ops := make([]uint64, 16)
+		for i := 0; i < 16; i++ {
+			id := i
+			th := e.Spawn("w", -1, func(th *sim.Thread) {
+				th.Delay(uint64(th.Rng().Intn(50_000)))
+				for !th.Stopped() {
+					l.Lock(th)
+					th.Delay(800)
+					l.Unlock(th)
+					th.Delay(300)
+					ops[id]++
+				}
+			})
+			if pl, ok := l.(*ShflLock); ok && pl.PolicyMatch != nil {
+				prio := uint64(0)
+				if id < 4 {
+					prio = 10 // threads 0-3 are high priority
+				}
+				pl.SetPriority(th.ID(), prio)
+			}
+		}
+		e.StopAt(4_000_000)
+		e.Run()
+		var h, lo2 uint64
+		for i, v := range ops {
+			if i < 4 {
+				h += v
+			} else {
+				lo2 += v
+			}
+		}
+		return float64(h) / 4, float64(lo2) / 12
+	}
+
+	hi, lo := run(ShflLockPriorityMaker())
+	if hi < 1.5*lo {
+		t.Errorf("priority policy ineffective: hi=%.0f lo=%.0f ops/thread", hi, lo)
+	}
+	hiN, loN := run(ShflLockNBMaker())
+	if hiN > 1.4*loN || loN > 1.4*hiN {
+		t.Errorf("NUMA lock should be priority-neutral: hi=%.0f lo=%.0f", hiN, loN)
+	}
+}

@@ -1,0 +1,112 @@
+// Package stats provides the metrics the paper's evaluation reports:
+// throughput series, the long-term fairness factor of Dice & Kogan, and
+// simple aggregation helpers.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+// FairnessFactor implements the metric of Figure 11(b)/(d) (Dice et al.):
+// sort per-thread operation counts ascending and divide the sum of the
+// upper half by the total. A strictly fair lock yields 0.5; a lock that
+// starves half its threads approaches 1.0.
+func FairnessFactor(opsPerThread []uint64) float64 {
+	if len(opsPerThread) < 2 {
+		return 0.5 // fairness is undefined for a single thread
+	}
+	s := append([]uint64(nil), opsPerThread...)
+	sort.Slice(s, func(i, j int) bool { return s[i] < s[j] })
+	var total, upper uint64
+	for i, v := range s {
+		total += v
+		if i >= len(s)/2 {
+			upper += v
+		}
+	}
+	if total == 0 {
+		return 0.5
+	}
+	return float64(upper) / float64(total)
+}
+
+// Throughput converts an operation count over a virtual duration in cycles
+// into operations per simulated second, assuming the given clock in GHz.
+func Throughput(ops uint64, cycles uint64, ghz float64) float64 {
+	if cycles == 0 {
+		return 0
+	}
+	return float64(ops) / (float64(cycles) / (ghz * 1e9))
+}
+
+// Series is one labelled curve of an experiment figure: y values indexed
+// by the sweep's x values.
+type Series struct {
+	Label string
+	X     []int
+	Y     []float64
+}
+
+// Table renders one or more series as an aligned text table, x values as
+// rows and series as columns — the textual equivalent of a paper figure.
+func Table(xName, yName string, series []Series) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-10s", xName)
+	for _, s := range series {
+		fmt.Fprintf(&b, " %16s", s.Label)
+	}
+	fmt.Fprintf(&b, "   (%s)\n", yName)
+	if len(series) == 0 {
+		return b.String()
+	}
+	for i, x := range series[0].X {
+		fmt.Fprintf(&b, "%-10d", x)
+		for _, s := range series {
+			if i < len(s.Y) {
+				fmt.Fprintf(&b, " %16s", formatY(s.Y[i]))
+			} else {
+				fmt.Fprintf(&b, " %16s", "-")
+			}
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+func formatY(v float64) string {
+	switch {
+	case v == 0:
+		return "0"
+	case math.Abs(v) >= 1e6:
+		return fmt.Sprintf("%.3gM", v/1e6)
+	case math.Abs(v) >= 1e3:
+		return fmt.Sprintf("%.3gK", v/1e3)
+	case math.Abs(v) < 10:
+		return fmt.Sprintf("%.3f", v)
+	default:
+		return fmt.Sprintf("%.1f", v)
+	}
+}
+
+// GeoMeanSpeedup returns the geometric-mean ratio of a over b, for
+// summarizing "X is N times faster than Y" claims across a sweep.
+func GeoMeanSpeedup(a, b []float64) float64 {
+	if len(a) != len(b) || len(a) == 0 {
+		return math.NaN()
+	}
+	sum := 0.0
+	n := 0
+	for i := range a {
+		if b[i] > 0 && a[i] > 0 {
+			sum += math.Log(a[i] / b[i])
+			n++
+		}
+	}
+	if n == 0 {
+		return math.NaN()
+	}
+	return math.Exp(sum / float64(n))
+}

@@ -1,0 +1,77 @@
+package stats
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestFairnessFactorExtremes(t *testing.T) {
+	if f := FairnessFactor([]uint64{100, 100, 100, 100}); math.Abs(f-0.5) > 1e-9 {
+		t.Errorf("fair factor = %v, want 0.5", f)
+	}
+	if f := FairnessFactor([]uint64{0, 0, 100, 100}); math.Abs(f-1.0) > 1e-9 {
+		t.Errorf("starved factor = %v, want 1.0", f)
+	}
+	if f := FairnessFactor(nil); f != 0.5 {
+		t.Errorf("empty factor = %v, want 0.5", f)
+	}
+	if f := FairnessFactor([]uint64{0, 0}); f != 0.5 {
+		t.Errorf("zero-ops factor = %v, want 0.5", f)
+	}
+}
+
+// Property: the fairness factor is always in [0.5, 1] (up to odd-length
+// median placement) and is scale-invariant.
+func TestFairnessFactorProperties(t *testing.T) {
+	f := func(ops []uint64) bool {
+		for i := range ops {
+			ops[i] %= 1 << 20 // avoid overflow when summing
+		}
+		v := FairnessFactor(ops)
+		if v < 0.45 || v > 1.0 {
+			return false
+		}
+		scaled := make([]uint64, len(ops))
+		for i := range ops {
+			scaled[i] = ops[i] * 3
+		}
+		return math.Abs(FairnessFactor(scaled)-v) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestThroughput(t *testing.T) {
+	// 1000 ops in 2.2e9 cycles at 2.2GHz = 1000 ops/sec.
+	if got := Throughput(1000, 2_200_000_000, 2.2); math.Abs(got-1000) > 1e-6 {
+		t.Errorf("throughput = %v, want 1000", got)
+	}
+	if got := Throughput(5, 0, 2.2); got != 0 {
+		t.Errorf("zero-cycle throughput = %v", got)
+	}
+}
+
+func TestTable(t *testing.T) {
+	out := Table("threads", "ops/s", []Series{
+		{Label: "mcs", X: []int{1, 2}, Y: []float64{1500000, 2.5}},
+		{Label: "tas", X: []int{1, 2}, Y: []float64{900, 0}},
+	})
+	for _, want := range []string{"threads", "mcs", "tas", "1.5M", "2.500", "900", "ops/s"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("table missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestGeoMeanSpeedup(t *testing.T) {
+	v := GeoMeanSpeedup([]float64{2, 8}, []float64{1, 2})
+	if math.Abs(v-math.Sqrt(8)) > 1e-9 {
+		t.Errorf("geomean = %v, want sqrt(8)", v)
+	}
+	if !math.IsNaN(GeoMeanSpeedup(nil, nil)) {
+		t.Errorf("empty geomean should be NaN")
+	}
+}

@@ -1,0 +1,92 @@
+// Package topology describes the simulated machine: how many sockets, how
+// many cores per socket, and what memory operations cost depending on where
+// the accessed cache line currently lives.
+//
+// The reference machine mirrors the paper's evaluation box: an 8-socket,
+// 192-core Intel Xeon E7-8890 v4 (24 cores per socket, hyperthreading
+// disabled). The cost model encodes the asymmetry the paper relies on: a
+// remote-socket cache-line transfer costs roughly 3x an intra-socket
+// transfer, which in turn costs an order of magnitude more than an L1 hit
+// (David et al., SOSP'13).
+package topology
+
+import "fmt"
+
+// Machine describes the core/socket layout of a simulated NUMA machine.
+type Machine struct {
+	Sockets        int // number of NUMA sockets
+	CoresPerSocket int // physical cores on each socket
+}
+
+// Cores returns the total number of cores in the machine.
+func (m Machine) Cores() int { return m.Sockets * m.CoresPerSocket }
+
+// SocketOf returns the socket that owns the given core.
+func (m Machine) SocketOf(core int) int { return core / m.CoresPerSocket }
+
+// Validate reports whether the machine description is usable.
+func (m Machine) Validate() error {
+	if m.Sockets <= 0 || m.CoresPerSocket <= 0 {
+		return fmt.Errorf("topology: invalid machine %d sockets x %d cores", m.Sockets, m.CoresPerSocket)
+	}
+	return nil
+}
+
+func (m Machine) String() string {
+	return fmt.Sprintf("%d-socket/%d-core", m.Sockets, m.Cores())
+}
+
+// Reference returns the paper's evaluation machine: 8 sockets x 24 cores.
+func Reference() Machine { return Machine{Sockets: 8, CoresPerSocket: 24} }
+
+// Laptop returns a small 2-socket machine, useful for quick tests.
+func Laptop() Machine { return Machine{Sockets: 2, CoresPerSocket: 4} }
+
+// CostModel gives the cost, in CPU cycles, of the events the simulator
+// charges for. All costs are approximations of a ~2.2GHz Xeon; only the
+// ratios matter for reproducing the paper's result shapes.
+type CostModel struct {
+	// Cache hierarchy.
+	L1Hit       uint64 // load/store hitting the local cache
+	LocalXfer   uint64 // cache-line transfer from a core on the same socket
+	RemoteXfer  uint64 // cache-line transfer from a core on another socket
+	DRAM        uint64 // line not cached anywhere
+	AtomicExtra uint64 // additional cost of a locked RMW over a plain store
+	SpinRecheck uint64 // re-check cost when a watched line changes
+
+	// Scheduler.
+	Quantum     uint64 // scheduling quantum before preemption
+	CtxSwitch   uint64 // context-switch cost charged on dispatch
+	WakeLatency uint64 // delay between wake_up_task and the task being runnable
+	WakeCost    uint64 // cost charged to the waker for issuing a wakeup
+	ParkCost    uint64 // cost charged to a thread for descheduling itself
+}
+
+// DefaultCosts returns the cost model used by all experiments.
+func DefaultCosts() CostModel {
+	return CostModel{
+		L1Hit:       4,
+		LocalXfer:   44,
+		RemoteXfer:  130,
+		DRAM:        200,
+		AtomicExtra: 12,
+		SpinRecheck: 8,
+
+		Quantum:     1_000_000, // ~0.45ms at 2.2GHz
+		CtxSwitch:   4_000,
+		WakeLatency: 6_000, // ~2.7us; real futex wakes range 1us-10ms
+		WakeCost:    1_500,
+		ParkCost:    2_500,
+	}
+}
+
+// Validate reports whether the cost model is usable.
+func (c CostModel) Validate() error {
+	if c.L1Hit == 0 || c.LocalXfer == 0 || c.RemoteXfer == 0 || c.DRAM == 0 {
+		return fmt.Errorf("topology: cost model has zero memory costs")
+	}
+	if c.Quantum == 0 {
+		return fmt.Errorf("topology: cost model has zero quantum")
+	}
+	return nil
+}

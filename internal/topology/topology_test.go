@@ -1,0 +1,70 @@
+package topology
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestReferenceMachine(t *testing.T) {
+	m := Reference()
+	if m.Cores() != 192 {
+		t.Errorf("reference cores = %d, want 192", m.Cores())
+	}
+	if m.SocketOf(0) != 0 || m.SocketOf(23) != 0 || m.SocketOf(24) != 1 || m.SocketOf(191) != 7 {
+		t.Errorf("socket mapping wrong")
+	}
+	if err := m.Validate(); err != nil {
+		t.Errorf("reference machine invalid: %v", err)
+	}
+}
+
+func TestValidate(t *testing.T) {
+	if err := (Machine{}).Validate(); err == nil {
+		t.Error("zero machine should be invalid")
+	}
+	if err := (Machine{Sockets: -1, CoresPerSocket: 4}).Validate(); err == nil {
+		t.Error("negative sockets should be invalid")
+	}
+	if err := Laptop().Validate(); err != nil {
+		t.Errorf("laptop invalid: %v", err)
+	}
+}
+
+func TestCostModelValidate(t *testing.T) {
+	if err := DefaultCosts().Validate(); err != nil {
+		t.Errorf("default costs invalid: %v", err)
+	}
+	if err := (CostModel{}).Validate(); err == nil {
+		t.Error("zero cost model should be invalid")
+	}
+	c := DefaultCosts()
+	c.Quantum = 0
+	if err := c.Validate(); err == nil {
+		t.Error("zero quantum should be invalid")
+	}
+}
+
+func TestCostOrdering(t *testing.T) {
+	c := DefaultCosts()
+	if !(c.L1Hit < c.LocalXfer && c.LocalXfer < c.RemoteXfer && c.RemoteXfer <= c.DRAM) {
+		t.Errorf("cost hierarchy violated: %+v", c)
+	}
+	// The paper's cited ratio: remote approx 3x local.
+	ratio := float64(c.RemoteXfer) / float64(c.LocalXfer)
+	if ratio < 2 || ratio > 4 {
+		t.Errorf("remote/local ratio = %.2f, want ~3", ratio)
+	}
+}
+
+// Property: SocketOf is total and within range for every valid machine.
+func TestSocketOfProperty(t *testing.T) {
+	f := func(s, c uint8, core uint16) bool {
+		m := Machine{Sockets: int(s%8) + 1, CoresPerSocket: int(c%32) + 1}
+		k := int(core) % m.Cores()
+		sk := m.SocketOf(k)
+		return sk >= 0 && sk < m.Sockets
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,237 @@
+package workloads
+
+import (
+	"fmt"
+
+	"shfllock/internal/alloc"
+	"shfllock/internal/fs"
+	"shfllock/internal/sim"
+	"shfllock/internal/simlocks"
+)
+
+// KernelLocks selects the kernel lock implementations an application model
+// runs with, mirroring Table 2: replacing the spinlock only (CNA), the
+// blocking locks (CST/Cohort), or everything (ShflLock).
+type KernelLocks struct {
+	Name  string
+	Spin  simlocks.Maker   // qspinlock replacement
+	Mutex simlocks.Maker   // mutex replacement
+	RW    simlocks.RWMaker // rwsem replacement
+}
+
+// StockKernel returns the baseline Linux lock set.
+func StockKernel() KernelLocks {
+	return KernelLocks{
+		Name:  "stock",
+		Spin:  simlocks.QSpinLockMaker(),
+		Mutex: simlocks.LinuxMutexMaker(),
+		RW:    simlocks.RWSemMaker(),
+	}
+}
+
+// CNAKernel replaces only the spinlock (CNA modifies qspinlock).
+func CNAKernel() KernelLocks {
+	k := StockKernel()
+	k.Name = "cna"
+	k.Spin = simlocks.CNAMaker()
+	return k
+}
+
+// CohortKernel replaces the blocking locks with cohort locks.
+func CohortKernel() KernelLocks {
+	k := StockKernel()
+	k.Name = "cohort"
+	k.Mutex = simlocks.CohortMaker()
+	k.RW = simlocks.CohortRWMaker()
+	return k
+}
+
+// CSTKernel replaces the blocking locks with CST locks.
+func CSTKernel() KernelLocks {
+	k := StockKernel()
+	k.Name = "cst"
+	k.Mutex = simlocks.CSTMaker()
+	k.RW = simlocks.CSTRWMaker()
+	return k
+}
+
+// ShflKernel replaces all locks with the ShflLock family.
+func ShflKernel() KernelLocks {
+	return KernelLocks{
+		Name:  "shfllock",
+		Spin:  simlocks.ShflLockNBMaker(),
+		Mutex: simlocks.ShflLockBMaker(),
+		RW:    simlocks.ShflRWMaker(),
+	}
+}
+
+// AllKernels returns the kernel lock sets of Figure 10.
+func AllKernels() []KernelLocks {
+	return []KernelLocks{StockKernel(), CNAKernel(), CSTKernel(), CohortKernel(), ShflKernel()}
+}
+
+// taskBytes approximates a task_struct + mm_struct allocation whose size
+// includes the embedded blocking locks.
+func (k KernelLocks) taskBytes(sockets int) uint64 {
+	return 1600 + uint64(k.Mutex.Footprint(sockets).PerLock) + uint64(k.RW.Footprint(sockets).PerLock)
+}
+
+// AFL models the fuzzer of Figure 10(a): an embarrassingly parallel fork +
+// file-churn + gettimeofday workload. One operation is one test-case
+// execution.
+func AFL(p Params, k KernelLocks) Result {
+	p = p.withDefaults()
+	e := sim.NewEngine(sim.Config{Topo: p.Topo, Seed: p.Seed, HardStop: hardStop(p)})
+	al := alloc.New(e)
+	f := fs.New(e, al, fs.Config{RW: k.RW, Mutex: k.Mutex, Spin: k.Spin})
+	sockets := p.Topo.Sockets
+
+	// Kernel-global structures the workload contends on.
+	tasklist := k.Spin.New(e, "kernel/tasklist_lock")
+	timekeeper := e.Mem().AllocWord("kernel/timekeeper")
+
+	dirs := make([]*fs.Inode, p.Threads)
+	h := newHarness(p, e)
+	h.spawnWorkers(func(t *sim.Thread, id int) {
+		dirs[id] = f.Mkdir(t, f.Root, fmt.Sprintf("afl%d", id))
+	}, func(t *sim.Thread, id, k2 int) {
+		// fork(): process-tree spinlock + task/mm allocation.
+		tasklist.Lock(t)
+		t.Delay(600)
+		tasklist.Unlock(t)
+		al.Alloc(t, k.taskBytes(sockets))
+
+		// Run the test case; AFL logs timestamps constantly.
+		t.Delay(4000)
+		for i := 0; i < 4; i++ {
+			t.Load(timekeeper) // vDSO gettimeofday: read-shared line
+			t.Delay(150)
+		}
+
+		// The fuzzing loop creates and unlinks files in its private dir.
+		name := fs.MustName(id, k2%64)
+		f.Create(t, dirs[id], name, 1)
+		f.Unlink(t, dirs[id], name)
+
+		// Periodically scan sibling instances' directories.
+		if k2%16 == 0 {
+			for j := 0; j < 3; j++ {
+				f.Readdir(t, dirs[(id+j+1)%p.Threads], 8)
+			}
+		}
+
+		// exit(): tree lock again, free the task.
+		tasklist.Lock(t)
+		t.Delay(400)
+		tasklist.Unlock(t)
+		al.Free(t, k.taskBytes(sockets))
+	})
+	res := h.run()
+	res.LockBytes = f.LockBytesLive + uint64(p.Threads)*uint64(k.Mutex.Footprint(sockets).PerLock+k.RW.Footprint(sockets).PerLock)
+	res.AllocBytes = al.BytesTotal
+	return res
+}
+
+// Exim models the mail server of Figure 10(b): fork-heavy message delivery
+// creating three files per message across spool directories. One operation
+// is one delivered message.
+func Exim(p Params, k KernelLocks) Result {
+	p = p.withDefaults()
+	e := sim.NewEngine(sim.Config{Topo: p.Topo, Seed: p.Seed, HardStop: hardStop(p)})
+	al := alloc.New(e)
+	f := fs.New(e, al, fs.Config{RW: k.RW, Mutex: k.Mutex, Spin: k.Spin})
+	sockets := p.Topo.Sockets
+
+	tasklist := k.Spin.New(e, "kernel/tasklist_lock")
+	// Reverse-mapping (anon_vma) spinlocks, sharded as in the kernel.
+	rmap := make([]simlocks.Lock, 8)
+	for i := range rmap {
+		rmap[i] = k.Spin.New(e, fmt.Sprintf("kernel/anon_vma%d", i))
+	}
+
+	const spoolDirs = 16
+	spool := make([]*fs.Inode, spoolDirs)
+	h := newHarness(p, e)
+	h.spawnWorkers(func(t *sim.Thread, id int) {
+		if id == 0 {
+			for i := range spool {
+				spool[i] = f.Mkdir(t, f.Root, fmt.Sprintf("spool%d", i))
+			}
+		}
+	}, func(t *sim.Thread, id, k2 int) {
+		// Each connection forks three times (daemon -> delivery -> local).
+		for i := 0; i < 3; i++ {
+			tasklist.Lock(t)
+			t.Delay(600)
+			tasklist.Unlock(t)
+			al.Alloc(t, k.taskBytes(sockets))
+		}
+		// Three files per message in hashed spool directories.
+		name := fs.MustName(id, k2)
+		d1 := spool[(id+k2)%spoolDirs]
+		d2 := spool[(id+k2+7)%spoolDirs]
+		f.Create(t, d1, name+"-H", 1)
+		f.Create(t, d2, name+"-D", 2)
+		f.Create(t, d1, name+"-J", 0)
+		// Deliver, then clean up.
+		t.Delay(3000)
+		f.Unlink(t, d1, name+"-H")
+		f.Unlink(t, d2, name+"-D")
+		f.Unlink(t, d1, name+"-J")
+		// Process exit: reverse-mapping teardown + frees.
+		for i := 0; i < 3; i++ {
+			lk := rmap[(id+i)%len(rmap)]
+			lk.Lock(t)
+			t.Delay(500)
+			lk.Unlock(t)
+			al.Free(t, k.taskBytes(sockets))
+		}
+	})
+	res := h.run()
+	res.LockBytes = f.LockBytesLive + uint64(p.Threads)*3*uint64(k.Mutex.Footprint(sockets).PerLock+k.RW.Footprint(sockets).PerLock)
+	res.AllocBytes = al.BytesTotal
+	return res
+}
+
+// Metis models the map-reduce framework of Figure 10(c): a page-fault storm
+// on the reader side of a single mmap_sem. One operation is one page fault.
+func Metis(p Params, k KernelLocks) Result {
+	p = p.withDefaults()
+	e := sim.NewEngine(sim.Config{Topo: p.Topo, Seed: p.Seed, HardStop: hardStop(p)})
+	al := alloc.New(e)
+	sockets := p.Topo.Sockets
+
+	mmapSem := k.RW.New(e, "kernel/mmap_sem")
+	pageData := e.Mem().AllocPadded("mm/pages", 32)
+
+	h := newHarness(p, e)
+	h.spawnWorkers(nil, func(t *sim.Thread, id, k2 int) {
+		if k2%512 == 511 {
+			// Occasional mmap growing the heap: writer side.
+			mmapSem.Lock(t)
+			t.Delay(1500)
+			mmapSem.Unlock(t)
+			return
+		}
+		// Page fault: read side of mmap_sem; pages come from the per-CPU
+		// page cache (refilled from the shared allocator periodically, as
+		// the kernel's pcp lists do, so the buddy allocator is not the
+		// bottleneck the way slab is in the fs workloads).
+		mmapSem.RLock(t)
+		t.Load(pageData[(id+k2)%32])
+		if k2%16 == 0 {
+			al.Alloc(t, 16*4096)
+		}
+		t.Delay(1200)
+		mmapSem.RUnlock(t)
+		t.Delay(uint64(300 + t.Rng().Intn(300))) // user-space map work
+		if k2%16 == 0 {
+			al.Free(t, 16*4096)
+		}
+	})
+	res := h.run()
+	res.LockBytes = uint64(k.RW.Footprint(sockets).PerLock)
+	res.AllocBytes = al.BytesTotal
+	addLockCounters(&res, mmapSem)
+	return res
+}

@@ -1,0 +1,135 @@
+package workloads
+
+import (
+	"shfllock/internal/sim"
+	"shfllock/internal/simlocks"
+)
+
+// Lock1 is the will-it-scale lock1 microbenchmark: threads hammer a single
+// lock with an almost-empty critical section (Figure 8, right panel).
+func Lock1(p Params, mk simlocks.Maker) Result {
+	p = p.withDefaults()
+	e := sim.NewEngine(sim.Config{Topo: p.Topo, Seed: p.Seed, HardStop: hardStop(p)})
+	l := mk.New(e, "lock1")
+	shared := e.Mem().AllocWord("lock1/data")
+	h := newHarness(p, e)
+	h.spawnWorkers(nil, func(t *sim.Thread, id, k int) {
+		l.Lock(t)
+		t.Store(shared, t.Load(shared)+1)
+		t.Delay(300)
+		l.Unlock(t)
+		t.Delay(uint64(100 + t.Rng().Intn(100)))
+	})
+	res := h.run()
+	addLockCounters(&res, l)
+	return res
+}
+
+// hashTableParams sizes the Figure 11 nano-benchmark.
+const (
+	htBuckets     = 1024
+	htBucketWords = 4
+	htOpCost      = 700
+)
+
+// hashTable is the shared structure of the Figure 11 nano-benchmark: a
+// global lock guarding a hash table whose buckets live in simulated memory,
+// so critical sections move real cache lines.
+type hashTable struct {
+	buckets [][]sim.Word
+}
+
+func newHashTable(e *sim.Engine) *hashTable {
+	ht := &hashTable{}
+	ht.buckets = make([][]sim.Word, htBuckets)
+	for i := range ht.buckets {
+		ht.buckets[i] = e.Mem().Alloc("ht/bucket", htBucketWords)
+	}
+	return ht
+}
+
+func (ht *hashTable) read(t *sim.Thread, key int) {
+	b := ht.buckets[key%htBuckets]
+	t.Load(b[0])
+	t.Load(b[key%htBucketWords])
+	t.Delay(htOpCost)
+}
+
+func (ht *hashTable) write(t *sim.Thread, key int) {
+	b := ht.buckets[key%htBuckets]
+	for _, w := range b {
+		t.Store(w, t.Load(w)+1)
+	}
+	t.Delay(htOpCost)
+}
+
+// HashTable runs the kernel hash-table nano-benchmark with a mutual
+// exclusion lock (Figure 11 a-f): writePct of operations update the table,
+// but every operation holds the global lock.
+func HashTable(p Params, mk simlocks.Maker, writePct int) Result {
+	p = p.withDefaults()
+	e := sim.NewEngine(sim.Config{Topo: p.Topo, Seed: p.Seed, HardStop: hardStop(p)})
+	l := mk.New(e, "ht/lock")
+	ht := newHashTable(e)
+	h := newHarness(p, e)
+	h.spawnWorkers(nil, func(t *sim.Thread, id, k int) {
+		key := t.Rng().Intn(1 << 20)
+		l.Lock(t)
+		if t.Rng().Intn(100) < writePct {
+			ht.write(t, key)
+		} else {
+			ht.read(t, key)
+		}
+		l.Unlock(t)
+		t.Delay(uint64(100 + t.Rng().Intn(150)))
+	})
+	res := h.run()
+	addLockCounters(&res, l)
+	return res
+}
+
+// HashTableRW runs the same nano-benchmark with a readers-writer lock
+// (Figure 11 g-h): reads take the read side.
+func HashTableRW(p Params, mk simlocks.RWMaker, writePct int) Result {
+	p = p.withDefaults()
+	e := sim.NewEngine(sim.Config{Topo: p.Topo, Seed: p.Seed, HardStop: hardStop(p)})
+	l := mk.New(e, "ht/rwlock")
+	ht := newHashTable(e)
+	h := newHarness(p, e)
+	h.spawnWorkers(nil, func(t *sim.Thread, id, k int) {
+		key := t.Rng().Intn(1 << 20)
+		if t.Rng().Intn(100) < writePct {
+			l.Lock(t)
+			ht.write(t, key)
+			l.Unlock(t)
+		} else {
+			l.RLock(t)
+			ht.read(t, key)
+			l.RUnlock(t)
+		}
+		t.Delay(uint64(100 + t.Rng().Intn(150)))
+	})
+	res := h.run()
+	addLockCounters(&res, l)
+	return res
+}
+
+// hardStop bounds runaway protocols: far beyond any legitimate run.
+func hardStop(p Params) uint64 {
+	return 200*p.Duration + 100_000_000_000
+}
+
+// addLockCounters copies algorithm counters into the result's Extra map.
+func addLockCounters(res *Result, l interface{}) {
+	st := simlocks.StatsOf(l)
+	if st == nil {
+		return
+	}
+	res.Extra["acquires"] = float64(st.Acquires)
+	res.Extra["steals"] = float64(st.Steals)
+	res.Extra["shuffles"] = float64(st.Shuffles)
+	res.Extra["parks"] = float64(st.Parks)
+	res.Extra["wakeups_in_cs"] = float64(st.WakeupsInCS)
+	res.Extra["wakeups_off_cs"] = float64(st.WakeupsOffCS)
+	res.Extra["dynamic_allocs"] = float64(st.DynamicAllocs)
+}

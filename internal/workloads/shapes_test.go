@@ -1,0 +1,118 @@
+package workloads
+
+import (
+	"testing"
+
+	"shfllock/internal/simlocks"
+	"shfllock/internal/topology"
+)
+
+// These tests pin the paper's headline qualitative claims on the reference
+// machine with short windows; thresholds are deliberately loose (the claims
+// are about who wins, not exact ratios), so they act as shape-regression
+// guards for the simulator and lock implementations.
+
+func shapeParams(threads int) Params {
+	return Params{Topo: topology.Reference(), Threads: threads, Seed: 1, Duration: 4_000_000}
+}
+
+// Figure 1(a)/9(b): ShflLock-RW beats the stock rwsem on shared-directory
+// file creation at high thread counts.
+func TestShapeMWCMShflBeatsStock(t *testing.T) {
+	if testing.Short() {
+		t.Skip("shape test")
+	}
+	stock := MWCM(shapeParams(48), simlocks.RWSemMaker())
+	shfl := MWCM(shapeParams(48), simlocks.ShflRWMaker())
+	if shfl.OpsPerSec < 1.5*stock.OpsPerSec {
+		t.Errorf("MWCM: shfllock-rw %.0f ops/s, stock %.0f — want >=1.5x", shfl.OpsPerSec, stock.OpsPerSec)
+	}
+}
+
+// Figure 1(b): hierarchical locks cost an order of magnitude more lock
+// memory per created inode.
+func TestShapeInodeLockMemory(t *testing.T) {
+	if testing.Short() {
+		t.Skip("shape test")
+	}
+	shfl := MWCM(shapeParams(24), simlocks.ShflRWMaker())
+	cohort := MWCM(shapeParams(24), simlocks.CohortRWMaker())
+	perShfl := float64(shfl.LockBytes) / float64(shfl.TotalOps+1)
+	perCohort := float64(cohort.LockBytes) / float64(cohort.TotalOps+1)
+	if perCohort < 10*perShfl {
+		t.Errorf("lock bytes/inode: cohort %.0f vs shfl %.0f — want >=10x", perCohort, perShfl)
+	}
+}
+
+// Figure 8: at full machine contention the NUMA-aware locks beat the stock
+// qspinlock, and nobody loses at a single thread.
+func TestShapeLock1NUMAWins(t *testing.T) {
+	if testing.Short() {
+		t.Skip("shape test")
+	}
+	stock := Lock1(shapeParams(192), simlocks.QSpinLockMaker())
+	shfl := Lock1(shapeParams(192), simlocks.ShflLockNBMaker())
+	if shfl.OpsPerSec < 1.1*stock.OpsPerSec {
+		t.Errorf("lock1@192: shfllock %.0f vs stock %.0f — want >=1.1x", shfl.OpsPerSec, stock.OpsPerSec)
+	}
+	s1 := Lock1(shapeParams(1), simlocks.QSpinLockMaker())
+	f1 := Lock1(shapeParams(1), simlocks.ShflLockNBMaker())
+	if f1.OpsPerSec < 0.9*s1.OpsPerSec {
+		t.Errorf("lock1@1: shfllock %.0f vs stock %.0f — want parity", f1.OpsPerSec, s1.OpsPerSec)
+	}
+}
+
+// Figure 9(a): a non-blocking hierarchical lock collapses at 2x
+// over-subscription; the blocking ShflLock does not.
+func TestShapeOversubscriptionCollapse(t *testing.T) {
+	if testing.Short() {
+		t.Skip("shape test")
+	}
+	cohort := MWRM(shapeParams(384), simlocks.CohortMaker())
+	shfl := MWRM(shapeParams(384), simlocks.ShflLockBMaker())
+	if shfl.OpsPerSec < 1.5*cohort.OpsPerSec {
+		t.Errorf("MWRM@384: shfllock-b %.0f vs cohort %.0f — want >=1.5x", shfl.OpsPerSec, cohort.OpsPerSec)
+	}
+}
+
+// Figure 11(e): each shuffling refinement adds throughput at full
+// contention (Base -> +Shuffler(s) -> +qlast).
+func TestShapeFactorAnalysis(t *testing.T) {
+	if testing.Short() {
+		t.Skip("shape test")
+	}
+	base := HashTable(shapeParams(192), simlocks.ShflLockAblationMaker(0), 1)
+	qlast := HashTable(shapeParams(192), simlocks.ShflLockAblationMaker(3), 1)
+	if qlast.OpsPerSec < 1.15*base.OpsPerSec {
+		t.Errorf("factor analysis: +qlast %.0f vs base %.0f — want >=1.15x", qlast.OpsPerSec, base.OpsPerSec)
+	}
+}
+
+// Figure 11(f): the blocking ShflLock issues its wakeups off the critical
+// path.
+func TestShapeWakeupsOffCriticalPath(t *testing.T) {
+	if testing.Short() {
+		t.Skip("shape test")
+	}
+	r := HashTable(shapeParams(384), simlocks.ShflLockBMaker(), 1)
+	if r.Extra["parks"] == 0 {
+		t.Skip("no parking happened in this window")
+	}
+	if r.Extra["wakeups_in_cs"] > 0.2*(r.Extra["wakeups_in_cs"]+r.Extra["wakeups_off_cs"]+1) {
+		t.Errorf("wakeups in CS = %.0f, off CS = %.0f — most wakeups must be off-path",
+			r.Extra["wakeups_in_cs"], r.Extra["wakeups_off_cs"])
+	}
+}
+
+// Figure 13(b): heap queue-node locks allocate far more lock memory than
+// pthread in a 266K-lock style workload.
+func TestShapeDedupLockMemory(t *testing.T) {
+	if testing.Short() {
+		t.Skip("shape test")
+	}
+	pthread := Dedup(shapeParams(96), simlocks.PthreadMaker())
+	mcs := Dedup(shapeParams(96), simlocks.MCSHeapMaker())
+	if mcs.LockBytes < 10*pthread.LockBytes {
+		t.Errorf("dedup lock bytes: mcs %d vs pthread %d — want >=10x", mcs.LockBytes, pthread.LockBytes)
+	}
+}

@@ -1,0 +1,157 @@
+package workloads
+
+import (
+	"fmt"
+
+	"shfllock/internal/alloc"
+	"shfllock/internal/kvstore"
+	"shfllock/internal/sim"
+	"shfllock/internal/simlocks"
+)
+
+// LevelDB runs the readrandom benchmark of Figure 12(a,b): every Get takes
+// the global database mutex. Over-subscription comes from p.Threads
+// exceeding the core count.
+func LevelDB(p Params, mk simlocks.Maker) Result {
+	p = p.withDefaults()
+	e := sim.NewEngine(sim.Config{Topo: p.Topo, Seed: p.Seed, HardStop: hardStop(p)})
+	db := kvstore.New(e, mk, 1<<16)
+	h := newHarness(p, e)
+	h.spawnWorkers(nil, func(t *sim.Thread, id, k int) {
+		key := uint64(t.Rng().Intn(1 << 16))
+		db.Get(t, key)
+	})
+	return h.run()
+}
+
+// Streamcluster models the PARSEC data-mining workload of Figure 12(c): a
+// fixed number of phases separated by a custom barrier built from trylock
+// and lock operations. The result's Extra["exec_cycles"] is the execution
+// time (lower is better); OpsPerSec reports barrier crossings per second.
+func Streamcluster(p Params, mk simlocks.Maker, phases int) Result {
+	p = p.withDefaults()
+	if phases == 0 {
+		phases = 48
+	}
+	e := sim.NewEngine(sim.Config{Topo: p.Topo, Seed: p.Seed, HardStop: hardStop(p)})
+	l := mk.New(e, "sc/barrier_mutex")
+	gen := e.Mem().AllocWord("sc/generation")
+	cnt := e.Mem().AllocWord("sc/count")
+	n := uint64(p.Threads)
+
+	ops := make([]uint64, p.Threads)
+	for i := 0; i < p.Threads; i++ {
+		id := i
+		e.Spawn("sc", -1, func(t *sim.Thread) {
+			for ph := 0; ph < phases; ph++ {
+				// Compute phase.
+				t.Delay(uint64(2500 + t.Rng().Intn(2500)))
+				// Custom barrier: the last arriver flips the generation;
+				// everyone else polls it with trylock-protected re-checks,
+				// the pattern Guerraoui et al. observed in streamcluster.
+				l.Lock(t)
+				myGen := t.Load(gen)
+				c := t.Add(cnt, 1)
+				if c == n {
+					t.Store(cnt, 0)
+					t.Store(gen, myGen+1)
+					l.Unlock(t)
+				} else {
+					l.Unlock(t)
+					// Laggards re-check the generation under trylock with
+					// exponential backoff — the trylock-heavy pattern
+					// Guerraoui et al. measured, without livelocking the
+					// arrival phase.
+					backoff := uint64(800)
+					for t.Load(gen) == myGen {
+						if l.TryLock(t) {
+							g := t.Load(gen)
+							l.Unlock(t)
+							if g != myGen {
+								break
+							}
+						}
+						t.Delay(backoff)
+						if backoff < 25_000 {
+							backoff *= 2
+						}
+					}
+				}
+				ops[id]++
+			}
+		})
+	}
+	e.Run()
+	res := Result{PerThread: ops, Cycles: e.Now(), Extra: map[string]float64{}}
+	res.finish()
+	res.Extra["exec_cycles"] = float64(e.Now())
+	addLockCounters(&res, l)
+	return res
+}
+
+// Dedup models the PARSEC enterprise-storage pipeline of Figure 13: a
+// three-stage pipeline with hundreds of sharded locks and heavy allocation.
+// One operation is one data chunk through the pipeline. AllocBytes reports
+// the total allocation, including any heap-allocated queue nodes the lock
+// needs — the Figure 13(b) memory ratio.
+func Dedup(p Params, mk simlocks.Maker) Result {
+	p = p.withDefaults()
+	e := sim.NewEngine(sim.Config{Topo: p.Topo, Seed: p.Seed, HardStop: hardStop(p)})
+	al := alloc.New(e)
+
+	const queueShards = 32
+	const tableShards = 256
+	locks := make([]simlocks.Lock, 0, queueShards+tableShards)
+	queues := make([]simlocks.Lock, queueShards)
+	for i := range queues {
+		queues[i] = mk.New(e, fmt.Sprintf("dedup/q%d", i%4))
+		locks = append(locks, queues[i])
+	}
+	table := make([]simlocks.Lock, tableShards)
+	for i := range table {
+		table[i] = mk.New(e, fmt.Sprintf("dedup/t%d", i%4))
+		locks = append(locks, table[i])
+	}
+	tableData := e.Mem().AllocPadded("dedup/buckets", 64)
+
+	h := newHarness(p, e)
+	h.spawnWorkers(nil, func(t *sim.Thread, id, k int) {
+		// Stage 1: chunk the input (allocate a chunk buffer).
+		al.Alloc(t, 1024)
+		t.Delay(1200)
+		q := queues[(id+k)%queueShards]
+		q.Lock(t)
+		t.Delay(200)
+		q.Unlock(t)
+		// Stage 2: hash and deduplicate against the shared table.
+		shard := (id*31 + k*7) % tableShards
+		lk := table[shard]
+		lk.Lock(t)
+		w := tableData[shard%64]
+		t.Store(w, t.Load(w)+1)
+		t.Delay(400)
+		lk.Unlock(t)
+		// Stage 3: compress unique chunks, free the buffer.
+		if (id+k)%3 != 0 {
+			t.Delay(1800)
+		}
+		al.Free(t, 1024)
+	})
+	res := h.run()
+
+	// Account lock-related allocations: the lock structures themselves
+	// plus any heap queue nodes threads had to allocate (LD_PRELOAD-style
+	// deployments cannot put them on the stack).
+	fp := mk.Footprint(p.Topo.Sockets)
+	lockBytes := uint64(len(locks)) * uint64(fp.PerLock)
+	var nodeBytes uint64
+	for _, l := range locks {
+		if st := simlocks.StatsOf(l); st != nil {
+			nodeBytes += st.DynamicAllocatedBytes
+		}
+	}
+	res.LockBytes = lockBytes + nodeBytes
+	res.AllocBytes = al.BytesTotal + lockBytes + nodeBytes
+	res.Extra["lock_alloc_bytes"] = float64(lockBytes + nodeBytes)
+	return res
+}

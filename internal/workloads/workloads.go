@@ -1,0 +1,133 @@
+// Package workloads implements every benchmark of the paper's evaluation:
+// the will-it-scale-style filesystem microbenchmarks (MWRL, MWCM, MWRM,
+// MRDM), the lock1 and hash-table nanobenchmarks, the kernel application
+// models (AFL, Exim, Metis) and the userspace benchmarks (LevelDB
+// readrandom, streamcluster, Dedup). Each workload takes lock makers as
+// parameters and returns a Result with throughput, fairness and memory
+// metrics.
+package workloads
+
+import (
+	"shfllock/internal/sim"
+	"shfllock/internal/stats"
+	"shfllock/internal/topology"
+)
+
+// ClockGHz converts simulated cycles to seconds for reporting.
+const ClockGHz = 2.2
+
+// Params configures a workload run.
+type Params struct {
+	Topo    topology.Machine
+	Threads int
+	Seed    int64
+	// Duration is the measured interval in cycles (after setup); the
+	// default is 20M cycles (~9ms of virtual time).
+	Duration uint64
+}
+
+func (p Params) withDefaults() Params {
+	if p.Topo.Sockets == 0 {
+		p.Topo = topology.Reference()
+	}
+	if p.Threads == 0 {
+		p.Threads = p.Topo.Cores()
+	}
+	if p.Duration == 0 {
+		p.Duration = 20_000_000
+	}
+	if p.Seed == 0 {
+		p.Seed = 1
+	}
+	return p
+}
+
+// Result is what a workload run reports.
+type Result struct {
+	PerThread []uint64 // operations completed per thread
+	TotalOps  uint64
+	Cycles    uint64 // measured interval length
+
+	OpsPerSec float64
+	Fairness  float64
+
+	// Memory metrics (meaning is workload-specific).
+	LockBytes  uint64 // live lock memory
+	AllocBytes uint64 // total bytes from the slab model
+
+	// Extra carries per-experiment metrics (wakeups, idle time, ...).
+	Extra map[string]float64
+}
+
+func (r *Result) finish() {
+	for _, v := range r.PerThread {
+		r.TotalOps += v
+	}
+	r.OpsPerSec = stats.Throughput(r.TotalOps, r.Cycles, ClockGHz)
+	r.Fairness = stats.FairnessFactor(r.PerThread)
+}
+
+// harness coordinates a measured multi-thread run: every worker performs
+// its setup, meets at a barrier, and then loops its operation until the
+// engine's stop flag rises. Only operations inside the measured window are
+// counted.
+type harness struct {
+	e     *sim.Engine
+	p     Params
+	ready sim.Word
+	start uint64
+	ops   []uint64
+}
+
+func newHarness(p Params, e *sim.Engine) *harness {
+	return &harness{
+		e:     e,
+		p:     p,
+		ready: e.Mem().AllocWord("harness/barrier"),
+		ops:   make([]uint64, p.Threads),
+	}
+}
+
+// spawnWorkers creates p.Threads workers pinned round-robin. setup may be
+// nil; op is called repeatedly with an increasing per-thread sequence
+// number until the measured window closes.
+func (h *harness) spawnWorkers(setup func(t *sim.Thread, id int), op func(t *sim.Thread, id, k int)) {
+	n := h.p.Threads
+	for i := 0; i < n; i++ {
+		id := i
+		h.e.Spawn("worker", -1, func(t *sim.Thread) {
+			if setup != nil {
+				setup(t, id)
+			}
+			// Scramble arrival: real threads never reach the lock in
+			// pinned core order.
+			t.Delay(uint64(t.Rng().Intn(20_000)))
+			if t.Add(h.ready, 1) == uint64(n) {
+				h.start = t.Now()
+				h.e.StopAt(t.Now() + h.p.Duration)
+			} else {
+				t.SpinUntil(h.ready, func(v uint64) bool { return v >= uint64(n) })
+			}
+			for k := 0; !t.Stopped(); k++ {
+				op(t, id, k)
+				h.ops[id]++
+			}
+		})
+	}
+}
+
+// run executes the simulation and assembles the common result fields.
+func (h *harness) run() Result {
+	h.e.Run()
+	// Ops are counted only inside the measured window; each thread may
+	// finish at most one in-flight operation past the stop flag, so the
+	// window length itself is the right denominator (using the drain tail
+	// would unfairly penalize locks whose parked waiters wake slowly).
+	res := Result{
+		PerThread: h.ops,
+		Cycles:    h.p.Duration,
+		Extra:     map[string]float64{},
+	}
+	res.finish()
+	return res
+}

@@ -1,0 +1,135 @@
+package workloads
+
+import (
+	"testing"
+
+	"shfllock/internal/simlocks"
+	"shfllock/internal/topology"
+)
+
+// small returns quick-run parameters for functional tests.
+func small(threads int) Params {
+	return Params{Topo: topology.Laptop(), Threads: threads, Seed: 1, Duration: 3_000_000}
+}
+
+func checkResult(t *testing.T, name string, r Result) {
+	t.Helper()
+	if r.TotalOps == 0 {
+		t.Errorf("%s: zero operations", name)
+	}
+	if r.OpsPerSec <= 0 {
+		t.Errorf("%s: non-positive throughput", name)
+	}
+	if r.Fairness < 0.45 || r.Fairness > 1.0 {
+		t.Errorf("%s: fairness factor %v out of range", name, r.Fairness)
+	}
+	for _, v := range r.PerThread {
+		if v == 0 {
+			t.Errorf("%s: a thread was starved completely", name)
+			break
+		}
+	}
+}
+
+func TestLock1(t *testing.T) {
+	for _, mk := range []simlocks.Maker{simlocks.QSpinLockMaker(), simlocks.ShflLockNBMaker()} {
+		checkResult(t, "lock1/"+mk.Name, Lock1(small(6), mk))
+	}
+}
+
+func TestHashTable(t *testing.T) {
+	checkResult(t, "ht", HashTable(small(6), simlocks.ShflLockNBMaker(), 1))
+	checkResult(t, "ht-b", HashTable(small(6), simlocks.ShflLockBMaker(), 1))
+}
+
+func TestHashTableRW(t *testing.T) {
+	checkResult(t, "ht-rw-1", HashTableRW(small(6), simlocks.ShflRWMaker(), 1))
+	checkResult(t, "ht-rw-50", HashTableRW(small(6), simlocks.RWSemMaker(), 50))
+}
+
+func TestMWRL(t *testing.T) {
+	checkResult(t, "mwrl", MWRL(small(6), simlocks.QSpinLockMaker()))
+	checkResult(t, "mwrl-shfl", MWRL(small(6), simlocks.ShflLockNBMaker()))
+}
+
+func TestMWCM(t *testing.T) {
+	r := MWCM(small(6), simlocks.RWSemMaker())
+	checkResult(t, "mwcm", r)
+	if r.LockBytes == 0 {
+		t.Errorf("mwcm: no lock memory recorded")
+	}
+	if r.AllocBytes == 0 {
+		t.Errorf("mwcm: no allocation recorded")
+	}
+	// Hierarchical locks must inflate the per-inode lock footprint.
+	rc := MWCM(small(6), simlocks.CohortRWMaker())
+	perStock := float64(r.LockBytes) / float64(r.TotalOps)
+	perCohort := float64(rc.LockBytes) / float64(rc.TotalOps)
+	if perCohort < 5*perStock {
+		t.Errorf("cohort lock memory per inode (%.1f) should dwarf stock (%.1f)", perCohort, perStock)
+	}
+}
+
+func TestMWRM(t *testing.T) {
+	checkResult(t, "mwrm", MWRM(small(6), simlocks.LinuxMutexMaker()))
+	checkResult(t, "mwrm-shfl", MWRM(small(6), simlocks.ShflLockBMaker()))
+}
+
+func TestMRDM(t *testing.T) {
+	r := MRDM(small(6), simlocks.RWSemMaker())
+	checkResult(t, "mrdm", r)
+	rb := MRDM(small(6), simlocks.BravoMaker(simlocks.RWSemMaker()))
+	checkResult(t, "mrdm-bravo", rb)
+}
+
+func TestAppModels(t *testing.T) {
+	for _, k := range AllKernels() {
+		checkResult(t, "afl/"+k.Name, AFL(small(4), k))
+	}
+	checkResult(t, "exim", Exim(small(4), ShflKernel()))
+	checkResult(t, "metis", Metis(small(4), StockKernel()))
+	checkResult(t, "metis-shfl", Metis(small(4), ShflKernel()))
+}
+
+func TestLevelDB(t *testing.T) {
+	checkResult(t, "leveldb", LevelDB(small(6), simlocks.MCSHeapMaker()))
+	checkResult(t, "leveldb-shfl", LevelDB(small(6), simlocks.ShflLockBMaker()))
+}
+
+func TestStreamcluster(t *testing.T) {
+	r := Streamcluster(small(6), simlocks.ShflLockNBMaker(), 12)
+	if r.Extra["exec_cycles"] <= 0 {
+		t.Errorf("streamcluster: no execution time")
+	}
+	if r.TotalOps != 6*12 {
+		t.Errorf("streamcluster: ops = %d, want %d barrier crossings", r.TotalOps, 6*12)
+	}
+}
+
+func TestDedup(t *testing.T) {
+	rp := Dedup(small(6), simlocks.PthreadMaker())
+	checkResult(t, "dedup-pthread", rp)
+	rm := Dedup(small(6), simlocks.MCSHeapMaker())
+	checkResult(t, "dedup-mcs", rm)
+	if rm.LockBytes <= rp.LockBytes {
+		t.Errorf("heap-node MCS lock memory (%d) should exceed pthread (%d)",
+			rm.LockBytes, rp.LockBytes)
+	}
+}
+
+// TestOversubscribedWorkloads drives blocking-lock paths with more threads
+// than cores.
+func TestOversubscribedWorkloads(t *testing.T) {
+	p := Params{Topo: topology.Laptop(), Threads: 2 * topology.Laptop().Cores(), Seed: 2, Duration: 6_000_000}
+	checkResult(t, "ht-oversub", HashTable(p, simlocks.ShflLockBMaker(), 1))
+	checkResult(t, "leveldb-oversub", LevelDB(p, simlocks.PthreadMaker()))
+	checkResult(t, "mwrm-oversub", MWRM(p, simlocks.CSTMaker()))
+}
+
+func TestDeterministicResults(t *testing.T) {
+	a := Lock1(small(5), simlocks.MCSMaker())
+	b := Lock1(small(5), simlocks.MCSMaker())
+	if a.TotalOps != b.TotalOps || a.Cycles != b.Cycles {
+		t.Errorf("non-deterministic workload: %v vs %v ops", a.TotalOps, b.TotalOps)
+	}
+}
