@@ -3,8 +3,12 @@
 // and think times, periodic TryLock barging, and continuous invariant
 // checking (single writer, bounded readers).
 //
+// With -lockstat the tortured lock is wrapped in a lockstat site: a live
+// lock_stat-style report is printed once a second and a final report (with
+// cross-counter consistency verification) after the run.
+//
 // Usage: locktorture [-lock mutex|spinlock|rwmutex|tas|ticket|mcs]
-// [-threads 16] [-duration 5s] [-sockets 4]
+// [-threads 16] [-duration 5s] [-sockets 4] [-lockstat]
 package main
 
 import (
@@ -17,6 +21,7 @@ import (
 	"time"
 
 	"shfllock/internal/core"
+	"shfllock/internal/lockstat"
 )
 
 type locker interface {
@@ -25,18 +30,34 @@ type locker interface {
 	TryLock() bool
 }
 
+type rwLocker interface {
+	Lock()
+	Unlock()
+	RLock()
+	RUnlock()
+}
+
 func main() {
 	var (
 		lockName = flag.String("lock", "mutex", "lock to torture: mutex|spinlock|rwmutex|tas|ticket|mcs")
 		threads  = flag.Int("threads", 16, "torture goroutines")
 		duration = flag.Duration("duration", 5*time.Second, "how long to run")
 		sockets  = flag.Int("sockets", 4, "sockets assumed by the shuffling policy")
+		stat     = flag.Bool("lockstat", false, "instrument the lock and print lock_stat-style reports")
 	)
 	flag.Parse()
 	core.SetSockets(*sockets)
 
 	if *lockName == "rwmutex" {
-		tortureRW(*threads, *duration)
+		var mu core.RWMutex
+		var l rwLocker = &mu
+		if *stat {
+			l = lockstat.InstrumentRW(&mu, "torture/rwmutex")
+			defer finalReport()
+			stopLive := liveReports(*duration)
+			defer stopLive()
+		}
+		tortureRW(l, *threads, *duration)
 		return
 	}
 
@@ -55,6 +76,12 @@ func main() {
 	default:
 		fmt.Fprintf(os.Stderr, "unknown lock %q\n", *lockName)
 		os.Exit(2)
+	}
+	if *stat {
+		l = lockstat.Instrument(l, "torture/"+*lockName)
+		defer finalReport()
+		stopLive := liveReports(*duration)
+		defer stopLive()
 	}
 
 	var stop atomic.Bool
@@ -103,8 +130,46 @@ func main() {
 	fmt.Println("torture passed")
 }
 
-func tortureRW(threads int, duration time.Duration) {
-	var l core.RWMutex
+// liveReports prints the lockstat report once a second while the torture
+// runs; the returned func stops it.
+func liveReports(duration time.Duration) func() {
+	if duration < 2*time.Second {
+		return func() {}
+	}
+	done := make(chan struct{})
+	go func() {
+		t := time.NewTicker(time.Second)
+		defer t.Stop()
+		for {
+			select {
+			case <-done:
+				return
+			case <-t.C:
+				fmt.Println("--- live lock_stat ---")
+				lockstat.WriteText(os.Stdout, lockstat.Default.Reports())
+			}
+		}
+	}()
+	return func() { close(done) }
+}
+
+// finalReport prints the quiescent report and fails the run if any
+// cross-counter invariant is broken (contended > acquires, histogram mass
+// != acquires).
+func finalReport() {
+	fmt.Println("--- final lock_stat ---")
+	reps := lockstat.Default.Reports()
+	lockstat.WriteText(os.Stdout, reps)
+	for _, r := range reps {
+		if msg := r.Consistent(); msg != "" {
+			fmt.Printf("LOCKSTAT INCONSISTENT: %s\n", msg)
+			os.Exit(1)
+		}
+	}
+	fmt.Println("lockstat counters consistent")
+}
+
+func tortureRW(l rwLocker, threads int, duration time.Duration) {
 	var stop atomic.Bool
 	var readers, writers atomic.Int32
 	var rops, wops, violations atomic.Int64

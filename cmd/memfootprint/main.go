@@ -1,10 +1,13 @@
 // Command memfootprint prints Table 1: the per-lock, per-waiter and
 // per-holder memory footprint of every lock algorithm, plus measured
 // atomic operations per acquire in uncontended and contended runs.
+// With -json the table is emitted machine-readable.
 package main
 
 import (
+	"encoding/json"
 	"flag"
+	"fmt"
 	"os"
 
 	"shfllock/internal/bench"
@@ -16,12 +19,23 @@ func main() {
 		quick   = flag.Bool("quick", false, "shorter measurement runs")
 		sockets = flag.Int("sockets", 8, "simulated sockets")
 		cores   = flag.Int("cores", 24, "cores per socket")
+		jsonOut = flag.Bool("json", false, "emit Table 1 as JSON instead of text")
 	)
 	flag.Parse()
-	e, _ := bench.ByID("table1")
-	e.Run(bench.Config{
+	cfg := bench.Config{
 		Topo:  topology.Machine{Sockets: *sockets, CoresPerSocket: *cores},
 		Quick: *quick,
 		Seed:  1,
-	}, os.Stdout)
+	}
+	if *jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(bench.Table1Data(cfg)); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		return
+	}
+	e, _ := bench.ByID("table1")
+	e.Run(cfg, os.Stdout)
 }

@@ -19,12 +19,13 @@ import (
 
 func main() {
 	var (
-		list    = flag.Bool("list", false, "list available experiments")
-		exp     = flag.String("exp", "", "experiment id to run (or 'all')")
-		quick   = flag.Bool("quick", false, "fewer sweep points, shorter windows")
-		sockets = flag.Int("sockets", 8, "simulated sockets")
-		cores   = flag.Int("cores", 24, "cores per socket")
-		seed    = flag.Int64("seed", 1, "simulation seed")
+		list     = flag.Bool("list", false, "list available experiments")
+		exp      = flag.String("exp", "", "experiment id to run (or 'all')")
+		quick    = flag.Bool("quick", false, "fewer sweep points, shorter windows")
+		sockets  = flag.Int("sockets", 8, "simulated sockets")
+		cores    = flag.Int("cores", 24, "cores per socket")
+		seed     = flag.Int64("seed", 1, "simulation seed")
+		lockstat = flag.Bool("lockstat", false, "append lock_stat-style reports to experiments that carry them")
 	)
 	flag.Parse()
 
@@ -39,10 +40,13 @@ func main() {
 		return
 	}
 
+	shapes := &bench.ShapeLog{}
 	cfg := bench.Config{
-		Topo:  topology.Machine{Sockets: *sockets, CoresPerSocket: *cores},
-		Seed:  *seed,
-		Quick: *quick,
+		Topo:     topology.Machine{Sockets: *sockets, CoresPerSocket: *cores},
+		Seed:     *seed,
+		Quick:    *quick,
+		LockStat: *lockstat,
+		Shapes:   shapes,
 	}
 
 	if *exp == "all" {
@@ -51,6 +55,7 @@ func main() {
 			e.Run(cfg, os.Stdout)
 			fmt.Println()
 		}
+		exitOnShapeFailures(shapes)
 		return
 	}
 	e, ok := bench.ByID(*exp)
@@ -59,4 +64,18 @@ func main() {
 		os.Exit(1)
 	}
 	e.Run(cfg, os.Stdout)
+	exitOnShapeFailures(shapes)
+}
+
+// exitOnShapeFailures makes shflbench usable as a CI gate: any shape check
+// that lost the paper's qualitative claim fails the run.
+func exitOnShapeFailures(shapes *bench.ShapeLog) {
+	if !shapes.Failed() {
+		return
+	}
+	fmt.Fprintf(os.Stderr, "\nshape checks FAILED (%d):\n", len(shapes.Failures()))
+	for _, f := range shapes.Failures() {
+		fmt.Fprintf(os.Stderr, "  %s\n", f)
+	}
+	os.Exit(1)
 }

@@ -17,9 +17,11 @@ import (
 
 // Config controls an experiment run.
 type Config struct {
-	Topo  topology.Machine
-	Seed  int64
-	Quick bool // fewer sweep points, shorter measurement windows
+	Topo     topology.Machine
+	Seed     int64
+	Quick    bool      // fewer sweep points, shorter measurement windows
+	LockStat bool      // append a lockstat report to experiments that carry one
+	Shapes   *ShapeLog // collects shape-check verdicts when non-nil
 }
 
 func (c Config) withDefaults() Config {
@@ -120,9 +122,53 @@ func header(w io.Writer, e Config, title string) {
 		title, e.Topo, e.duration(), e.Quick)
 }
 
-// shapeCheck prints an at-a-glance comparison of two series at the last
-// common x (the paper's usual "X is N x faster than Y at 192 threads").
-func shapeCheck(w io.Writer, s []stats.Series, a, b string) {
+// ShapeLog collects shape-check verdicts across experiments so callers
+// (the shflbench CI gate) can fail a run whose results lost the paper's
+// qualitative shape.
+type ShapeLog struct {
+	Checks   []ShapeResult
+	failures int
+}
+
+// ShapeResult is one recorded shape check.
+type ShapeResult struct {
+	Desc string
+	OK   bool
+}
+
+func (l *ShapeLog) note(desc string, ok bool) {
+	if l == nil {
+		return
+	}
+	l.Checks = append(l.Checks, ShapeResult{Desc: desc, OK: ok})
+	if !ok {
+		l.failures++
+	}
+}
+
+// Failed reports whether any recorded check failed.
+func (l *ShapeLog) Failed() bool { return l != nil && l.failures > 0 }
+
+// Failures returns the descriptions of every failed check.
+func (l *ShapeLog) Failures() []string {
+	if l == nil {
+		return nil
+	}
+	var out []string
+	for _, c := range l.Checks {
+		if !c.OK {
+			out = append(out, c.Desc)
+		}
+	}
+	return out
+}
+
+// shapeCheck compares two series at the last common x (the paper's usual
+// "X is N x faster than Y at 192 threads") against a minimum acceptable
+// ratio, prints the verdict, and records it in c.Shapes. Thresholds are
+// deliberately looser than the measured ratios: they gate the qualitative
+// claim, not the exact speedup.
+func shapeCheck(w io.Writer, c Config, s []stats.Series, a, b string, min float64) {
 	var sa, sb *stats.Series
 	for i := range s {
 		switch s[i].Label {
@@ -133,11 +179,32 @@ func shapeCheck(w io.Writer, s []stats.Series, a, b string) {
 		}
 	}
 	if sa == nil || sb == nil || len(sa.Y) == 0 || len(sb.Y) == 0 {
+		c.Shapes.note(fmt.Sprintf("%s / %s: series missing", a, b), false)
 		return
 	}
 	last := len(sa.Y) - 1
-	if sb.Y[last] > 0 {
-		fmt.Fprintf(w, "shape: %s / %s at %d threads = %.2fx\n",
-			a, b, sa.X[last], sa.Y[last]/sb.Y[last])
+	if sb.Y[last] <= 0 {
+		c.Shapes.note(fmt.Sprintf("%s / %s: zero baseline", a, b), false)
+		return
 	}
+	ratio := sa.Y[last] / sb.Y[last]
+	ok := ratio >= min
+	desc := fmt.Sprintf("%s / %s at %d threads = %.2fx (want >= %.2fx)",
+		a, b, sa.X[last], ratio, min)
+	fmt.Fprintf(w, "shape[%s]: %s\n", okLabel(ok), desc)
+	c.Shapes.note(desc, ok)
+}
+
+// shapeExpect prints and records a non-ratio shape claim the experiment
+// verified itself.
+func shapeExpect(w io.Writer, c Config, desc string, ok bool) {
+	fmt.Fprintf(w, "shape[%s]: %s\n", okLabel(ok), desc)
+	c.Shapes.note(desc, ok)
+}
+
+func okLabel(ok bool) string {
+	if ok {
+		return "ok"
+	}
+	return "FAIL"
 }

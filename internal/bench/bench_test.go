@@ -6,6 +6,7 @@ import (
 	"testing"
 
 	"shfllock/internal/simlocks"
+	"shfllock/internal/stats"
 	"shfllock/internal/topology"
 )
 
@@ -91,5 +92,53 @@ func TestMeasureAtomicsUncontendedShfl(t *testing.T) {
 	a2 := measureAtomics(c, m2, 1, 100)
 	if a2 < 2 {
 		t.Errorf("uncontended cohort atomics/acquire = %.2f, want >=2", a2)
+	}
+}
+
+// The shape gate must record failures: a ratio under the threshold, a
+// missing series, and a zero baseline all mark the log failed; a passing
+// ratio does not. A nil log (shflbench without the gate) is a no-op.
+func TestShapeLogGate(t *testing.T) {
+	series := []stats.Series{
+		{Label: "fast", X: []int{1, 192}, Y: []float64{1, 100}},
+		{Label: "slow", X: []int{1, 192}, Y: []float64{1, 50}},
+		{Label: "dead", X: []int{1, 192}, Y: []float64{0, 0}},
+	}
+	var buf bytes.Buffer
+	log := &ShapeLog{}
+	c := Config{Shapes: log}
+
+	shapeCheck(&buf, c, series, "fast", "slow", 1.5) // 2.00x >= 1.5x
+	if log.Failed() {
+		t.Fatalf("passing check marked log failed: %v", log.Failures())
+	}
+	if !strings.Contains(buf.String(), "shape[ok]: fast / slow at 192 threads = 2.00x") {
+		t.Errorf("unexpected verdict line: %q", buf.String())
+	}
+
+	shapeCheck(&buf, c, series, "slow", "fast", 1.0) // 0.50x < 1.0x
+	shapeCheck(&buf, c, series, "fast", "gone", 1.0) // missing series
+	shapeCheck(&buf, c, series, "fast", "dead", 1.0) // zero baseline
+	shapeExpect(&buf, c, "claim the experiment disproved", false)
+	if !log.Failed() {
+		t.Fatal("failing checks did not mark the log failed")
+	}
+	if got := len(log.Failures()); got != 4 {
+		t.Errorf("Failures() = %d entries (%v), want 4", got, log.Failures())
+	}
+	if !strings.Contains(buf.String(), "shape[FAIL]: slow / fast at 192 threads = 0.50x") {
+		t.Errorf("missing FAIL verdict: %q", buf.String())
+	}
+	if got := len(log.Checks); got != 5 {
+		t.Errorf("Checks = %d entries, want 5", got)
+	}
+
+	// Experiments run without a gate pass a nil log; every path must cope.
+	nilCfg := Config{}
+	shapeCheck(&buf, nilCfg, series, "fast", "slow", 1.5)
+	shapeExpect(&buf, nilCfg, "no log attached", true)
+	var nilLog *ShapeLog
+	if nilLog.Failed() || nilLog.Failures() != nil {
+		t.Error("nil ShapeLog must report no failures")
 	}
 }

@@ -39,8 +39,8 @@ func appExperiment(c Config, w io.Writer, title string,
 		fmt.Fprintf(w, "  %s=%.1f", name, mem[name])
 	}
 	fmt.Fprintln(w)
-	shapeCheck(w, s, "shfllock", "stock")
-	shapeCheck(w, s, "shfllock", "cohort")
+	shapeCheck(w, c, s, "shfllock", "stock", 0.7)
+	shapeCheck(w, c, s, "shfllock", "cohort", 0.8)
 }
 
 func init() {

@@ -39,8 +39,8 @@ func init() {
 			return workloads.MWCM(c.params(n), rwMaker(name)).OpsPerSec
 		})
 		fmt.Fprint(w, stats.Table("threads", "files/sec", s))
-		shapeCheck(w, s, "shfllock-rw", "cohort-rw")
-		shapeCheck(w, s, "shfllock-rw", "stock-rwsem")
+		shapeCheck(w, c, s, "shfllock-rw", "cohort-rw", 1.0)
+		shapeCheck(w, c, s, "shfllock-rw", "stock-rwsem", 2.0)
 	})
 
 	register("fig1b", "Figure 1(b): lock memory consumed by inodes during MWCM", func(c Config, w io.Writer) {
@@ -52,7 +52,7 @@ func init() {
 			return float64(r.LockBytes) / (1 << 20)
 		})
 		fmt.Fprint(w, stats.Table("threads", "lock MB", s))
-		shapeCheck(w, s, "cohort-rw", "shfllock-rw")
+		shapeCheck(w, c, s, "cohort-rw", "shfllock-rw", 10)
 	})
 
 	register("fig9a", "Figure 9(a): MWRM rename into a shared directory (sb rename mutex)", func(c Config, w io.Writer) {
@@ -64,8 +64,8 @@ func init() {
 			return workloads.MWRM(c.params(n), mkMaker(name)).OpsPerSec
 		})
 		fmt.Fprint(w, stats.Table("threads", "renames/sec", s))
-		shapeCheck(w, s, "shfllock-b", "stock-mutex")
-		shapeCheck(w, s, "shfllock-b", "cohort")
+		shapeCheck(w, c, s, "shfllock-b", "stock-mutex", 0.9)
+		shapeCheck(w, c, s, "shfllock-b", "cohort", 1.5)
 	})
 
 	register("fig9b", "Figure 9(b): MWCM with blocking locks, up to 2x over-subscription", func(c Config, w io.Writer) {
@@ -76,7 +76,7 @@ func init() {
 			return workloads.MWCM(c.params(n), rwMaker(name)).OpsPerSec
 		})
 		fmt.Fprint(w, stats.Table("threads", "files/sec", s))
-		shapeCheck(w, s, "shfllock-rw", "cohort-rw")
+		shapeCheck(w, c, s, "shfllock-rw", "cohort-rw", 1.2)
 	})
 
 	register("fig9c", "Figure 9(c): MRDM directory enumeration (reader side) incl. BRAVO", func(c Config, w io.Writer) {
@@ -88,8 +88,8 @@ func init() {
 			return workloads.MRDM(c.params(n), rwMaker(name)).OpsPerSec
 		})
 		fmt.Fprint(w, stats.Table("threads", "readdirs/sec", s))
-		shapeCheck(w, s, "shfllock-rw", "stock-rwsem")
-		shapeCheck(w, s, "cohort-rw", "shfllock-rw")
-		shapeCheck(w, s, "shfllock-rw+bravo", "stock-rwsem+bravo")
+		shapeCheck(w, c, s, "shfllock-rw", "stock-rwsem", 0.7)
+		shapeCheck(w, c, s, "cohort-rw", "shfllock-rw", 5)
+		shapeCheck(w, c, s, "shfllock-rw+bravo", "stock-rwsem+bravo", 0.7)
 	})
 }

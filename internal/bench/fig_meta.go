@@ -53,6 +53,63 @@ func measureAtomics(c Config, mk simlocks.Maker, threads, ops int) float64 {
 	return float64(st.Atomics) / float64(acq.Acquires)
 }
 
+// Table1Row is one lock's entry in Table 1: its static footprint plus the
+// measured atomic operations per acquisition (zero for the RW-lock rows,
+// which the table reports footprint-only).
+type Table1Row struct {
+	Name          string  `json:"name"`
+	PerLock       int     `json:"per_lock_bytes"`
+	PerWaiter     int     `json:"per_waiter_bytes"`
+	PerHolder     int     `json:"per_holder_bytes,omitempty"`
+	Dynamic       bool    `json:"dynamic,omitempty"`
+	HeapNodes     bool    `json:"heap_nodes,omitempty"`
+	AtomicsSolo   float64 `json:"atomics_per_acquire_1t,omitempty"`
+	AtomicsContnd float64 `json:"atomics_per_acquire_contended,omitempty"`
+}
+
+// Table1Result is the full Table 1 dataset in machine-readable form
+// (cmd/memfootprint -json).
+type Table1Result struct {
+	Mutexes []Table1Row `json:"mutexes"`
+	RWLocks []Table1Row `json:"rw_locks"`
+}
+
+// Table1Data measures Table 1 — per-lock/per-waiter/per-holder footprints
+// and atomics per acquire for every mutex, footprints for every RW lock.
+func Table1Data(c Config) Table1Result {
+	c = c.withDefaults()
+	sockets := c.Topo.Sockets
+	ops := 400
+	contended := c.Topo.Cores() / 2
+	if c.Quick {
+		ops = 120
+		contended = c.Topo.Cores() / 4
+	}
+	var out Table1Result
+	for _, mk := range simlocks.AllMutexMakers() {
+		fp := mk.Footprint(sockets)
+		out.Mutexes = append(out.Mutexes, Table1Row{
+			Name:          mk.Name,
+			PerLock:       fp.PerLock,
+			PerWaiter:     fp.PerWaiter,
+			PerHolder:     fp.PerHolder,
+			Dynamic:       fp.Dynamic,
+			HeapNodes:     fp.HeapNodes,
+			AtomicsSolo:   measureAtomics(c, mk, 1, ops),
+			AtomicsContnd: measureAtomics(c, mk, contended, ops/8+4),
+		})
+	}
+	for _, mk := range simlocks.AllRWMakers() {
+		fp := mk.Footprint(sockets)
+		out.RWLocks = append(out.RWLocks, Table1Row{
+			Name:      mk.Name,
+			PerLock:   fp.PerLock,
+			PerWaiter: fp.PerWaiter,
+		})
+	}
+	return out
+}
+
 func init() {
 	register("fig2", "Figure 2: lock() call sites in the Linux kernel over time", func(c Config, w io.Writer) {
 		c = c.withDefaults()
@@ -67,35 +124,24 @@ func init() {
 	register("table1", "Table 1: memory footprint and atomics per acquire for every lock", func(c Config, w io.Writer) {
 		c = c.withDefaults()
 		header(w, c, "Table 1 — footprint (bytes) and atomic ops per acquire")
-		sockets := c.Topo.Sockets
-		ops := 400
-		contended := c.Topo.Cores() / 2
-		if c.Quick {
-			ops = 120
-			contended = c.Topo.Cores() / 4
-		}
+		data := Table1Data(c)
 		fmt.Fprintf(w, "%-18s %9s %10s %10s %9s %12s %12s\n",
 			"lock", "per-lock", "per-waiter", "per-holder", "dynamic", "atomics(1t)", "atomics(cont)")
-		rows := simlocks.AllMutexMakers()
-		for _, mk := range rows {
-			fp := mk.Footprint(sockets)
-			a1 := measureAtomics(c, mk, 1, ops)
-			an := measureAtomics(c, mk, contended, ops/8+4)
+		for _, r := range data.Mutexes {
 			dyn := ""
-			if fp.Dynamic {
+			if r.Dynamic {
 				dyn = "yes"
 			}
-			if fp.HeapNodes {
+			if r.HeapNodes {
 				dyn += " heap"
 			}
 			fmt.Fprintf(w, "%-18s %9d %10d %10d %9s %12.2f %12.2f\n",
-				mk.Name, fp.PerLock, fp.PerWaiter, fp.PerHolder, dyn, a1, an)
+				r.Name, r.PerLock, r.PerWaiter, r.PerHolder, dyn, r.AtomicsSolo, r.AtomicsContnd)
 		}
 		fmt.Fprintln(w, "\nRW lock footprints:")
 		fmt.Fprintf(w, "%-18s %9s %10s\n", "lock", "per-lock", "per-waiter")
-		for _, mk := range simlocks.AllRWMakers() {
-			fp := mk.Footprint(sockets)
-			fmt.Fprintf(w, "%-18s %9d %10d\n", mk.Name, fp.PerLock, fp.PerWaiter)
+		for _, r := range data.RWLocks {
+			fmt.Fprintf(w, "%-18s %9d %10d\n", r.Name, r.PerLock, r.PerWaiter)
 		}
 	})
 }

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"io"
 
+	"shfllock/internal/lockstat"
 	"shfllock/internal/stats"
 	"shfllock/internal/workloads"
 )
@@ -18,8 +19,8 @@ func init() {
 			return workloads.MWRL(c.params(n), mkMaker(name)).OpsPerSec
 		})
 		fmt.Fprint(w, stats.Table("threads", "renames/sec", s))
-		shapeCheck(w, s, "shfllock-nb", "stock-qspinlock")
-		shapeCheck(w, s, "cna", "stock-qspinlock")
+		shapeCheck(w, c, s, "shfllock-nb", "stock-qspinlock", 1.05)
+		shapeCheck(w, c, s, "cna", "stock-qspinlock", 1.0)
 	})
 
 	register("fig8b", "Figure 8: lock1 empty-critical-section stress (spinlocks)", func(c Config, w io.Writer) {
@@ -31,7 +32,7 @@ func init() {
 			return workloads.Lock1(c.params(n), mkMaker(name)).OpsPerSec
 		})
 		fmt.Fprint(w, stats.Table("threads", "ops/sec", s))
-		shapeCheck(w, s, "shfllock-nb", "stock-qspinlock")
+		shapeCheck(w, c, s, "shfllock-nb", "stock-qspinlock", 1.05)
 	})
 
 	register("fig11a", "Figure 11(a): hash-table nano-bench, non-blocking locks, throughput", func(c Config, w io.Writer) {
@@ -43,7 +44,7 @@ func init() {
 			return workloads.HashTable(c.params(n), mkMaker(name), 1).OpsPerSec
 		})
 		fmt.Fprint(w, stats.Table("threads", "ops/sec", s))
-		shapeCheck(w, s, "shfllock-nb", "stock-qspinlock")
+		shapeCheck(w, c, s, "shfllock-nb", "stock-qspinlock", 1.05)
 	})
 
 	register("fig11b", "Figure 11(b): hash-table nano-bench, non-blocking locks, fairness", func(c Config, w io.Writer) {
@@ -66,7 +67,7 @@ func init() {
 			return workloads.HashTable(c.params(n), mkMaker(name), 1).OpsPerSec
 		})
 		fmt.Fprint(w, stats.Table("threads", "ops/sec", s))
-		shapeCheck(w, s, "shfllock-b", "stock-mutex")
+		shapeCheck(w, c, s, "shfllock-b", "stock-mutex", 1.3)
 	})
 
 	register("fig11d", "Figure 11(d): blocking locks fairness incl. NUMA-only stealing", func(c Config, w io.Writer) {
@@ -101,12 +102,25 @@ func init() {
 		header(w, c, "Figure 11(f) — waiter wakeups by where they are issued")
 		pts := c.threadPoints(4)
 		fmt.Fprintf(w, "%-10s %14s %14s %14s %14s\n", "threads", "acquires", "in-CS wakeups", "off-CS wakeups", "parks")
+		var last workloads.Result
+		lastN := 0
 		for _, n := range pts {
 			r := workloads.HashTable(c.params(n), mkMaker("shfllock-b"), 1)
 			fmt.Fprintf(w, "%-10d %14.0f %14.0f %14.0f %14.0f\n", n,
 				r.Extra["acquires"], r.Extra["wakeups_in_cs"], r.Extra["wakeups_off_cs"], r.Extra["parks"])
+			last, lastN = r, n
 		}
-		fmt.Fprintln(w, "shape: the shuffler's proactive wakeups keep in-CS wakeups near zero")
+		inCS, offCS := last.Extra["wakeups_in_cs"], last.Extra["wakeups_off_cs"]
+		shapeExpect(w, c,
+			fmt.Sprintf("proactive wakeups: in-CS (%.0f) <= 20%% of all wakeups (%.0f) at %d threads",
+				inCS, inCS+offCS, lastN),
+			inCS <= 0.2*(inCS+offCS+1))
+		if c.LockStat {
+			fmt.Fprintln(w)
+			lockstat.WriteText(w, []lockstat.Report{
+				lockstat.FromExtra(fmt.Sprintf("hash-table/shfllock-b@%d", lastN), last.Extra),
+			})
+		}
 	})
 
 	register("fig11g", "Figure 11(g): readers-writer locks, 1% writes, up to 4x over-subscription", func(c Config, w io.Writer) {
@@ -118,7 +132,7 @@ func init() {
 			return workloads.HashTableRW(c.params(n), rwMaker(name), 1).OpsPerSec
 		})
 		fmt.Fprint(w, stats.Table("threads", "ops/sec", s))
-		shapeCheck(w, s, "shfllock-rw", "stock-rwsem")
+		shapeCheck(w, c, s, "shfllock-rw", "stock-rwsem", 1.2)
 	})
 
 	register("fig11h", "Figure 11(h): readers-writer locks, 50% writes", func(c Config, w io.Writer) {
@@ -130,6 +144,6 @@ func init() {
 			return workloads.HashTableRW(c.params(n), rwMaker(name), 50).OpsPerSec
 		})
 		fmt.Fprint(w, stats.Table("threads", "ops/sec", s))
-		shapeCheck(w, s, "shfllock-rw", "stock-rwsem")
+		shapeCheck(w, c, s, "shfllock-rw", "stock-rwsem", 1.3)
 	})
 }

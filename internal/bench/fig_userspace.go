@@ -18,7 +18,7 @@ func init() {
 			return workloads.LevelDB(c.params(n), mkMaker(name)).OpsPerSec
 		})
 		fmt.Fprint(w, stats.Table("threads", "reads/sec", s))
-		shapeCheck(w, s, "shfllock-nb", "mcs-heap")
+		shapeCheck(w, c, s, "shfllock-nb", "mcs-heap", 0.5)
 	})
 
 	register("fig12b", "Figure 12(b): LevelDB readrandom, blocking locks, up to 4x over-subscription", func(c Config, w io.Writer) {
@@ -30,8 +30,8 @@ func init() {
 			return workloads.LevelDB(c.params(n), mkMaker(name)).OpsPerSec
 		})
 		fmt.Fprint(w, stats.Table("threads", "reads/sec", s))
-		shapeCheck(w, s, "shfllock-b", "pthread")
-		shapeCheck(w, s, "shfllock-b", "mutexee")
+		shapeCheck(w, c, s, "shfllock-b", "pthread", 0.5)
+		shapeCheck(w, c, s, "shfllock-b", "mutexee", 0.7)
 	})
 
 	register("fig12c", "Figure 12(c): streamcluster barrier phases (trylock-heavy)", func(c Config, w io.Writer) {
@@ -48,8 +48,8 @@ func init() {
 			return r.Extra["exec_cycles"] / 1e6 // Mcycles, lower = better
 		})
 		fmt.Fprint(w, stats.Table("threads", "Mcycles (lower=better)", s))
-		shapeCheck(w, s, "mcs-heap", "shfllock-nb")
-		shapeCheck(w, s, "cna-heap", "shfllock-nb")
+		shapeCheck(w, c, s, "mcs-heap", "shfllock-nb", 0.25)
+		shapeCheck(w, c, s, "cna-heap", "shfllock-nb", 0.8)
 	})
 
 	register("fig13a", "Figure 13(a): Dedup pipeline throughput", func(c Config, w io.Writer) {
@@ -61,7 +61,7 @@ func init() {
 			return workloads.Dedup(c.params(n), mkMaker(name)).OpsPerSec
 		})
 		fmt.Fprint(w, stats.Table("threads", "chunks/sec", s))
-		shapeCheck(w, s, "shfllock-b", "pthread")
+		shapeCheck(w, c, s, "shfllock-b", "pthread", 0.7)
 	})
 
 	register("fig13b", "Figure 13(b): Dedup lock-related memory relative to pthread", func(c Config, w io.Writer) {
@@ -74,11 +74,19 @@ func init() {
 		base := workloads.Dedup(c.params(n), mkMaker("pthread"))
 		names := []string{"pthread", "mutexee", "mcs-heap", "cna-heap", "hmcs-heap", "shfllock-b"}
 		fmt.Fprintf(w, "%-14s %16s %12s\n", "lock", "lock bytes", "vs pthread")
+		maxHeap := 0.0
 		for _, name := range names {
 			r := workloads.Dedup(c.params(n), mkMaker(name))
 			ratio := float64(r.LockBytes) / float64(base.LockBytes)
 			fmt.Fprintf(w, "%-14s %16d %11.1fx\n", name, r.LockBytes, ratio)
+			if name == "mcs-heap" || name == "cna-heap" || name == "hmcs-heap" {
+				if ratio > maxHeap {
+					maxHeap = ratio
+				}
+			}
 		}
-		fmt.Fprintln(w, "shape: heap queue-node locks allocate orders of magnitude more than pthread")
+		shapeExpect(w, c,
+			fmt.Sprintf("heap queue-node locks allocate >= 10x pthread's lock bytes (max %.1fx)", maxHeap),
+			maxHeap >= 10)
 	})
 }

@@ -1,0 +1,75 @@
+package core
+
+import "sync/atomic"
+
+// Probe receives internal lock events from the ShflLock family. A probe is
+// attached with SetProbe before the lock is shared; all methods may be
+// called concurrently and must be cheap. The intended implementation is a
+// lockstat site (internal/lockstat), which turns these events into
+// lock_stat-style counters; a nil probe (the default) reduces every hook to
+// a single predictable nil-check, so uninstrumented locks pay nothing
+// measurable.
+//
+// Acquisition counting and wait/hold timing are deliberately not probe
+// events: they are observable from outside the lock and are recorded by the
+// lockstat wrapper. The probe reports only what the wrapper cannot see —
+// which path an acquisition took and what the waiter queue did.
+type Probe interface {
+	// Steal reports a fast-path acquisition that barged past a non-empty
+	// waiter queue; trylock distinguishes TryLock barging from the Lock
+	// fast path.
+	Steal(trylock bool)
+	// Contended reports an acquisition that went through the waiter queue.
+	Contended()
+	// Handoff reports queue-head status being relayed to the successor
+	// (the MCS unlock phase that ShflLock performs on the acquire side).
+	Handoff()
+	// Park reports a blocking waiter committing to sleep.
+	Park()
+	// Unpark reports a parked waiter being woken; inCS is true when the
+	// wakeup was issued by the lock holder on the critical path, false
+	// when a shuffler issued it off the critical path.
+	Unpark(inCS bool)
+	// Shuffle reports one completed shuffling round: how many queue nodes
+	// the shuffler examined and how many it relocated.
+	Shuffle(scanned, moved int)
+}
+
+// SetProbe attaches a probe to the spinlock. Attach before the lock is
+// shared between goroutines; passing nil detaches.
+func (l *SpinLock) SetProbe(p Probe) { l.s.probe = p }
+
+// SetProbe attaches a probe to the mutex. Attach before the lock is shared
+// between goroutines; passing nil detaches.
+func (m *Mutex) SetProbe(p Probe) { m.s.probe = p }
+
+// SetProbe attaches a probe to the readers-writer lock. Events are reported
+// for the internal ordering mutex, which every contended reader and writer
+// passes through. Attach before the lock is shared.
+func (l *RWMutex) SetProbe(p Probe) { l.wlock.s.probe = p }
+
+// shflOracleHooks are structural hooks used by the invariant tests to watch
+// queue-node-level events (which the public Probe cannot expose, since
+// qnode is unexported). Production code never installs them; every call
+// site guards with a single atomic pointer load.
+type shflOracleHooks struct {
+	// headEnter/headExit bracket a node's tenure as queue head (spinning
+	// on the TAS word). Invariant 3: only this node may start a round.
+	headEnter func(n *qnode)
+	headExit  func(n *qnode)
+	// roundBegin/roundEnd bracket one shuffling round. fromRole is true
+	// when the node was handed the shuffler role, false when it started a
+	// fresh round (permitted only at the head); atHead reports the call
+	// site. Invariant 2: rounds never overlap.
+	roundBegin func(n *qnode, fromRole, atHead bool)
+	roundEnd   func(n *qnode)
+	// moved reports a queue node relocated by a shuffling round.
+	// Invariant 1: the relocated node is never the queue head.
+	moved func(shuffler, moved *qnode)
+	// handoff reports the shuffler role passing from one node to another;
+	// direct is true for the head relay to its successor. Invariant 4.
+	handoff func(from, to *qnode, direct bool)
+}
+
+// shflOracle is nil outside the invariant tests.
+var shflOracle atomic.Pointer[shflOracleHooks]

@@ -17,6 +17,10 @@ const (
 type shflState struct {
 	glock atomic.Uint32
 	tail  atomic.Pointer[qnode]
+	// probe, when non-nil, receives internal lock events (see Probe).
+	// Written by SetProbe before the lock is shared; read with plain
+	// loads on the lock paths so a nil probe costs one branch.
+	probe Probe
 }
 
 // trySteal is the TAS fast path; with stealing permitted it also barges
@@ -28,7 +32,13 @@ func (l *shflState) trySteal() bool {
 // tryLock attempts a single CAS — cheap because the lock state is
 // decoupled from the queue.
 func (l *shflState) tryLock() bool {
-	return l.glock.Load() == 0 && l.glock.CompareAndSwap(0, glkLocked)
+	if l.glock.Load() != 0 || !l.glock.CompareAndSwap(0, glkLocked) {
+		return false
+	}
+	if p := l.probe; p != nil && l.tail.Load() != nil {
+		p.Steal(true)
+	}
+	return true
 }
 
 // unlock releases the TAS lock, preserving the no-stealing bit.
@@ -44,6 +54,9 @@ func (l *shflState) unlock() {
 // lock acquires via fast path or the shuffled waiter queue (Figure 4 / 6).
 func (l *shflState) lock(blocking bool) {
 	if l.trySteal() {
+		if p := l.probe; p != nil && l.tail.Load() != nil {
+			p.Steal(false)
+		}
 		return
 	}
 	n := getNode()
@@ -54,6 +67,9 @@ func (l *shflState) lock(blocking bool) {
 		// Preserve FIFO while a queue exists; the blocking variant keeps
 		// stealing enabled so the lock stays live across wakeup latency.
 		l.glock.Or(glkNoSteal)
+	}
+	if o := shflOracle.Load(); o != nil && o.headEnter != nil {
+		o.headEnter(n)
 	}
 
 	if blocking {
@@ -89,6 +105,9 @@ func (l *shflState) lock(blocking bool) {
 			runtime.Gosched()
 		}
 	}
+	if o := shflOracle.Load(); o != nil && o.headExit != nil {
+		o.headExit(n)
+	}
 
 	// MCS unlock phase, moved to the acquire side: hand head status to the
 	// successor and release our node before entering the critical section.
@@ -102,6 +121,9 @@ func (l *shflState) lock(blocking bool) {
 				}
 			}
 			putNode(n)
+			if p := l.probe; p != nil {
+				p.Contended()
+			}
 			return
 		}
 		for next = n.next.Load(); next == nil; next = n.next.Load() {
@@ -113,16 +135,26 @@ func (l *shflState) lock(blocking bool) {
 		if h := n.lastHint.Load(); h != nil && h != next && h != n {
 			next.lastHint.Store(h)
 		}
+		if o := shflOracle.Load(); o != nil && o.handoff != nil {
+			o.handoff(n, next, true)
+		}
 		next.shuffler.Store(1)
 	}
 	if blocking {
 		if old := next.status.Swap(sReady); old == sParked {
 			next.wakeNode()
+			if p := l.probe; p != nil {
+				p.Unpark(true)
+			}
 		}
 	} else {
 		next.status.Store(sReady)
 	}
 	putNode(n)
+	if p := l.probe; p != nil {
+		p.Contended()
+		p.Handoff()
+	}
 }
 
 // spinUntilVeryNextWaiter links behind prev and waits for head status,
@@ -146,6 +178,9 @@ func (l *shflState) spinUntilVeryNextWaiter(blocking bool, prev, n *qnode) {
 		}
 		if blocking && v == sWaiting && spins > spinBudget {
 			if n.status.CompareAndSwap(sWaiting, sParked) {
+				if p := l.probe; p != nil {
+					p.Park()
+				}
 				n.parkSelf()
 			}
 			spins = 0
@@ -161,6 +196,9 @@ func (l *shflState) setSpinning(n *qnode) {
 	}
 	if n.status.CompareAndSwap(sParked, sSpinning) {
 		n.wakeNode()
+		if p := l.probe; p != nil {
+			p.Unpark(false)
+		}
 	}
 }
 
@@ -171,6 +209,8 @@ func (l *shflState) setSpinning(n *qnode) {
 func (l *shflState) shuffleWaiters(blocking bool, n *qnode, vnextWaiter bool) {
 	qlast := n
 	qprev := n
+	scanned, moved := 0, 0
+	fromRole := n.shuffler.Load() != 0
 
 	if n.batch.Load() == 0 {
 		n.batch.Store(1)
@@ -178,6 +218,10 @@ func (l *shflState) shuffleWaiters(blocking bool, n *qnode, vnextWaiter bool) {
 	n.shuffler.Store(0)
 	if n.batch.Load() >= maxShuffles {
 		return
+	}
+	oracle := shflOracle.Load()
+	if oracle != nil && oracle.roundBegin != nil {
+		oracle.roundBegin(n, fromRole, vnextWaiter)
 	}
 	if blocking && !vnextWaiter {
 		if old := n.status.Swap(sSpinning); old == sReady {
@@ -199,6 +243,7 @@ func (l *shflState) shuffleWaiters(blocking bool, n *qnode, vnextWaiter bool) {
 			n.lastHint.Store(nil)
 			break
 		}
+		scanned++
 		if qcurr.socket == n.socket {
 			if qprev == qlast {
 				// Contiguous same-socket chain: mark it.
@@ -219,10 +264,14 @@ func (l *shflState) shuffleWaiters(blocking bool, n *qnode, vnextWaiter bool) {
 				if blocking {
 					l.setSpinning(qcurr)
 				}
+				if oracle != nil && oracle.moved != nil {
+					oracle.moved(n, qcurr)
+				}
 				qprev.next.Store(qnext)
 				qcurr.next.Store(qlast.next.Load())
 				qlast.next.Store(qcurr)
 				qlast = qcurr
+				moved++
 			}
 		} else {
 			qprev = qcurr
@@ -235,6 +284,15 @@ func (l *shflState) shuffleWaiters(blocking bool, n *qnode, vnextWaiter bool) {
 		}
 	}
 
+	// The round is over before the role moves on: report it (and close the
+	// oracle's round window) ahead of arming the next shuffler, so rounds
+	// observably never overlap (invariant 2).
+	if p := l.probe; p != nil {
+		p.Shuffle(scanned, moved)
+	}
+	if oracle != nil && oracle.roundEnd != nil {
+		oracle.roundEnd(n)
+	}
 	if qlast == n {
 		if qprev != n {
 			n.lastHint.Store(qprev)
@@ -244,6 +302,9 @@ func (l *shflState) shuffleWaiters(blocking bool, n *qnode, vnextWaiter bool) {
 	}
 	if qprev != qlast {
 		qlast.lastHint.Store(qprev)
+	}
+	if oracle != nil && oracle.handoff != nil {
+		oracle.handoff(n, qlast, false)
 	}
 	qlast.shuffler.Store(1)
 }

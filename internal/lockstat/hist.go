@@ -1,0 +1,148 @@
+package lockstat
+
+import (
+	"math"
+	"math/bits"
+	"sync/atomic"
+)
+
+// histBuckets is the number of log2 nanosecond buckets: bucket 0 holds
+// sub-nanosecond (effectively zero-wait) samples, bucket b holds samples in
+// [2^(b-1), 2^b) ns, and the last bucket absorbs everything from ~9 minutes
+// up.
+const histBuckets = 40
+
+// Hist is a lock-free log2-bucketed histogram of durations in nanoseconds.
+// Recording is one atomic add on the bucket (plus one on the sum for
+// non-zero samples), so it is cheap enough for per-acquisition use. The
+// zero value is an empty histogram.
+type Hist struct {
+	buckets [histBuckets]atomic.Uint64
+	sum     atomic.Uint64 // total nanoseconds across all samples
+}
+
+// bucketOf maps a duration to its bucket index.
+func bucketOf(ns int64) int {
+	if ns <= 0 {
+		return 0
+	}
+	b := bits.Len64(uint64(ns)) // 2^(b-1) <= ns < 2^b
+	if b >= histBuckets {
+		b = histBuckets - 1
+	}
+	return b
+}
+
+// Record adds one sample of ns nanoseconds.
+func (h *Hist) Record(ns int64) {
+	h.buckets[bucketOf(ns)].Add(1)
+	if ns > 0 {
+		h.sum.Add(uint64(ns))
+	}
+}
+
+// RecordZero adds one zero-duration sample without touching the sum — the
+// uncontended fast path, kept to a single atomic add.
+func (h *Hist) RecordZero() {
+	h.buckets[0].Add(1)
+}
+
+// addZero adds n batched zero-duration samples at once (wrapper flush).
+func (h *Hist) addZero(n uint64) {
+	h.buckets[0].Add(n)
+}
+
+// Count returns the total number of recorded samples.
+func (h *Hist) Count() uint64 {
+	var n uint64
+	for i := range h.buckets {
+		n += h.buckets[i].Load()
+	}
+	return n
+}
+
+// reset zeroes the histogram in place.
+func (h *Hist) reset() {
+	for i := range h.buckets {
+		h.buckets[i].Store(0)
+	}
+	h.sum.Store(0)
+}
+
+// Snapshot captures a consistent-enough copy for reporting; returns nil
+// when the histogram is empty so reports can omit it.
+func (h *Hist) Snapshot() *HistSnapshot {
+	s := &HistSnapshot{Buckets: make([]uint64, histBuckets), SumNs: h.sum.Load()}
+	for i := range h.buckets {
+		v := h.buckets[i].Load()
+		s.Buckets[i] = v
+		s.Count += v
+	}
+	if s.Count == 0 {
+		return nil
+	}
+	// Trim the empty tail so JSON output stays small.
+	last := 0
+	for i, v := range s.Buckets {
+		if v != 0 {
+			last = i
+		}
+	}
+	s.Buckets = s.Buckets[:last+1]
+	return s
+}
+
+// HistSnapshot is an immutable histogram copy used in reports. Buckets are
+// log2 nanosecond buckets as in Hist.
+type HistSnapshot struct {
+	Count   uint64   `json:"count"`
+	SumNs   uint64   `json:"sum_ns"`
+	Buckets []uint64 `json:"buckets"`
+}
+
+// bucketMid returns a representative duration for one bucket: 0 for the
+// zero bucket, else the geometric midpoint of [2^(b-1), 2^b).
+func bucketMid(b int) float64 {
+	if b == 0 {
+		return 0
+	}
+	return math.Sqrt2 * float64(uint64(1)<<(b-1))
+}
+
+// Percentile returns an estimate (in ns) of the p-th percentile,
+// 0 < p <= 1, as the representative duration of the bucket where the
+// cumulative count crosses p.
+func (s *HistSnapshot) Percentile(p float64) float64 {
+	if s == nil || s.Count == 0 {
+		return 0
+	}
+	target := p * float64(s.Count)
+	var cum float64
+	for b, v := range s.Buckets {
+		cum += float64(v)
+		if cum >= target {
+			return bucketMid(b)
+		}
+	}
+	return bucketMid(len(s.Buckets) - 1)
+}
+
+// Mean returns the average sample in ns.
+func (s *HistSnapshot) Mean() float64 {
+	if s == nil || s.Count == 0 {
+		return 0
+	}
+	return float64(s.SumNs) / float64(s.Count)
+}
+
+// MaxNs returns the upper bound (in ns) of the highest non-empty bucket.
+func (s *HistSnapshot) MaxNs() float64 {
+	if s == nil || s.Count == 0 {
+		return 0
+	}
+	top := len(s.Buckets) - 1
+	if top == 0 {
+		return 0
+	}
+	return float64(uint64(1) << top)
+}

@@ -1,0 +1,302 @@
+package lockstat
+
+import (
+	"sync"
+	"time"
+
+	"shfllock/internal/core"
+)
+
+// contendedGuessNs classifies a Lock on a lock without TryLock as contended
+// when the measured wait exceeds this threshold (locks with TryLock, and
+// all probed ShflLocks, are classified exactly).
+const contendedGuessNs = 1000
+
+// flushEvery bounds how many zero-wait samples a wrapper batches in
+// lock-guarded plain fields before spilling them into the site's atomic
+// histogram. Batching keeps the uncontended fast path free of lock-prefixed
+// instructions; reports flush any residue via TryLock, so counts are exact
+// whenever the lock is quiescent (and at most flushEvery-1 behind while it
+// is held).
+const flushEvery = 64
+
+type tryLocker interface{ TryLock() bool }
+
+type probeTarget interface{ SetProbe(core.Probe) }
+
+// Lock wraps a sync.Locker so every acquisition is accounted to a Site:
+// one wait-time sample per acquisition (so wait-histogram mass always
+// equals the acquisition count), contended classification, and sampled
+// hold times. If the underlying lock is a ShflLock, its internal events
+// (steals, handoffs, parks, shuffles) are attached to the same site via
+// SetProbe. The wrapper itself satisfies sync.Locker.
+type Lock struct {
+	u      sync.Locker
+	try    tryLocker
+	site   *Site
+	probed bool
+
+	// Acquisition-side state, guarded by the underlying lock itself: these
+	// plain fields are only touched between acquiring and releasing u, so
+	// the lock's own happens-before edges make them race-free.
+	zeroBatch uint64 // zero-wait samples not yet flushed to the site
+	tryBatch  uint64 // explicit TryLock successes not yet flushed
+	ticks     uint64 // acquisition counter driving hold sampling
+	holdArmed bool
+	holdStart time.Time
+}
+
+// Instrument wraps l under the given site name in the default registry.
+func Instrument(l sync.Locker, name string) *Lock {
+	return Default.Instrument(l, name)
+}
+
+// Instrument wraps l under the given site name in this registry. The
+// wrapper must be installed before the lock is shared (SetProbe is not
+// atomic).
+func (r *Registry) Instrument(l sync.Locker, name string) *Lock {
+	il := &Lock{u: l, site: r.Site(name)}
+	if t, ok := l.(tryLocker); ok {
+		il.try = t
+		il.site.addFlusher(il.tryFlush)
+	}
+	if pt, ok := l.(probeTarget); ok {
+		pt.SetProbe(siteProbe{il.site})
+		il.probed = true
+	}
+	return il
+}
+
+// Site returns the site this wrapper reports to.
+func (l *Lock) Site() *Site { return l.site }
+
+// flushLocked spills batched counts into the site atomics; called with the
+// underlying lock held.
+func (l *Lock) flushLocked() {
+	if l.zeroBatch != 0 {
+		l.site.wait.addZero(l.zeroBatch)
+		l.zeroBatch = 0
+	}
+	if l.tryBatch != 0 {
+		l.site.trySuccess.Add(l.tryBatch)
+		l.tryBatch = 0
+	}
+}
+
+// tryFlush opportunistically acquires the lock to publish batched counts;
+// used when a report is taken. A held lock is left alone (its residue is
+// bounded by flushEvery-1).
+func (l *Lock) tryFlush() {
+	if l.try.TryLock() {
+		l.flushLocked()
+		l.u.Unlock()
+	}
+}
+
+// noteZero accounts one zero-wait acquisition; called with the lock held.
+func (l *Lock) noteZero() {
+	l.zeroBatch++
+	if l.zeroBatch >= flushEvery {
+		l.flushLocked()
+	}
+}
+
+// armHold decides whether this acquisition's hold time is sampled; called
+// with the lock held.
+func (l *Lock) armHold(s *Site) {
+	l.ticks++
+	if n := s.reg.holdEach.Load(); n <= 1 || l.ticks%n == 0 {
+		l.holdArmed = true
+		l.holdStart = time.Now()
+	} else {
+		l.holdArmed = false
+	}
+}
+
+// Lock acquires the underlying lock, recording exactly one wait sample.
+// Contention is detected with a single TryLock probe before blocking, so
+// the uncontended path touches no clock and no lock-prefixed instruction
+// beyond the acquisition itself.
+func (l *Lock) Lock() {
+	s := l.site
+	if !s.reg.enabled.Load() {
+		l.u.Lock()
+		return
+	}
+	if l.try != nil && l.try.TryLock() {
+		l.noteZero()
+		l.armHold(s)
+		return
+	}
+	start := time.Now()
+	l.u.Lock()
+	wait := time.Since(start).Nanoseconds()
+	s.wait.Record(wait)
+	if !l.probed && (l.try != nil || wait > contendedGuessNs) {
+		// Probed locks report contention themselves, exactly.
+		s.contended.Add(1)
+	}
+	l.armHold(s)
+}
+
+// Unlock releases the underlying lock, completing a sampled hold.
+func (l *Lock) Unlock() {
+	if l.holdArmed {
+		l.holdArmed = false
+		l.site.hold.Record(time.Since(l.holdStart).Nanoseconds())
+	}
+	l.u.Unlock()
+}
+
+// TryLock attempts the underlying lock's TryLock; it panics if the wrapped
+// lock has none.
+func (l *Lock) TryLock() bool {
+	s := l.site
+	if !s.reg.enabled.Load() {
+		return l.try.TryLock()
+	}
+	if l.try.TryLock() {
+		l.tryBatch++
+		l.noteZero()
+		l.armHold(s)
+		return true
+	}
+	s.tryFail.Add(1)
+	return false
+}
+
+type rwLocker interface {
+	Lock()
+	Unlock()
+	RLock()
+	RUnlock()
+}
+
+type tryRLocker interface{ TryRLock() bool }
+
+// RWLock wraps a readers-writer lock (core.RWMutex, sync.RWMutex, ...)
+// the same way Lock wraps a mutex. Writer-side accounting batches under
+// the write lock; reader-side accounting is atomic (readers overlap, so
+// there is no exclusive holder to guard plain fields — and no single
+// holder to attribute hold times to, so reader holds are not tracked).
+type RWLock struct {
+	u    rwLocker
+	tryW tryLocker
+	tryR tryRLocker
+	site *Site
+
+	probed bool
+
+	// Write-side state, guarded by the write lock.
+	zeroBatch uint64
+	tryBatch  uint64
+	ticks     uint64
+	holdArmed bool
+	holdStart time.Time
+}
+
+// InstrumentRW wraps l under the given site name in the default registry.
+func InstrumentRW(l rwLocker, name string) *RWLock {
+	return Default.InstrumentRW(l, name)
+}
+
+// InstrumentRW wraps l under the given site name in this registry.
+func (r *Registry) InstrumentRW(l rwLocker, name string) *RWLock {
+	il := &RWLock{u: l, site: r.Site(name)}
+	if t, ok := l.(tryLocker); ok {
+		il.tryW = t
+		il.site.addFlusher(il.tryFlush)
+	}
+	if t, ok := l.(tryRLocker); ok {
+		il.tryR = t
+	}
+	if pt, ok := l.(probeTarget); ok {
+		pt.SetProbe(siteProbe{il.site})
+		il.probed = true
+	}
+	return il
+}
+
+// Site returns the site this wrapper reports to.
+func (l *RWLock) Site() *Site { return l.site }
+
+func (l *RWLock) flushLocked() {
+	if l.zeroBatch != 0 {
+		l.site.wait.addZero(l.zeroBatch)
+		l.zeroBatch = 0
+	}
+	if l.tryBatch != 0 {
+		l.site.trySuccess.Add(l.tryBatch)
+		l.tryBatch = 0
+	}
+}
+
+func (l *RWLock) tryFlush() {
+	if l.tryW.TryLock() {
+		l.flushLocked()
+		l.u.Unlock()
+	}
+}
+
+// Lock acquires the write side.
+func (l *RWLock) Lock() {
+	s := l.site
+	if !s.reg.enabled.Load() {
+		l.u.Lock()
+		return
+	}
+	if l.tryW != nil && l.tryW.TryLock() {
+		l.zeroBatch++
+		if l.zeroBatch >= flushEvery {
+			l.flushLocked()
+		}
+	} else {
+		start := time.Now()
+		l.u.Lock()
+		wait := time.Since(start).Nanoseconds()
+		s.wait.Record(wait)
+		if !l.probed && (l.tryW != nil || wait > contendedGuessNs) {
+			s.contended.Add(1)
+		}
+	}
+	l.ticks++
+	if n := s.reg.holdEach.Load(); n <= 1 || l.ticks%n == 0 {
+		l.holdArmed = true
+		l.holdStart = time.Now()
+	} else {
+		l.holdArmed = false
+	}
+}
+
+// Unlock releases the write side.
+func (l *RWLock) Unlock() {
+	if l.holdArmed {
+		l.holdArmed = false
+		l.site.hold.Record(time.Since(l.holdStart).Nanoseconds())
+	}
+	l.u.Unlock()
+}
+
+// RLock acquires a read share.
+func (l *RWLock) RLock() {
+	s := l.site
+	if !s.reg.enabled.Load() {
+		l.u.RLock()
+		return
+	}
+	s.reads.Add(1)
+	if l.tryR != nil && l.tryR.TryRLock() {
+		s.wait.RecordZero()
+		return
+	}
+	start := time.Now()
+	l.u.RLock()
+	wait := time.Since(start).Nanoseconds()
+	s.wait.Record(wait)
+	if !l.probed && (l.tryR != nil || wait > contendedGuessNs) {
+		s.contended.Add(1)
+	}
+}
+
+// RUnlock releases a read share.
+func (l *RWLock) RUnlock() { l.u.RUnlock() }

@@ -1,0 +1,162 @@
+package lockstat
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"strings"
+
+	"shfllock/internal/simlocks"
+)
+
+// Report is the substrate-independent snapshot of one lock site — the same
+// schema covers the native locks (counters + histograms from Site) and the
+// simulated locks (counters mapped from simlocks). Histograms are nil when
+// the substrate cannot observe them.
+type Report struct {
+	Name      string `json:"name"`
+	Substrate string `json:"substrate"` // "native" or "sim"
+
+	Acquires     uint64 `json:"acquires"`
+	ReadAcquires uint64 `json:"read_acquires,omitempty"`
+	Contended    uint64 `json:"contended"`
+	TrySuccess   uint64 `json:"try_success,omitempty"`
+	TryFail      uint64 `json:"try_fail,omitempty"`
+	Steals       uint64 `json:"steals,omitempty"`
+	Handoffs     uint64 `json:"handoffs,omitempty"`
+	Parks        uint64 `json:"parks,omitempty"`
+	WakeupsInCS  uint64 `json:"wakeups_in_cs,omitempty"`
+	WakeupsOffCS uint64 `json:"wakeups_off_cs,omitempty"`
+
+	Shuffles       uint64 `json:"shuffles,omitempty"`
+	ShuffleScanned uint64 `json:"shuffle_scanned,omitempty"`
+	ShuffleMoves   uint64 `json:"shuffle_moves,omitempty"`
+
+	DynamicAllocs uint64 `json:"dynamic_allocs,omitempty"`
+
+	Wait *HistSnapshot `json:"wait_ns,omitempty"`
+	Hold *HistSnapshot `json:"hold_ns,omitempty"`
+}
+
+// ContentionPct returns the percentage of acquisitions that waited.
+func (r Report) ContentionPct() float64 {
+	if r.Acquires == 0 {
+		return 0
+	}
+	return 100 * float64(r.Contended) / float64(r.Acquires)
+}
+
+// Consistent verifies the cross-counter invariants every report must
+// satisfy (contended never exceeds acquisitions; on the native substrate
+// the wait-histogram mass is exactly the acquisition count). It returns a
+// description of the first violation, or "" when the report is sound.
+func (r Report) Consistent() string {
+	if r.Contended > r.Acquires {
+		return fmt.Sprintf("%s: contended %d > acquires %d", r.Name, r.Contended, r.Acquires)
+	}
+	if r.Wait != nil && r.Wait.Count != r.Acquires {
+		return fmt.Sprintf("%s: wait histogram mass %d != acquires %d", r.Name, r.Wait.Count, r.Acquires)
+	}
+	if r.Hold != nil && r.Hold.Count > r.Acquires {
+		return fmt.Sprintf("%s: hold histogram mass %d > acquires %d", r.Name, r.Hold.Count, r.Acquires)
+	}
+	return ""
+}
+
+// FromSimCounters maps a simulated lock's counters onto the report schema.
+// The simulator observes wakeup placement directly (Figure 11f) but does
+// not classify contended acquisitions or measure wall-clock waits, so
+// those fields stay zero/nil.
+func FromSimCounters(name string, c *simlocks.Counters) Report {
+	if c == nil {
+		return Report{Name: name, Substrate: "sim"}
+	}
+	return Report{
+		Name:           name,
+		Substrate:      "sim",
+		Acquires:       c.Acquires,
+		TrySuccess:     c.TrySuccess,
+		TryFail:        c.TryFail,
+		Steals:         c.Steals,
+		Parks:          c.Parks,
+		WakeupsInCS:    c.WakeupsInCS,
+		WakeupsOffCS:   c.WakeupsOffCS,
+		Shuffles:       c.Shuffles,
+		ShuffleScanned: c.ShuffleScanned,
+		ShuffleMoves:   c.ShuffleMoves,
+		DynamicAllocs:  c.DynamicAllocs,
+	}
+}
+
+// FromExtra maps a workload Result.Extra counter map (the simulator's
+// per-run lock counters) onto the report schema.
+func FromExtra(name string, extra map[string]float64) Report {
+	u := func(k string) uint64 { return uint64(extra[k]) }
+	return Report{
+		Name:           name,
+		Substrate:      "sim",
+		Acquires:       u("acquires"),
+		TrySuccess:     u("try_success"),
+		TryFail:        u("try_fail"),
+		Steals:         u("steals"),
+		Parks:          u("parks"),
+		WakeupsInCS:    u("wakeups_in_cs"),
+		WakeupsOffCS:   u("wakeups_off_cs"),
+		Shuffles:       u("shuffles"),
+		ShuffleScanned: u("shuffle_scanned"),
+		ShuffleMoves:   u("shuffle_moves"),
+		DynamicAllocs:  u("dynamic_allocs"),
+	}
+}
+
+// WriteText renders reports as a lock_stat-style text block.
+func WriteText(w io.Writer, reps []Report) {
+	// Size the site column to the longest label so long names stay aligned.
+	wide := 26
+	for _, r := range reps {
+		if n := len(r.Name) + len(r.Substrate) + 3; n > wide {
+			wide = n
+		}
+	}
+	fmt.Fprintf(w, "lock_stat: %d site(s)\n", len(reps))
+	fmt.Fprintf(w, "%-*s %12s %10s %6s %8s %8s %8s %10s\n",
+		wide, "site", "acquires", "contended", "con%", "steals", "handoffs", "parks", "shuffles")
+	fmt.Fprintln(w, strings.Repeat("-", wide+70))
+	for _, r := range reps {
+		fmt.Fprintf(w, "%-*s %12d %10d %5.1f%% %8d %8d %8d %10d\n",
+			wide, r.Name+" ("+r.Substrate+")", r.Acquires, r.Contended, r.ContentionPct(),
+			r.Steals, r.Handoffs, r.Parks, r.Shuffles)
+		if r.ReadAcquires > 0 || r.TrySuccess > 0 || r.TryFail > 0 {
+			fmt.Fprintf(w, "    reads=%d trylock ok/fail=%d/%d\n", r.ReadAcquires, r.TrySuccess, r.TryFail)
+		}
+		if r.WakeupsInCS > 0 || r.WakeupsOffCS > 0 {
+			fmt.Fprintf(w, "    wakeups: in-cs=%d off-cs=%d\n", r.WakeupsInCS, r.WakeupsOffCS)
+		}
+		if r.Shuffles > 0 {
+			fmt.Fprintf(w, "    shuffle: scanned=%d moved=%d\n", r.ShuffleScanned, r.ShuffleMoves)
+		}
+		if r.DynamicAllocs > 0 {
+			fmt.Fprintf(w, "    dynamic allocs=%d\n", r.DynamicAllocs)
+		}
+		writeHistLine(w, "wait", r.Wait)
+		writeHistLine(w, "hold", r.Hold)
+		if msg := r.Consistent(); msg != "" {
+			fmt.Fprintf(w, "    INCONSISTENT: %s\n", msg)
+		}
+	}
+}
+
+func writeHistLine(w io.Writer, label string, h *HistSnapshot) {
+	if h == nil {
+		return
+	}
+	fmt.Fprintf(w, "    %s ns: count=%d avg=%.0f p50=%.0f p90=%.0f p99=%.0f max<%.0f\n",
+		label, h.Count, h.Mean(), h.Percentile(0.50), h.Percentile(0.90), h.Percentile(0.99), h.MaxNs())
+}
+
+// WriteJSON renders reports as indented JSON.
+func WriteJSON(w io.Writer, reps []Report) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(reps)
+}

@@ -22,6 +22,27 @@ func TestFairnessFactorExtremes(t *testing.T) {
 	}
 }
 
+// Degenerate inputs must neither panic nor produce NaN: a single-threaded
+// run has no tail/median split, and an empty slice has no elements at all.
+func TestFairnessFactorDegenerate(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		ops  []uint64
+	}{
+		{"empty", []uint64{}},
+		{"single", []uint64{42}},
+		{"single-zero", []uint64{0}},
+	} {
+		f := FairnessFactor(tc.ops)
+		if math.IsNaN(f) || math.IsInf(f, 0) {
+			t.Errorf("%s: factor = %v, want finite", tc.name, f)
+		}
+		if f != 0.5 {
+			t.Errorf("%s: factor = %v, want neutral 0.5", tc.name, f)
+		}
+	}
+}
+
 // Property: the fairness factor is always in [0.5, 1] (up to odd-length
 // median placement) and is scale-invariant.
 func TestFairnessFactorProperties(t *testing.T) {
@@ -51,6 +72,13 @@ func TestThroughput(t *testing.T) {
 	}
 	if got := Throughput(5, 0, 2.2); got != 0 {
 		t.Errorf("zero-cycle throughput = %v", got)
+	}
+	// All-zero inputs must not divide 0/0 into NaN.
+	if got := Throughput(0, 0, 2.2); math.IsNaN(got) || got != 0 {
+		t.Errorf("zero/zero throughput = %v, want 0", got)
+	}
+	if got := Throughput(0, 1000, 2.2); math.IsNaN(got) || got != 0 {
+		t.Errorf("zero-ops throughput = %v, want 0", got)
 	}
 }
 

@@ -126,10 +126,15 @@ func addLockCounters(res *Result, l interface{}) {
 		return
 	}
 	res.Extra["acquires"] = float64(st.Acquires)
+	res.Extra["try_success"] = float64(st.TrySuccess)
+	res.Extra["try_fail"] = float64(st.TryFail)
 	res.Extra["steals"] = float64(st.Steals)
 	res.Extra["shuffles"] = float64(st.Shuffles)
+	res.Extra["shuffle_scanned"] = float64(st.ShuffleScanned)
+	res.Extra["shuffle_moves"] = float64(st.ShuffleMoves)
 	res.Extra["parks"] = float64(st.Parks)
 	res.Extra["wakeups_in_cs"] = float64(st.WakeupsInCS)
 	res.Extra["wakeups_off_cs"] = float64(st.WakeupsOffCS)
 	res.Extra["dynamic_allocs"] = float64(st.DynamicAllocs)
+	res.Extra["dynamic_alloc_bytes"] = float64(st.DynamicAllocatedBytes)
 }

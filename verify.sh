@@ -1,0 +1,36 @@
+#!/bin/sh
+# verify.sh — the repo's full verification gate.
+#
+#   ./verify.sh          vet + tier-1 (build + tests) + race on internal/core
+#   ./verify.sh -short   same, but tests run with -short
+#
+# Tier-1 is the contract every change must keep green:
+#   go build ./... && go test ./...
+# The race pass re-runs the native-lock package (including the shuffling
+# invariant tests) under the race detector, which is where lock bugs hide.
+set -eu
+
+cd "$(dirname "$0")"
+
+SHORT=""
+if [ "${1:-}" = "-short" ]; then
+	SHORT="-short"
+fi
+
+echo "== go vet ./..."
+go vet ./...
+
+echo "== go build ./..."
+go build ./...
+
+echo "== go test ./...  (tier-1)"
+go test $SHORT ./...
+
+echo "== go test -race ./internal/core/..."
+go test -race $SHORT ./internal/core/...
+
+echo "== shape gate: shflbench -exp all -quick"
+go run ./cmd/shflbench -exp all -quick >/tmp/shflbench-verify.txt
+grep "shape\[" /tmp/shflbench-verify.txt
+
+echo "verify.sh: ALL PASS"
