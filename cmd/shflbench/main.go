@@ -5,13 +5,20 @@
 //
 //	shflbench -list
 //	shflbench -exp fig9a [-quick] [-sockets 8] [-cores 24] [-seed 1]
-//	shflbench -exp all -quick
+//	shflbench -exp all -quick [-parallel 8] [-cache /tmp/shflcache]
+//
+// Every experiment point — one (lock, threads) simulation — is an
+// independent, seed-deterministic run, so points execute concurrently
+// (-parallel, default GOMAXPROCS) with output byte-identical to -parallel
+// 1. With -cache, finished points are memoized on disk and replayed on
+// re-runs with the same experiment, topology, seed, and mode.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 
 	"shfllock/internal/bench"
 	"shfllock/internal/topology"
@@ -19,13 +26,17 @@ import (
 
 func main() {
 	var (
-		list     = flag.Bool("list", false, "list available experiments")
-		exp      = flag.String("exp", "", "experiment id to run (or 'all')")
-		quick    = flag.Bool("quick", false, "fewer sweep points, shorter windows")
-		sockets  = flag.Int("sockets", 8, "simulated sockets")
-		cores    = flag.Int("cores", 24, "cores per socket")
-		seed     = flag.Int64("seed", 1, "simulation seed")
+		list    = flag.Bool("list", false, "list available experiments")
+		exp     = flag.String("exp", "", "experiment id to run (or 'all')")
+		quick   = flag.Bool("quick", false, "fewer sweep points, shorter windows")
+		sockets = flag.Int("sockets", 8, "simulated sockets")
+		cores   = flag.Int("cores", 24, "cores per socket")
+		// The default seed lives here, in the flag definition: -seed 0 is
+		// a real, distinct seed, not an alias for 1.
+		seed     = flag.Int64("seed", 1, "simulation seed (0 is a valid seed)")
 		lockstat = flag.Bool("lockstat", false, "append lock_stat-style reports to experiments that carry them")
+		parallel = flag.Int("parallel", runtime.GOMAXPROCS(0), "simulation points to run concurrently (1 = serial)")
+		cacheDir = flag.String("cache", "", "directory memoizing finished points across runs")
 	)
 	flag.Parse()
 
@@ -48,22 +59,23 @@ func main() {
 		LockStat: *lockstat,
 		Shapes:   shapes,
 	}
+	opt := bench.Options{Parallel: *parallel, CacheDir: *cacheDir}
 
-	if *exp == "all" {
-		for _, e := range bench.All() {
-			fmt.Printf("=== %s: %s ===\n", e.ID, e.Title)
-			e.Run(cfg, os.Stdout)
-			fmt.Println()
+	exps := bench.All()
+	if *exp != "all" {
+		e, ok := bench.ByID(*exp)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "unknown experiment %q; use -list\n", *exp)
+			os.Exit(1)
 		}
-		exitOnShapeFailures(shapes)
-		return
+		exps = []bench.Experiment{e}
+	} else {
+		opt.Banner = true
 	}
-	e, ok := bench.ByID(*exp)
-	if !ok {
-		fmt.Fprintf(os.Stderr, "unknown experiment %q; use -list\n", *exp)
+	if err := bench.RunAll(exps, cfg, opt, os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
-	e.Run(cfg, os.Stdout)
 	exitOnShapeFailures(shapes)
 }
 

@@ -3,6 +3,14 @@
 // algorithms) on the simulated reference machine and prints the same rows
 // or series the paper reports, plus a one-line shape check against the
 // paper's qualitative claim.
+//
+// An experiment is split into two halves so the harness can parallelize
+// and memoize it: Points enumerates the independent, seed-deterministic
+// simulations the experiment needs, and Render assembles their Results
+// into the printed tables and shape checks. Points may execute in any
+// order, concurrently, or be served from the on-disk cache — every Run
+// closure builds its own simulation engine from the Config, so the output
+// is byte-identical however the points were executed (see RunAll).
 package bench
 
 import (
@@ -17,7 +25,10 @@ import (
 
 // Config controls an experiment run.
 type Config struct {
-	Topo     topology.Machine
+	Topo topology.Machine
+	// Seed is the simulation seed, passed through verbatim: seed 0 is a
+	// valid seed distinct from seed 1. Callers that want a default apply
+	// it themselves (cmd/shflbench does so in its flag definition).
 	Seed     int64
 	Quick    bool      // fewer sweep points, shorter measurement windows
 	LockStat bool      // append a lockstat report to experiments that carry one
@@ -27,9 +38,6 @@ type Config struct {
 func (c Config) withDefaults() Config {
 	if c.Topo.Sockets == 0 {
 		c.Topo = topology.Reference()
-	}
-	if c.Seed == 0 {
-		c.Seed = 1
 	}
 	return c
 }
@@ -43,6 +51,11 @@ func (c Config) duration() uint64 {
 }
 
 // threadPoints returns the sweep's x values up to max cores times oversub.
+// The full-subscription point (every core busy) is always part of the
+// sweep, whatever the topology: the canned ladders only contain the
+// reference machine's core count, so without it a sweep on, say, a
+// 2-socket/10-core box would jump from 16 threads to over-subscription
+// without ever measuring 20.
 func (c Config) threadPoints(oversub int) []int {
 	cores := c.Topo.Cores()
 	var pts []int
@@ -53,14 +66,23 @@ func (c Config) threadPoints(oversub int) []int {
 	}
 	var out []int
 	for _, p := range pts {
-		if p <= cores {
+		if p < cores {
 			out = append(out, p)
 		}
 	}
+	out = append(out, cores)
 	for f := 2; f <= oversub; f *= 2 {
 		out = append(out, f*cores)
 	}
-	return out
+	sort.Ints(out)
+	j := 0
+	for i, v := range out {
+		if i == 0 || v != out[j-1] {
+			out[j] = v
+			j++
+		}
+	}
+	return out[:j]
 }
 
 // params builds workload parameters for one sweep point.
@@ -73,17 +95,69 @@ func (c Config) params(threads int) workloads.Params {
 	}
 }
 
+// Point is one independent simulation of an experiment: a (lock, threads)
+// sweep coordinate plus an optional variant discriminator for experiments
+// that run the same pair more than once (e.g. Table 1's solo vs contended
+// atomics measurement). Run must be a pure function of the Config — it
+// builds its own engine and seeds it from Config.Seed — so the harness is
+// free to execute points in any order, in parallel, or to replay them
+// from the on-disk cache.
+type Point struct {
+	Lock    string
+	Threads int
+	Variant string
+	Run     func(c Config) workloads.Result
+}
+
+// resKey identifies a point within one experiment.
+type resKey struct {
+	lock    string
+	threads int
+	variant string
+}
+
+// Results holds the simulation outcomes of one experiment's points.
+type Results struct {
+	m map[resKey]workloads.Result
+}
+
+// Get returns the result of the (lock, threads) point.
+func (r *Results) Get(lock string, threads int) workloads.Result {
+	return r.GetV(lock, threads, "")
+}
+
+// GetV returns the result of a point registered with a variant.
+func (r *Results) GetV(lock string, threads int, variant string) workloads.Result {
+	v, ok := r.m[resKey{lock, threads, variant}]
+	if !ok {
+		panic(fmt.Sprintf("bench: no result for %s@%d/%q — Points and Render disagree", lock, threads, variant))
+	}
+	return v
+}
+
 // Experiment is one reproducible table or figure.
 type Experiment struct {
 	ID    string
 	Title string
-	Run   func(c Config, w io.Writer)
+	// Points enumerates the experiment's simulations; nil for experiments
+	// that only print static data (fig2).
+	Points func(c Config) []Point
+	// Render writes the experiment's tables and shape checks from the
+	// assembled results. It runs serially, in registration order.
+	Render func(c Config, r *Results, w io.Writer)
+}
+
+// Run executes the experiment's points serially and renders the result —
+// the single-experiment convenience used by tests and cmd/memfootprint.
+func (e Experiment) Run(c Config, w io.Writer) {
+	// Without a cache directory RunAll has no error paths.
+	_ = RunAll([]Experiment{e}, c, Options{}, w)
 }
 
 var registry []Experiment
 
-func register(id, title string, run func(c Config, w io.Writer)) {
-	registry = append(registry, Experiment{ID: id, Title: title, Run: run})
+func register(id, title string, points func(Config) []Point, render func(Config, *Results, io.Writer)) {
+	registry = append(registry, Experiment{ID: id, Title: title, Points: points, Render: render})
 }
 
 // All returns every registered experiment, sorted by ID.
@@ -103,18 +177,36 @@ func ByID(id string) (Experiment, bool) {
 	return Experiment{}, false
 }
 
-// sweep runs fn for every (lock, threads) pair and assembles series.
-func sweep(c Config, names []string, points []int, fn func(name string, threads int) float64) []stats.Series {
+// sweepPoints builds the standard names x threads grid of a figure sweep.
+func sweepPoints(c Config, names []string, pts []int, run func(c Config, name string, n int) workloads.Result) []Point {
+	var out []Point
+	for _, name := range names {
+		for _, n := range pts {
+			name, n := name, n
+			out = append(out, Point{Lock: name, Threads: n, Run: func(c Config) workloads.Result {
+				return run(c, name, n)
+			}})
+		}
+	}
+	return out
+}
+
+// seriesOf assembles one curve per lock name from an experiment's results.
+func seriesOf(r *Results, names []string, pts []int, y func(workloads.Result) float64) []stats.Series {
 	out := make([]stats.Series, len(names))
 	for i, name := range names {
-		s := stats.Series{Label: name, X: points}
-		for _, n := range points {
-			s.Y = append(s.Y, fn(name, n))
+		s := stats.Series{Label: name, X: pts}
+		for _, n := range pts {
+			s.Y = append(s.Y, y(r.Get(name, n)))
 		}
 		out[i] = s
 	}
 	return out
 }
+
+// opsPerSec and fairnessOf are the common y-axis extractors.
+func opsPerSec(r workloads.Result) float64  { return r.OpsPerSec }
+func fairnessOf(r workloads.Result) float64 { return r.Fairness }
 
 // header prints the experiment banner.
 func header(w io.Writer, e Config, title string) {

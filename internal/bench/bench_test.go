@@ -79,6 +79,69 @@ func TestThreadPoints(t *testing.T) {
 	}
 }
 
+// Every topology must sweep its exact full-subscription point: a
+// 2-socket/10-core machine has 20 cores, which no canned ladder contains.
+func TestThreadPointsFullSubscription(t *testing.T) {
+	cases := []struct {
+		topo    topology.Machine
+		quick   bool
+		oversub int
+	}{
+		{topology.Machine{Sockets: 2, CoresPerSocket: 10}, true, 1},
+		{topology.Machine{Sockets: 2, CoresPerSocket: 10}, false, 4},
+		{topology.Machine{Sockets: 1, CoresPerSocket: 2}, true, 4},
+		{topology.Reference(), true, 4},
+		{topology.Reference(), false, 1},
+	}
+	for _, tc := range cases {
+		c := Config{Topo: tc.topo, Quick: tc.quick}
+		pts := c.threadPoints(tc.oversub)
+		cores := tc.topo.Cores()
+		found := false
+		for _, p := range pts {
+			if p == cores {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("%v quick=%v: full-subscription point %d missing from %v", tc.topo, tc.quick, cores, pts)
+		}
+		for i := 1; i < len(pts); i++ {
+			if pts[i] <= pts[i-1] {
+				t.Errorf("%v: sweep not sorted/deduped: %v", tc.topo, pts)
+			}
+		}
+		if want := tc.oversub * cores; tc.oversub > 1 && pts[len(pts)-1] != want {
+			t.Errorf("%v: oversubscription endpoint = %d, want %d", tc.topo, pts[len(pts)-1], want)
+		}
+	}
+	// The reference-machine ladders are unchanged by the fix: 192 is both
+	// a ladder value and the core count, and must appear exactly once.
+	pts := Config{Topo: topology.Reference(), Quick: true}.threadPoints(1)
+	n := 0
+	for _, p := range pts {
+		if p == 192 {
+			n++
+		}
+	}
+	if n != 1 {
+		t.Errorf("192 appears %d times in the reference quick sweep %v, want once", n, pts)
+	}
+}
+
+// Seed 0 must stay seed 0: -seed 0 and -seed 1 are different runs. The
+// default seed is applied by cmd/shflbench's flag definition, not by
+// remapping the value here.
+func TestSeedZeroPreserved(t *testing.T) {
+	c := Config{Seed: 0}.withDefaults()
+	if c.Seed != 0 {
+		t.Fatalf("withDefaults remapped Seed 0 to %d", c.Seed)
+	}
+	if got := c.params(4).Seed; got != 0 {
+		t.Fatalf("params forwarded seed %d, want 0", got)
+	}
+}
+
 func TestMeasureAtomicsUncontendedShfl(t *testing.T) {
 	// Table 1 claims ShflLock needs ~1 atomic per uncontended acquire.
 	c := tinyConfig()

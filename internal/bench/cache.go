@@ -1,0 +1,103 @@
+package bench
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"shfllock/internal/workloads"
+)
+
+// harnessVersion keys the on-disk result cache. Bump it whenever the
+// simulator, the cost model, or any workload changes behavior, so stale
+// entries can never be replayed as current results.
+const harnessVersion = "shflbench-v2"
+
+// cacheKey is everything a point's result depends on. Two runs with equal
+// keys are guaranteed byte-identical results (the simulator is
+// deterministic per seed), which is what makes replaying entries safe.
+type cacheKey struct {
+	Harness string `json:"harness"`
+	Exp     string `json:"exp"`
+	Lock    string `json:"lock"`
+	Threads int    `json:"threads"`
+	Variant string `json:"variant,omitempty"`
+	Sockets int    `json:"sockets"`
+	Cores   int    `json:"cores_per_socket"`
+	Seed    int64  `json:"seed"`
+	Quick   bool   `json:"quick"`
+}
+
+// cacheEntry is the on-disk format: the full key is stored alongside the
+// result so a hash collision can never replay the wrong entry and files
+// stay self-describing for inspection.
+type cacheEntry struct {
+	Key    cacheKey         `json:"key"`
+	Result workloads.Result `json:"result"`
+}
+
+type diskCache struct{ dir string }
+
+func openCache(dir string) (*diskCache, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("bench: cache dir: %w", err)
+	}
+	return &diskCache{dir: dir}, nil
+}
+
+func (d *diskCache) keyOf(exp string, k resKey, c Config) cacheKey {
+	return cacheKey{
+		Harness: harnessVersion,
+		Exp:     exp,
+		Lock:    k.lock,
+		Threads: k.threads,
+		Variant: k.variant,
+		Sockets: c.Topo.Sockets,
+		Cores:   c.Topo.CoresPerSocket,
+		Seed:    c.Seed,
+		Quick:   c.Quick,
+	}
+}
+
+func (d *diskCache) path(k cacheKey) string {
+	b, _ := json.Marshal(k)
+	sum := sha256.Sum256(b)
+	return filepath.Join(d.dir, "shflbench-"+hex.EncodeToString(sum[:12])+".json")
+}
+
+// load returns the cached result for a point, if present. Unreadable,
+// malformed, or key-mismatched entries count as misses — the point reruns
+// and the entry is rewritten.
+func (d *diskCache) load(exp string, rk resKey, c Config) (workloads.Result, bool) {
+	k := d.keyOf(exp, rk, c)
+	b, err := os.ReadFile(d.path(k))
+	if err != nil {
+		return workloads.Result{}, false
+	}
+	var e cacheEntry
+	if err := json.Unmarshal(b, &e); err != nil || e.Key != k {
+		return workloads.Result{}, false
+	}
+	return e.Result, true
+}
+
+// store writes a point's result. The write is atomic (tmp + rename) so a
+// crashed run never leaves a half-written entry for load to reject.
+func (d *diskCache) store(exp string, rk resKey, c Config, res workloads.Result) error {
+	k := d.keyOf(exp, rk, c)
+	b, err := json.MarshalIndent(cacheEntry{Key: k, Result: res}, "", "  ")
+	if err != nil {
+		// A non-finite float (NaN ratio in Extra) cannot be encoded;
+		// skip caching this point rather than failing the run.
+		return nil
+	}
+	p := d.path(k)
+	tmp := p + ".tmp"
+	if err := os.WriteFile(tmp, b, 0o644); err != nil {
+		return fmt.Errorf("bench: cache write: %w", err)
+	}
+	return os.Rename(tmp, p)
+}

@@ -8,35 +8,43 @@ import (
 	"shfllock/internal/workloads"
 )
 
-// appExperiment runs one Figure 10 panel: throughput and lock memory for
-// every kernel lock set.
-func appExperiment(c Config, w io.Writer, title string,
-	run func(p workloads.Params, k workloads.KernelLocks) workloads.Result) {
-	c = c.withDefaults()
-	header(w, c, title)
-	pts := c.threadPoints(1)
+// kernelNames lists the Figure 10 lock-set lineup in registration order.
+func kernelNames() []string {
 	kernels := workloads.AllKernels()
 	names := make([]string, len(kernels))
 	for i, k := range kernels {
 		names[i] = k.Name
 	}
-	mem := map[string]float64{}
-	s := sweep(c, names, pts, func(name string, n int) float64 {
-		for _, k := range kernels {
-			if k.Name == name {
-				r := run(c.params(n), k)
-				if n == pts[len(pts)-1] {
-					mem[name] = float64(r.LockBytes) / (1 << 10)
-				}
-				return r.OpsPerSec
-			}
+	return names
+}
+
+// appPoints enumerates one Figure 10 panel's sweep: every kernel lock set
+// at every thread count.
+func appPoints(c Config, run func(p workloads.Params, k workloads.KernelLocks) workloads.Result) []Point {
+	var out []Point
+	for _, k := range workloads.AllKernels() {
+		for _, n := range c.threadPoints(1) {
+			k, n := k, n
+			out = append(out, Point{Lock: k.Name, Threads: n, Run: func(c Config) workloads.Result {
+				return run(c.params(n), k)
+			}})
 		}
-		return 0
-	})
+	}
+	return out
+}
+
+// appRender prints one Figure 10 panel: the throughput table plus lock
+// memory at the last sweep point for every kernel lock set.
+func appRender(c Config, r *Results, w io.Writer, title string) {
+	header(w, c, title)
+	pts := c.threadPoints(1)
+	names := kernelNames()
+	lastN := pts[len(pts)-1]
+	s := seriesOf(r, names, pts, opsPerSec)
 	fmt.Fprint(w, stats.Table("threads", "ops/sec", s))
-	fmt.Fprintf(w, "\nlock memory at %d threads (KB):", pts[len(pts)-1])
+	fmt.Fprintf(w, "\nlock memory at %d threads (KB):", lastN)
 	for _, name := range names {
-		fmt.Fprintf(w, "  %s=%.1f", name, mem[name])
+		fmt.Fprintf(w, "  %s=%.1f", name, float64(r.Get(name, lastN).LockBytes)/(1<<10))
 	}
 	fmt.Fprintln(w)
 	shapeCheck(w, c, s, "shfllock", "stock", 0.7)
@@ -44,13 +52,19 @@ func appExperiment(c Config, w io.Writer, title string,
 }
 
 func init() {
-	register("fig10a", "Figure 10(a): AFL fuzzer model — throughput and lock memory", func(c Config, w io.Writer) {
-		appExperiment(c, w, "Figure 10(a) — AFL (fork + file churn + gettimeofday)", workloads.AFL)
-	})
-	register("fig10b", "Figure 10(b): Exim mail server model — throughput and lock memory", func(c Config, w io.Writer) {
-		appExperiment(c, w, "Figure 10(b) — Exim (fork-per-message, 3 files/message)", workloads.Exim)
-	})
-	register("fig10c", "Figure 10(c): Metis map-reduce model — page faults on mmap_sem", func(c Config, w io.Writer) {
-		appExperiment(c, w, "Figure 10(c) — Metis (reader side of mmap_sem)", workloads.Metis)
-	})
+	register("fig10a", "Figure 10(a): AFL fuzzer model — throughput and lock memory",
+		func(c Config) []Point { return appPoints(c, workloads.AFL) },
+		func(c Config, r *Results, w io.Writer) {
+			appRender(c, r, w, "Figure 10(a) — AFL (fork + file churn + gettimeofday)")
+		})
+	register("fig10b", "Figure 10(b): Exim mail server model — throughput and lock memory",
+		func(c Config) []Point { return appPoints(c, workloads.Exim) },
+		func(c Config, r *Results, w io.Writer) {
+			appRender(c, r, w, "Figure 10(b) — Exim (fork-per-message, 3 files/message)")
+		})
+	register("fig10c", "Figure 10(c): Metis map-reduce model — page faults on mmap_sem",
+		func(c Config) []Point { return appPoints(c, workloads.Metis) },
+		func(c Config, r *Results, w io.Writer) {
+			appRender(c, r, w, "Figure 10(c) — Metis (reader side of mmap_sem)")
+		})
 }

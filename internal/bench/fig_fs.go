@@ -31,65 +31,76 @@ func mkMaker(name string) simlocks.Maker {
 }
 
 func init() {
-	register("fig1a", "Figure 1(a): MWCM file creation throughput (writer side of inode rwsem)", func(c Config, w io.Writer) {
-		c = c.withDefaults()
-		header(w, c, "Figure 1(a) — MWCM throughput, shared directory, 4KB files")
-		pts := c.threadPoints(1)
-		s := sweep(c, rwSet(), pts, func(name string, n int) float64 {
-			return workloads.MWCM(c.params(n), rwMaker(name)).OpsPerSec
+	register("fig1a", "Figure 1(a): MWCM file creation throughput (writer side of inode rwsem)",
+		func(c Config) []Point {
+			return sweepPoints(c, rwSet(), c.threadPoints(1), func(c Config, name string, n int) workloads.Result {
+				return workloads.MWCM(c.params(n), rwMaker(name))
+			})
+		},
+		func(c Config, r *Results, w io.Writer) {
+			header(w, c, "Figure 1(a) — MWCM throughput, shared directory, 4KB files")
+			s := seriesOf(r, rwSet(), c.threadPoints(1), opsPerSec)
+			fmt.Fprint(w, stats.Table("threads", "files/sec", s))
+			shapeCheck(w, c, s, "shfllock-rw", "cohort-rw", 1.0)
+			shapeCheck(w, c, s, "shfllock-rw", "stock-rwsem", 2.0)
 		})
-		fmt.Fprint(w, stats.Table("threads", "files/sec", s))
-		shapeCheck(w, c, s, "shfllock-rw", "cohort-rw", 1.0)
-		shapeCheck(w, c, s, "shfllock-rw", "stock-rwsem", 2.0)
-	})
 
-	register("fig1b", "Figure 1(b): lock memory consumed by inodes during MWCM", func(c Config, w io.Writer) {
-		c = c.withDefaults()
-		header(w, c, "Figure 1(b) — lock bytes embedded in live inodes (MB)")
-		pts := c.threadPoints(1)
-		s := sweep(c, rwSet(), pts, func(name string, n int) float64 {
-			r := workloads.MWCM(c.params(n), rwMaker(name))
-			return float64(r.LockBytes) / (1 << 20)
+	register("fig1b", "Figure 1(b): lock memory consumed by inodes during MWCM",
+		func(c Config) []Point {
+			return sweepPoints(c, rwSet(), c.threadPoints(1), func(c Config, name string, n int) workloads.Result {
+				return workloads.MWCM(c.params(n), rwMaker(name))
+			})
+		},
+		func(c Config, r *Results, w io.Writer) {
+			header(w, c, "Figure 1(b) — lock bytes embedded in live inodes (MB)")
+			s := seriesOf(r, rwSet(), c.threadPoints(1), func(res workloads.Result) float64 {
+				return float64(res.LockBytes) / (1 << 20)
+			})
+			fmt.Fprint(w, stats.Table("threads", "lock MB", s))
+			shapeCheck(w, c, s, "cohort-rw", "shfllock-rw", 10)
 		})
-		fmt.Fprint(w, stats.Table("threads", "lock MB", s))
-		shapeCheck(w, c, s, "cohort-rw", "shfllock-rw", 10)
-	})
 
-	register("fig9a", "Figure 9(a): MWRM rename into a shared directory (sb rename mutex)", func(c Config, w io.Writer) {
-		c = c.withDefaults()
-		header(w, c, "Figure 9(a) — MWRM throughput with blocking locks, up to 2x over-subscription")
-		pts := c.threadPoints(2)
-		names := []string{"stock-mutex", "cohort", "cst", "shfllock-b"}
-		s := sweep(c, names, pts, func(name string, n int) float64 {
-			return workloads.MWRM(c.params(n), mkMaker(name)).OpsPerSec
+	fig9aNames := []string{"stock-mutex", "cohort", "cst", "shfllock-b"}
+	register("fig9a", "Figure 9(a): MWRM rename into a shared directory (sb rename mutex)",
+		func(c Config) []Point {
+			return sweepPoints(c, fig9aNames, c.threadPoints(2), func(c Config, name string, n int) workloads.Result {
+				return workloads.MWRM(c.params(n), mkMaker(name))
+			})
+		},
+		func(c Config, r *Results, w io.Writer) {
+			header(w, c, "Figure 9(a) — MWRM throughput with blocking locks, up to 2x over-subscription")
+			s := seriesOf(r, fig9aNames, c.threadPoints(2), opsPerSec)
+			fmt.Fprint(w, stats.Table("threads", "renames/sec", s))
+			shapeCheck(w, c, s, "shfllock-b", "stock-mutex", 0.9)
+			shapeCheck(w, c, s, "shfllock-b", "cohort", 1.5)
 		})
-		fmt.Fprint(w, stats.Table("threads", "renames/sec", s))
-		shapeCheck(w, c, s, "shfllock-b", "stock-mutex", 0.9)
-		shapeCheck(w, c, s, "shfllock-b", "cohort", 1.5)
-	})
 
-	register("fig9b", "Figure 9(b): MWCM with blocking locks, up to 2x over-subscription", func(c Config, w io.Writer) {
-		c = c.withDefaults()
-		header(w, c, "Figure 9(b) — MWCM throughput (writer side), blocking locks")
-		pts := c.threadPoints(2)
-		s := sweep(c, rwSet(), pts, func(name string, n int) float64 {
-			return workloads.MWCM(c.params(n), rwMaker(name)).OpsPerSec
+	register("fig9b", "Figure 9(b): MWCM with blocking locks, up to 2x over-subscription",
+		func(c Config) []Point {
+			return sweepPoints(c, rwSet(), c.threadPoints(2), func(c Config, name string, n int) workloads.Result {
+				return workloads.MWCM(c.params(n), rwMaker(name))
+			})
+		},
+		func(c Config, r *Results, w io.Writer) {
+			header(w, c, "Figure 9(b) — MWCM throughput (writer side), blocking locks")
+			s := seriesOf(r, rwSet(), c.threadPoints(2), opsPerSec)
+			fmt.Fprint(w, stats.Table("threads", "files/sec", s))
+			shapeCheck(w, c, s, "shfllock-rw", "cohort-rw", 1.2)
 		})
-		fmt.Fprint(w, stats.Table("threads", "files/sec", s))
-		shapeCheck(w, c, s, "shfllock-rw", "cohort-rw", 1.2)
-	})
 
-	register("fig9c", "Figure 9(c): MRDM directory enumeration (reader side) incl. BRAVO", func(c Config, w io.Writer) {
-		c = c.withDefaults()
-		header(w, c, "Figure 9(c) — MRDM throughput (reader side), blocking locks + BRAVO")
-		pts := c.threadPoints(2)
-		names := append(rwSet(), "stock-rwsem+bravo", "shfllock-rw+bravo")
-		s := sweep(c, names, pts, func(name string, n int) float64 {
-			return workloads.MRDM(c.params(n), rwMaker(name)).OpsPerSec
+	fig9cNames := append(rwSet(), "stock-rwsem+bravo", "shfllock-rw+bravo")
+	register("fig9c", "Figure 9(c): MRDM directory enumeration (reader side) incl. BRAVO",
+		func(c Config) []Point {
+			return sweepPoints(c, fig9cNames, c.threadPoints(2), func(c Config, name string, n int) workloads.Result {
+				return workloads.MRDM(c.params(n), rwMaker(name))
+			})
+		},
+		func(c Config, r *Results, w io.Writer) {
+			header(w, c, "Figure 9(c) — MRDM throughput (reader side), blocking locks + BRAVO")
+			s := seriesOf(r, fig9cNames, c.threadPoints(2), opsPerSec)
+			fmt.Fprint(w, stats.Table("threads", "readdirs/sec", s))
+			shapeCheck(w, c, s, "shfllock-rw", "stock-rwsem", 0.7)
+			shapeCheck(w, c, s, "cohort-rw", "shfllock-rw", 5)
+			shapeCheck(w, c, s, "shfllock-rw+bravo", "stock-rwsem+bravo", 0.7)
 		})
-		fmt.Fprint(w, stats.Table("threads", "readdirs/sec", s))
-		shapeCheck(w, c, s, "shfllock-rw", "stock-rwsem", 0.7)
-		shapeCheck(w, c, s, "cohort-rw", "shfllock-rw", 5)
-		shapeCheck(w, c, s, "shfllock-rw+bravo", "stock-rwsem+bravo", 0.7)
-	})
 }

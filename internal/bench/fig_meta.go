@@ -6,6 +6,7 @@ import (
 
 	"shfllock/internal/sim"
 	"shfllock/internal/simlocks"
+	"shfllock/internal/workloads"
 )
 
 // linuxLockCalls is the historical dataset behind Figure 2: the number of
@@ -74,17 +75,51 @@ type Table1Result struct {
 	RWLocks []Table1Row `json:"rw_locks"`
 }
 
-// Table1Data measures Table 1 — per-lock/per-waiter/per-holder footprints
-// and atomics per acquire for every mutex, footprints for every RW lock.
-func Table1Data(c Config) Table1Result {
-	c = c.withDefaults()
-	sockets := c.Topo.Sockets
-	ops := 400
-	contended := c.Topo.Cores() / 2
+// Variant labels of Table 1's two atomics measurements per mutex. The
+// thread counts alone cannot key them: on a small quick-mode machine the
+// contended run can collapse to 1 thread and collide with the solo run.
+const (
+	t1Solo      = "atomics-solo"
+	t1Contended = "atomics-contended"
+)
+
+// atomicsKey is the Extra field carrying a measureAtomics value through
+// the point/result plumbing (and the on-disk cache).
+const atomicsKey = "atomics_per_acquire"
+
+// table1Setup derives the measurement sizes from the config.
+func table1Setup(c Config) (ops, contended int) {
+	ops = 400
+	contended = c.Topo.Cores() / 2
 	if c.Quick {
 		ops = 120
 		contended = c.Topo.Cores() / 4
 	}
+	return ops, contended
+}
+
+// table1Points enumerates Table 1's simulations: solo and contended
+// atomics-per-acquire for every mutex (RW locks are footprint-only).
+func table1Points(c Config) []Point {
+	ops, contended := table1Setup(c)
+	var out []Point
+	for _, mk := range simlocks.AllMutexMakers() {
+		mk := mk
+		out = append(out,
+			Point{Lock: mk.Name, Threads: 1, Variant: t1Solo, Run: func(c Config) workloads.Result {
+				return workloads.Result{Extra: map[string]float64{atomicsKey: measureAtomics(c, mk, 1, ops)}}
+			}},
+			Point{Lock: mk.Name, Threads: contended, Variant: t1Contended, Run: func(c Config) workloads.Result {
+				return workloads.Result{Extra: map[string]float64{atomicsKey: measureAtomics(c, mk, contended, ops/8+4)}}
+			}})
+	}
+	return out
+}
+
+// table1Assemble combines the static footprints with the measured atomics.
+func table1Assemble(c Config, r *Results) Table1Result {
+	_, contended := table1Setup(c)
+	sockets := c.Topo.Sockets
 	var out Table1Result
 	for _, mk := range simlocks.AllMutexMakers() {
 		fp := mk.Footprint(sockets)
@@ -95,8 +130,8 @@ func Table1Data(c Config) Table1Result {
 			PerHolder:     fp.PerHolder,
 			Dynamic:       fp.Dynamic,
 			HeapNodes:     fp.HeapNodes,
-			AtomicsSolo:   measureAtomics(c, mk, 1, ops),
-			AtomicsContnd: measureAtomics(c, mk, contended, ops/8+4),
+			AtomicsSolo:   r.GetV(mk.Name, 1, t1Solo).Extra[atomicsKey],
+			AtomicsContnd: r.GetV(mk.Name, contended, t1Contended).Extra[atomicsKey],
 		})
 	}
 	for _, mk := range simlocks.AllRWMakers() {
@@ -110,38 +145,52 @@ func Table1Data(c Config) Table1Result {
 	return out
 }
 
-func init() {
-	register("fig2", "Figure 2: lock() call sites in the Linux kernel over time", func(c Config, w io.Writer) {
-		c = c.withDefaults()
-		header(w, c, "Figure 2 — growth of lock usage in Linux (published dataset)")
-		fmt.Fprintf(w, "%-6s %-10s %12s\n", "year", "version", "call sites")
-		for _, r := range linuxLockCalls {
-			fmt.Fprintf(w, "%-6d %-10s %12d\n", r.Year, r.Version, r.CallSites)
-		}
-		fmt.Fprintln(w, "\n(use cmd/lockcount to reproduce the count on any source tree)")
-	})
+// Table1Data measures Table 1 — per-lock/per-waiter/per-holder footprints
+// and atomics per acquire for every mutex, footprints for every RW lock —
+// running the measurements serially (cmd/memfootprint's entry point).
+func Table1Data(c Config) Table1Result {
+	c = c.withDefaults()
+	r := &Results{m: map[resKey]workloads.Result{}}
+	for _, p := range table1Points(c) {
+		r.m[resKey{p.Lock, p.Threads, p.Variant}] = p.Run(c)
+	}
+	return table1Assemble(c, r)
+}
 
-	register("table1", "Table 1: memory footprint and atomics per acquire for every lock", func(c Config, w io.Writer) {
-		c = c.withDefaults()
-		header(w, c, "Table 1 — footprint (bytes) and atomic ops per acquire")
-		data := Table1Data(c)
-		fmt.Fprintf(w, "%-18s %9s %10s %10s %9s %12s %12s\n",
-			"lock", "per-lock", "per-waiter", "per-holder", "dynamic", "atomics(1t)", "atomics(cont)")
-		for _, r := range data.Mutexes {
-			dyn := ""
-			if r.Dynamic {
-				dyn = "yes"
+func init() {
+	register("fig2", "Figure 2: lock() call sites in the Linux kernel over time",
+		nil, // static dataset: nothing to simulate
+		func(c Config, r *Results, w io.Writer) {
+			header(w, c, "Figure 2 — growth of lock usage in Linux (published dataset)")
+			fmt.Fprintf(w, "%-6s %-10s %12s\n", "year", "version", "call sites")
+			for _, row := range linuxLockCalls {
+				fmt.Fprintf(w, "%-6d %-10s %12d\n", row.Year, row.Version, row.CallSites)
 			}
-			if r.HeapNodes {
-				dyn += " heap"
+			fmt.Fprintln(w, "\n(use cmd/lockcount to reproduce the count on any source tree)")
+		})
+
+	register("table1", "Table 1: memory footprint and atomics per acquire for every lock",
+		table1Points,
+		func(c Config, r *Results, w io.Writer) {
+			header(w, c, "Table 1 — footprint (bytes) and atomic ops per acquire")
+			data := table1Assemble(c, r)
+			fmt.Fprintf(w, "%-18s %9s %10s %10s %9s %12s %12s\n",
+				"lock", "per-lock", "per-waiter", "per-holder", "dynamic", "atomics(1t)", "atomics(cont)")
+			for _, row := range data.Mutexes {
+				dyn := ""
+				if row.Dynamic {
+					dyn = "yes"
+				}
+				if row.HeapNodes {
+					dyn += " heap"
+				}
+				fmt.Fprintf(w, "%-18s %9d %10d %10d %9s %12.2f %12.2f\n",
+					row.Name, row.PerLock, row.PerWaiter, row.PerHolder, dyn, row.AtomicsSolo, row.AtomicsContnd)
 			}
-			fmt.Fprintf(w, "%-18s %9d %10d %10d %9s %12.2f %12.2f\n",
-				r.Name, r.PerLock, r.PerWaiter, r.PerHolder, dyn, r.AtomicsSolo, r.AtomicsContnd)
-		}
-		fmt.Fprintln(w, "\nRW lock footprints:")
-		fmt.Fprintf(w, "%-18s %9s %10s\n", "lock", "per-lock", "per-waiter")
-		for _, r := range data.RWLocks {
-			fmt.Fprintf(w, "%-18s %9d %10d\n", r.Name, r.PerLock, r.PerWaiter)
-		}
-	})
+			fmt.Fprintln(w, "\nRW lock footprints:")
+			fmt.Fprintf(w, "%-18s %9s %10s\n", "lock", "per-lock", "per-waiter")
+			for _, row := range data.RWLocks {
+				fmt.Fprintf(w, "%-18s %9d %10d\n", row.Name, row.PerLock, row.PerWaiter)
+			}
+		})
 }

@@ -10,140 +10,152 @@ import (
 )
 
 func init() {
-	register("fig8a", "Figure 8: MWRL rename in private directories (spinlocks)", func(c Config, w io.Writer) {
-		c = c.withDefaults()
-		header(w, c, "Figure 8 (left) — MWRL throughput with non-blocking locks")
-		pts := c.threadPoints(1)
-		names := []string{"stock-qspinlock", "cna", "shfllock-nb"}
-		s := sweep(c, names, pts, func(name string, n int) float64 {
-			return workloads.MWRL(c.params(n), mkMaker(name)).OpsPerSec
+	nbNames := []string{"stock-qspinlock", "cna", "shfllock-nb"}
+	register("fig8a", "Figure 8: MWRL rename in private directories (spinlocks)",
+		func(c Config) []Point {
+			return sweepPoints(c, nbNames, c.threadPoints(1), func(c Config, name string, n int) workloads.Result {
+				return workloads.MWRL(c.params(n), mkMaker(name))
+			})
+		},
+		func(c Config, r *Results, w io.Writer) {
+			header(w, c, "Figure 8 (left) — MWRL throughput with non-blocking locks")
+			s := seriesOf(r, nbNames, c.threadPoints(1), opsPerSec)
+			fmt.Fprint(w, stats.Table("threads", "renames/sec", s))
+			shapeCheck(w, c, s, "shfllock-nb", "stock-qspinlock", 1.05)
+			shapeCheck(w, c, s, "cna", "stock-qspinlock", 1.0)
 		})
-		fmt.Fprint(w, stats.Table("threads", "renames/sec", s))
-		shapeCheck(w, c, s, "shfllock-nb", "stock-qspinlock", 1.05)
-		shapeCheck(w, c, s, "cna", "stock-qspinlock", 1.0)
-	})
 
-	register("fig8b", "Figure 8: lock1 empty-critical-section stress (spinlocks)", func(c Config, w io.Writer) {
-		c = c.withDefaults()
-		header(w, c, "Figure 8 (right) — lock1 throughput with non-blocking locks")
-		pts := c.threadPoints(1)
-		names := []string{"stock-qspinlock", "cna", "shfllock-nb"}
-		s := sweep(c, names, pts, func(name string, n int) float64 {
-			return workloads.Lock1(c.params(n), mkMaker(name)).OpsPerSec
+	register("fig8b", "Figure 8: lock1 empty-critical-section stress (spinlocks)",
+		func(c Config) []Point {
+			return sweepPoints(c, nbNames, c.threadPoints(1), func(c Config, name string, n int) workloads.Result {
+				return workloads.Lock1(c.params(n), mkMaker(name))
+			})
+		},
+		func(c Config, r *Results, w io.Writer) {
+			header(w, c, "Figure 8 (right) — lock1 throughput with non-blocking locks")
+			s := seriesOf(r, nbNames, c.threadPoints(1), opsPerSec)
+			fmt.Fprint(w, stats.Table("threads", "ops/sec", s))
+			shapeCheck(w, c, s, "shfllock-nb", "stock-qspinlock", 1.05)
 		})
-		fmt.Fprint(w, stats.Table("threads", "ops/sec", s))
-		shapeCheck(w, c, s, "shfllock-nb", "stock-qspinlock", 1.05)
-	})
 
-	register("fig11a", "Figure 11(a): hash-table nano-bench, non-blocking locks, throughput", func(c Config, w io.Writer) {
-		c = c.withDefaults()
-		header(w, c, "Figure 11(a) — hash table 1% writes, non-blocking locks")
-		pts := c.threadPoints(1)
-		names := []string{"stock-qspinlock", "cna", "cohort", "shfllock-nb"}
-		s := sweep(c, names, pts, func(name string, n int) float64 {
-			return workloads.HashTable(c.params(n), mkMaker(name), 1).OpsPerSec
-		})
-		fmt.Fprint(w, stats.Table("threads", "ops/sec", s))
-		shapeCheck(w, c, s, "shfllock-nb", "stock-qspinlock", 1.05)
-	})
-
-	register("fig11b", "Figure 11(b): hash-table nano-bench, non-blocking locks, fairness", func(c Config, w io.Writer) {
-		c = c.withDefaults()
-		header(w, c, "Figure 11(b) — fairness factor (0.5 = strictly fair)")
-		pts := c.threadPoints(1)
-		names := []string{"stock-qspinlock", "cna", "cohort", "shfllock-nb"}
-		s := sweep(c, names, pts, func(name string, n int) float64 {
-			return workloads.HashTable(c.params(n), mkMaker(name), 1).Fairness
-		})
-		fmt.Fprint(w, stats.Table("threads", "fairness", s))
-	})
-
-	register("fig11c", "Figure 11(c): hash-table nano-bench, blocking locks, up to 4x over-subscription", func(c Config, w io.Writer) {
-		c = c.withDefaults()
-		header(w, c, "Figure 11(c) — hash table 1% writes, blocking locks")
-		pts := c.threadPoints(4)
-		names := []string{"stock-mutex", "cst", "malthusian", "shfllock-b"}
-		s := sweep(c, names, pts, func(name string, n int) float64 {
-			return workloads.HashTable(c.params(n), mkMaker(name), 1).OpsPerSec
-		})
-		fmt.Fprint(w, stats.Table("threads", "ops/sec", s))
-		shapeCheck(w, c, s, "shfllock-b", "stock-mutex", 1.3)
-	})
-
-	register("fig11d", "Figure 11(d): blocking locks fairness incl. NUMA-only stealing", func(c Config, w io.Writer) {
-		c = c.withDefaults()
-		header(w, c, "Figure 11(d) — fairness factor, blocking locks (+ShflLock NUMA-steal)")
-		pts := c.threadPoints(4)
-		names := []string{"stock-mutex", "cst", "shfllock-b", "shfllock-b-numa"}
-		s := sweep(c, names, pts, func(name string, n int) float64 {
-			return workloads.HashTable(c.params(n), mkMaker(name), 1).Fairness
-		})
-		fmt.Fprint(w, stats.Table("threads", "fairness", s))
-	})
-
-	register("fig11e", "Figure 11(e): ShflLock factor analysis (Base/+Shuffler/+Shufflers/+qlast)", func(c Config, w io.Writer) {
-		c = c.withDefaults()
-		header(w, c, "Figure 11(e) — factor analysis at full machine contention")
-		n := c.Topo.Cores()
-		names := []string{"shfl-base", "shfl+shuffler", "shfl+shufflers", "shfl+qlast"}
-		fmt.Fprintf(w, "%-16s %14s %10s\n", "variant", "ops/sec", "vs base")
-		var base float64
-		for _, name := range names {
-			r := workloads.HashTable(c.params(n), mkMaker(name), 1)
-			if base == 0 {
-				base = r.OpsPerSec
-			}
-			fmt.Fprintf(w, "%-16s %14.0f %9.1f%%\n", name, r.OpsPerSec, 100*(r.OpsPerSec/base-1))
-		}
-	})
-
-	register("fig11f", "Figure 11(f): wakeups on vs off the critical path (blocking ShflLock)", func(c Config, w io.Writer) {
-		c = c.withDefaults()
-		header(w, c, "Figure 11(f) — waiter wakeups by where they are issued")
-		pts := c.threadPoints(4)
-		fmt.Fprintf(w, "%-10s %14s %14s %14s %14s\n", "threads", "acquires", "in-CS wakeups", "off-CS wakeups", "parks")
-		var last workloads.Result
-		lastN := 0
-		for _, n := range pts {
-			r := workloads.HashTable(c.params(n), mkMaker("shfllock-b"), 1)
-			fmt.Fprintf(w, "%-10d %14.0f %14.0f %14.0f %14.0f\n", n,
-				r.Extra["acquires"], r.Extra["wakeups_in_cs"], r.Extra["wakeups_off_cs"], r.Extra["parks"])
-			last, lastN = r, n
-		}
-		inCS, offCS := last.Extra["wakeups_in_cs"], last.Extra["wakeups_off_cs"]
-		shapeExpect(w, c,
-			fmt.Sprintf("proactive wakeups: in-CS (%.0f) <= 20%% of all wakeups (%.0f) at %d threads",
-				inCS, inCS+offCS, lastN),
-			inCS <= 0.2*(inCS+offCS+1))
-		if c.LockStat {
-			fmt.Fprintln(w)
-			lockstat.WriteText(w, []lockstat.Report{
-				lockstat.FromExtra(fmt.Sprintf("hash-table/shfllock-b@%d", lastN), last.Extra),
+	htNB := []string{"stock-qspinlock", "cna", "cohort", "shfllock-nb"}
+	htPoints := func(names []string, oversub int) func(Config) []Point {
+		return func(c Config) []Point {
+			return sweepPoints(c, names, c.threadPoints(oversub), func(c Config, name string, n int) workloads.Result {
+				return workloads.HashTable(c.params(n), mkMaker(name), 1)
 			})
 		}
-	})
+	}
 
-	register("fig11g", "Figure 11(g): readers-writer locks, 1% writes, up to 4x over-subscription", func(c Config, w io.Writer) {
-		c = c.withDefaults()
-		header(w, c, "Figure 11(g) — hash table 1% writes, RW locks")
-		pts := c.threadPoints(4)
-		names := []string{"stock-rwsem", "shfllock-rw"}
-		s := sweep(c, names, pts, func(name string, n int) float64 {
-			return workloads.HashTableRW(c.params(n), rwMaker(name), 1).OpsPerSec
+	register("fig11a", "Figure 11(a): hash-table nano-bench, non-blocking locks, throughput",
+		htPoints(htNB, 1),
+		func(c Config, r *Results, w io.Writer) {
+			header(w, c, "Figure 11(a) — hash table 1% writes, non-blocking locks")
+			s := seriesOf(r, htNB, c.threadPoints(1), opsPerSec)
+			fmt.Fprint(w, stats.Table("threads", "ops/sec", s))
+			shapeCheck(w, c, s, "shfllock-nb", "stock-qspinlock", 1.05)
 		})
-		fmt.Fprint(w, stats.Table("threads", "ops/sec", s))
-		shapeCheck(w, c, s, "shfllock-rw", "stock-rwsem", 1.2)
-	})
 
-	register("fig11h", "Figure 11(h): readers-writer locks, 50% writes", func(c Config, w io.Writer) {
-		c = c.withDefaults()
-		header(w, c, "Figure 11(h) — hash table 50% writes, RW locks")
-		pts := c.threadPoints(4)
-		names := []string{"stock-rwsem", "shfllock-rw"}
-		s := sweep(c, names, pts, func(name string, n int) float64 {
-			return workloads.HashTableRW(c.params(n), rwMaker(name), 50).OpsPerSec
+	register("fig11b", "Figure 11(b): hash-table nano-bench, non-blocking locks, fairness",
+		htPoints(htNB, 1),
+		func(c Config, r *Results, w io.Writer) {
+			header(w, c, "Figure 11(b) — fairness factor (0.5 = strictly fair)")
+			s := seriesOf(r, htNB, c.threadPoints(1), fairnessOf)
+			fmt.Fprint(w, stats.Table("threads", "fairness", s))
 		})
-		fmt.Fprint(w, stats.Table("threads", "ops/sec", s))
-		shapeCheck(w, c, s, "shfllock-rw", "stock-rwsem", 1.3)
-	})
+
+	htB := []string{"stock-mutex", "cst", "malthusian", "shfllock-b"}
+	register("fig11c", "Figure 11(c): hash-table nano-bench, blocking locks, up to 4x over-subscription",
+		htPoints(htB, 4),
+		func(c Config, r *Results, w io.Writer) {
+			header(w, c, "Figure 11(c) — hash table 1% writes, blocking locks")
+			s := seriesOf(r, htB, c.threadPoints(4), opsPerSec)
+			fmt.Fprint(w, stats.Table("threads", "ops/sec", s))
+			shapeCheck(w, c, s, "shfllock-b", "stock-mutex", 1.3)
+		})
+
+	htBFair := []string{"stock-mutex", "cst", "shfllock-b", "shfllock-b-numa"}
+	register("fig11d", "Figure 11(d): blocking locks fairness incl. NUMA-only stealing",
+		htPoints(htBFair, 4),
+		func(c Config, r *Results, w io.Writer) {
+			header(w, c, "Figure 11(d) — fairness factor, blocking locks (+ShflLock NUMA-steal)")
+			s := seriesOf(r, htBFair, c.threadPoints(4), fairnessOf)
+			fmt.Fprint(w, stats.Table("threads", "fairness", s))
+		})
+
+	factorNames := []string{"shfl-base", "shfl+shuffler", "shfl+shufflers", "shfl+qlast"}
+	register("fig11e", "Figure 11(e): ShflLock factor analysis (Base/+Shuffler/+Shufflers/+qlast)",
+		func(c Config) []Point {
+			n := c.Topo.Cores()
+			return sweepPoints(c, factorNames, []int{n}, func(c Config, name string, n int) workloads.Result {
+				return workloads.HashTable(c.params(n), mkMaker(name), 1)
+			})
+		},
+		func(c Config, r *Results, w io.Writer) {
+			header(w, c, "Figure 11(e) — factor analysis at full machine contention")
+			n := c.Topo.Cores()
+			fmt.Fprintf(w, "%-16s %14s %10s\n", "variant", "ops/sec", "vs base")
+			var base float64
+			for _, name := range factorNames {
+				res := r.Get(name, n)
+				if base == 0 {
+					base = res.OpsPerSec
+				}
+				fmt.Fprintf(w, "%-16s %14.0f %9.1f%%\n", name, res.OpsPerSec, 100*(res.OpsPerSec/base-1))
+			}
+		})
+
+	register("fig11f", "Figure 11(f): wakeups on vs off the critical path (blocking ShflLock)",
+		htPoints([]string{"shfllock-b"}, 4),
+		func(c Config, r *Results, w io.Writer) {
+			header(w, c, "Figure 11(f) — waiter wakeups by where they are issued")
+			pts := c.threadPoints(4)
+			fmt.Fprintf(w, "%-10s %14s %14s %14s %14s\n", "threads", "acquires", "in-CS wakeups", "off-CS wakeups", "parks")
+			var last workloads.Result
+			lastN := 0
+			for _, n := range pts {
+				res := r.Get("shfllock-b", n)
+				fmt.Fprintf(w, "%-10d %14.0f %14.0f %14.0f %14.0f\n", n,
+					res.Extra["acquires"], res.Extra["wakeups_in_cs"], res.Extra["wakeups_off_cs"], res.Extra["parks"])
+				last, lastN = res, n
+			}
+			inCS, offCS := last.Extra["wakeups_in_cs"], last.Extra["wakeups_off_cs"]
+			shapeExpect(w, c,
+				fmt.Sprintf("proactive wakeups: in-CS (%.0f) <= 20%% of all wakeups (%.0f) at %d threads",
+					inCS, inCS+offCS, lastN),
+				inCS <= 0.2*(inCS+offCS+1))
+			if c.LockStat {
+				fmt.Fprintln(w)
+				lockstat.WriteText(w, []lockstat.Report{
+					lockstat.FromExtra(fmt.Sprintf("hash-table/shfllock-b@%d", lastN), last.Extra),
+				})
+			}
+		})
+
+	rwNames := []string{"stock-rwsem", "shfllock-rw"}
+	htRWPoints := func(writePct int) func(Config) []Point {
+		return func(c Config) []Point {
+			return sweepPoints(c, rwNames, c.threadPoints(4), func(c Config, name string, n int) workloads.Result {
+				return workloads.HashTableRW(c.params(n), rwMaker(name), writePct)
+			})
+		}
+	}
+
+	register("fig11g", "Figure 11(g): readers-writer locks, 1% writes, up to 4x over-subscription",
+		htRWPoints(1),
+		func(c Config, r *Results, w io.Writer) {
+			header(w, c, "Figure 11(g) — hash table 1% writes, RW locks")
+			s := seriesOf(r, rwNames, c.threadPoints(4), opsPerSec)
+			fmt.Fprint(w, stats.Table("threads", "ops/sec", s))
+			shapeCheck(w, c, s, "shfllock-rw", "stock-rwsem", 1.2)
+		})
+
+	register("fig11h", "Figure 11(h): readers-writer locks, 50% writes",
+		htRWPoints(50),
+		func(c Config, r *Results, w io.Writer) {
+			header(w, c, "Figure 11(h) — hash table 50% writes, RW locks")
+			s := seriesOf(r, rwNames, c.threadPoints(4), opsPerSec)
+			fmt.Fprint(w, stats.Table("threads", "ops/sec", s))
+			shapeCheck(w, c, s, "shfllock-rw", "stock-rwsem", 1.3)
+		})
 }

@@ -9,84 +9,105 @@ import (
 )
 
 func init() {
-	register("fig12a", "Figure 12(a): LevelDB readrandom, non-blocking userspace locks", func(c Config, w io.Writer) {
-		c = c.withDefaults()
-		header(w, c, "Figure 12(a) — LevelDB readrandom, non-blocking locks")
-		pts := c.threadPoints(1)
-		names := []string{"pthread", "mcs-heap", "cna-heap", "hmcs-heap", "mcstp", "shfllock-nb"}
-		s := sweep(c, names, pts, func(name string, n int) float64 {
-			return workloads.LevelDB(c.params(n), mkMaker(name)).OpsPerSec
+	ldbNB := []string{"pthread", "mcs-heap", "cna-heap", "hmcs-heap", "mcstp", "shfllock-nb"}
+	register("fig12a", "Figure 12(a): LevelDB readrandom, non-blocking userspace locks",
+		func(c Config) []Point {
+			return sweepPoints(c, ldbNB, c.threadPoints(1), func(c Config, name string, n int) workloads.Result {
+				return workloads.LevelDB(c.params(n), mkMaker(name))
+			})
+		},
+		func(c Config, r *Results, w io.Writer) {
+			header(w, c, "Figure 12(a) — LevelDB readrandom, non-blocking locks")
+			s := seriesOf(r, ldbNB, c.threadPoints(1), opsPerSec)
+			fmt.Fprint(w, stats.Table("threads", "reads/sec", s))
+			shapeCheck(w, c, s, "shfllock-nb", "mcs-heap", 0.5)
 		})
-		fmt.Fprint(w, stats.Table("threads", "reads/sec", s))
-		shapeCheck(w, c, s, "shfllock-nb", "mcs-heap", 0.5)
-	})
 
-	register("fig12b", "Figure 12(b): LevelDB readrandom, blocking locks, up to 4x over-subscription", func(c Config, w io.Writer) {
-		c = c.withDefaults()
-		header(w, c, "Figure 12(b) — LevelDB readrandom, blocking locks")
-		pts := c.threadPoints(4)
-		names := []string{"pthread", "mutexee", "malthusian", "shfllock-b"}
-		s := sweep(c, names, pts, func(name string, n int) float64 {
-			return workloads.LevelDB(c.params(n), mkMaker(name)).OpsPerSec
+	ldbB := []string{"pthread", "mutexee", "malthusian", "shfllock-b"}
+	register("fig12b", "Figure 12(b): LevelDB readrandom, blocking locks, up to 4x over-subscription",
+		func(c Config) []Point {
+			return sweepPoints(c, ldbB, c.threadPoints(4), func(c Config, name string, n int) workloads.Result {
+				return workloads.LevelDB(c.params(n), mkMaker(name))
+			})
+		},
+		func(c Config, r *Results, w io.Writer) {
+			header(w, c, "Figure 12(b) — LevelDB readrandom, blocking locks")
+			s := seriesOf(r, ldbB, c.threadPoints(4), opsPerSec)
+			fmt.Fprint(w, stats.Table("threads", "reads/sec", s))
+			shapeCheck(w, c, s, "shfllock-b", "pthread", 0.5)
+			shapeCheck(w, c, s, "shfllock-b", "mutexee", 0.7)
 		})
-		fmt.Fprint(w, stats.Table("threads", "reads/sec", s))
-		shapeCheck(w, c, s, "shfllock-b", "pthread", 0.5)
-		shapeCheck(w, c, s, "shfllock-b", "mutexee", 0.7)
-	})
 
-	register("fig12c", "Figure 12(c): streamcluster barrier phases (trylock-heavy)", func(c Config, w io.Writer) {
-		c = c.withDefaults()
-		header(w, c, "Figure 12(c) — streamcluster execution time (lower is better)")
-		pts := c.threadPoints(1)
-		phases := 48
+	scNames := []string{"pthread", "mcs-heap", "cna-heap", "hmcs-heap", "mcstp", "shfllock-nb"}
+	scPhases := func(c Config) int {
 		if c.Quick {
-			phases = 16
+			return 16
 		}
-		names := []string{"pthread", "mcs-heap", "cna-heap", "hmcs-heap", "mcstp", "shfllock-nb"}
-		s := sweep(c, names, pts, func(name string, n int) float64 {
-			r := workloads.Streamcluster(c.params(n), mkMaker(name), phases)
-			return r.Extra["exec_cycles"] / 1e6 // Mcycles, lower = better
+		return 48
+	}
+	register("fig12c", "Figure 12(c): streamcluster barrier phases (trylock-heavy)",
+		func(c Config) []Point {
+			return sweepPoints(c, scNames, c.threadPoints(1), func(c Config, name string, n int) workloads.Result {
+				return workloads.Streamcluster(c.params(n), mkMaker(name), scPhases(c))
+			})
+		},
+		func(c Config, r *Results, w io.Writer) {
+			header(w, c, "Figure 12(c) — streamcluster execution time (lower is better)")
+			s := seriesOf(r, scNames, c.threadPoints(1), func(res workloads.Result) float64 {
+				return res.Extra["exec_cycles"] / 1e6 // Mcycles, lower = better
+			})
+			fmt.Fprint(w, stats.Table("threads", "Mcycles (lower=better)", s))
+			shapeCheck(w, c, s, "mcs-heap", "shfllock-nb", 0.25)
+			shapeCheck(w, c, s, "cna-heap", "shfllock-nb", 0.8)
 		})
-		fmt.Fprint(w, stats.Table("threads", "Mcycles (lower=better)", s))
-		shapeCheck(w, c, s, "mcs-heap", "shfllock-nb", 0.25)
-		shapeCheck(w, c, s, "cna-heap", "shfllock-nb", 0.8)
-	})
 
-	register("fig13a", "Figure 13(a): Dedup pipeline throughput", func(c Config, w io.Writer) {
-		c = c.withDefaults()
-		header(w, c, "Figure 13(a) — Dedup jobs per hour (scaled)")
-		pts := c.threadPoints(2)
-		names := []string{"pthread", "mcs-heap", "cna-heap", "hmcs-heap", "shfllock-nb", "shfllock-b"}
-		s := sweep(c, names, pts, func(name string, n int) float64 {
-			return workloads.Dedup(c.params(n), mkMaker(name)).OpsPerSec
+	dedupNames := []string{"pthread", "mcs-heap", "cna-heap", "hmcs-heap", "shfllock-nb", "shfllock-b"}
+	register("fig13a", "Figure 13(a): Dedup pipeline throughput",
+		func(c Config) []Point {
+			return sweepPoints(c, dedupNames, c.threadPoints(2), func(c Config, name string, n int) workloads.Result {
+				return workloads.Dedup(c.params(n), mkMaker(name))
+			})
+		},
+		func(c Config, r *Results, w io.Writer) {
+			header(w, c, "Figure 13(a) — Dedup jobs per hour (scaled)")
+			s := seriesOf(r, dedupNames, c.threadPoints(2), opsPerSec)
+			fmt.Fprint(w, stats.Table("threads", "chunks/sec", s))
+			shapeCheck(w, c, s, "shfllock-b", "pthread", 0.7)
 		})
-		fmt.Fprint(w, stats.Table("threads", "chunks/sec", s))
-		shapeCheck(w, c, s, "shfllock-b", "pthread", 0.7)
-	})
 
-	register("fig13b", "Figure 13(b): Dedup lock-related memory relative to pthread", func(c Config, w io.Writer) {
-		c = c.withDefaults()
-		header(w, c, "Figure 13(b) — lock allocation ratio vs pthread")
-		n := c.Topo.Cores()
+	memNames := []string{"pthread", "mutexee", "mcs-heap", "cna-heap", "hmcs-heap", "shfllock-b"}
+	memThreads := func(c Config) int {
 		if c.Quick {
-			n = c.Topo.Cores() / 2
+			return c.Topo.Cores() / 2
 		}
-		base := workloads.Dedup(c.params(n), mkMaker("pthread"))
-		names := []string{"pthread", "mutexee", "mcs-heap", "cna-heap", "hmcs-heap", "shfllock-b"}
-		fmt.Fprintf(w, "%-14s %16s %12s\n", "lock", "lock bytes", "vs pthread")
-		maxHeap := 0.0
-		for _, name := range names {
-			r := workloads.Dedup(c.params(n), mkMaker(name))
-			ratio := float64(r.LockBytes) / float64(base.LockBytes)
-			fmt.Fprintf(w, "%-14s %16d %11.1fx\n", name, r.LockBytes, ratio)
-			if name == "mcs-heap" || name == "cna-heap" || name == "hmcs-heap" {
-				if ratio > maxHeap {
-					maxHeap = ratio
+		return c.Topo.Cores()
+	}
+	register("fig13b", "Figure 13(b): Dedup lock-related memory relative to pthread",
+		func(c Config) []Point {
+			// The pthread baseline is also a table row; sweepPoints emits it
+			// once and the runner deduplicates the repeat.
+			return sweepPoints(c, memNames, []int{memThreads(c)}, func(c Config, name string, n int) workloads.Result {
+				return workloads.Dedup(c.params(n), mkMaker(name))
+			})
+		},
+		func(c Config, r *Results, w io.Writer) {
+			header(w, c, "Figure 13(b) — lock allocation ratio vs pthread")
+			n := memThreads(c)
+			base := r.Get("pthread", n)
+			fmt.Fprintf(w, "%-14s %16s %12s\n", "lock", "lock bytes", "vs pthread")
+			maxHeap := 0.0
+			for _, name := range memNames {
+				res := r.Get(name, n)
+				ratio := float64(res.LockBytes) / float64(base.LockBytes)
+				fmt.Fprintf(w, "%-14s %16d %11.1fx\n", name, res.LockBytes, ratio)
+				if name == "mcs-heap" || name == "cna-heap" || name == "hmcs-heap" {
+					if ratio > maxHeap {
+						maxHeap = ratio
+					}
 				}
 			}
-		}
-		shapeExpect(w, c,
-			fmt.Sprintf("heap queue-node locks allocate >= 10x pthread's lock bytes (max %.1fx)", maxHeap),
-			maxHeap >= 10)
-	})
+			shapeExpect(w, c,
+				fmt.Sprintf("heap queue-node locks allocate >= 10x pthread's lock bytes (max %.1fx)", maxHeap),
+				maxHeap >= 10)
+		})
 }

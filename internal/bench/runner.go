@@ -1,0 +1,142 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"sync"
+
+	"shfllock/internal/workloads"
+)
+
+// Options configure how RunAll executes an experiment set.
+type Options struct {
+	// Parallel is the maximum number of simulation points in flight;
+	// values <= 1 run the points serially, in declaration order.
+	Parallel int
+	// CacheDir, when non-empty, memoizes every point's result on disk
+	// keyed by (harness version, experiment, lock, threads, variant,
+	// topology, seed, quick); see cache.go.
+	CacheDir string
+	// Banner prints the "=== id: title ===" separator before each
+	// experiment (the -exp all layout).
+	Banner bool
+}
+
+// RunAll executes the experiments' simulation points — concurrently when
+// opt.Parallel > 1 and memoized when opt.CacheDir is set — then renders
+// each experiment, in the order given, to w.
+//
+// The output is byte-identical to running every experiment serially:
+// points are pure functions of the Config with a private engine each, so
+// neither execution order nor parallelism can change a result, and all
+// writing happens in the serial render phase. verify.sh enforces the
+// guarantee by diffing a serial against a parallel run.
+func RunAll(exps []Experiment, c Config, opt Options, w io.Writer) error {
+	c = c.withDefaults()
+	var cache *diskCache
+	if opt.CacheDir != "" {
+		var err error
+		cache, err = openCache(opt.CacheDir)
+		if err != nil {
+			return err
+		}
+	}
+
+	// Phase 1: enumerate every experiment's points. Repeats of the same
+	// key within an experiment (e.g. fig13b's pthread baseline, which is
+	// also a sweep member) collapse to a single simulation.
+	type slot struct {
+		exp int
+		key resKey
+		pt  Point
+		res workloads.Result
+	}
+	results := make([]*Results, len(exps))
+	var slots []*slot
+	for i, e := range exps {
+		results[i] = &Results{m: map[resKey]workloads.Result{}}
+		if e.Points == nil {
+			continue
+		}
+		seen := map[resKey]bool{}
+		for _, pt := range e.Points(c) {
+			k := resKey{pt.Lock, pt.Threads, pt.Variant}
+			if seen[k] {
+				continue
+			}
+			seen[k] = true
+			slots = append(slots, &slot{exp: i, key: k, pt: pt})
+		}
+	}
+
+	// Phase 2: run the points, cache-first.
+	runOne := func(s *slot) error {
+		if cache != nil {
+			if res, ok := cache.load(exps[s.exp].ID, s.key, c); ok {
+				s.res = res
+				return nil
+			}
+		}
+		s.res = s.pt.Run(c)
+		if cache != nil {
+			return cache.store(exps[s.exp].ID, s.key, c, s.res)
+		}
+		return nil
+	}
+	workers := opt.Parallel
+	if workers > len(slots) {
+		workers = len(slots)
+	}
+	if workers <= 1 {
+		for _, s := range slots {
+			if err := runOne(s); err != nil {
+				return err
+			}
+		}
+	} else {
+		jobs := make(chan *slot)
+		var wg sync.WaitGroup
+		var mu sync.Mutex
+		var firstErr error
+		for i := 0; i < workers; i++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for s := range jobs {
+					if err := runOne(s); err != nil {
+						mu.Lock()
+						if firstErr == nil {
+							firstErr = err
+						}
+						mu.Unlock()
+					}
+				}
+			}()
+		}
+		for _, s := range slots {
+			jobs <- s
+		}
+		close(jobs)
+		wg.Wait()
+		if firstErr != nil {
+			return firstErr
+		}
+	}
+
+	// Phase 3: reassemble per experiment and render in registration order.
+	for _, s := range slots {
+		results[s.exp].m[s.key] = s.res
+	}
+	for i, e := range exps {
+		if opt.Banner {
+			fmt.Fprintf(w, "=== %s: %s ===\n", e.ID, e.Title)
+		}
+		if e.Render != nil {
+			e.Render(c, results[i], w)
+		}
+		if opt.Banner {
+			fmt.Fprintln(w)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,203 @@
+package bench
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"path/filepath"
+	"strings"
+	"sync/atomic"
+	"testing"
+
+	"shfllock/internal/topology"
+	"shfllock/internal/workloads"
+)
+
+// fakeExperiments builds a small experiment set whose points count their
+// executions, so tests can observe parallel scheduling and cache hits
+// without paying for real simulations. The rendered output depends on
+// every point's result, which makes byte-comparisons meaningful.
+func fakeExperiments(ran *atomic.Int64) []Experiment {
+	mk := func(id string, locks []string, pts []int) Experiment {
+		return Experiment{
+			ID:    id,
+			Title: "synthetic " + id,
+			Points: func(c Config) []Point {
+				var out []Point
+				for _, l := range locks {
+					for _, n := range pts {
+						l, n := l, n
+						out = append(out, Point{Lock: l, Threads: n, Run: func(c Config) workloads.Result {
+							ran.Add(1)
+							return workloads.Result{
+								OpsPerSec: float64(len(l)*1000 + n),
+								Extra:     map[string]float64{"seed": float64(c.Seed)},
+							}
+						}})
+					}
+				}
+				return out
+			},
+			Render: func(c Config, r *Results, w io.Writer) {
+				for _, l := range locks {
+					for _, n := range pts {
+						res := r.Get(l, n)
+						fmt.Fprintf(w, "%s %s@%d ops=%.0f seed=%.0f\n", id, l, n, res.OpsPerSec, res.Extra["seed"])
+					}
+				}
+			},
+		}
+	}
+	return []Experiment{
+		mk("syn1", []string{"alpha", "bravo"}, []int{1, 4, 16}),
+		mk("syn2", []string{"charlie"}, []int{2, 8}),
+	}
+}
+
+// Parallel execution must reassemble results in registration order and
+// produce output byte-identical to the serial runner.
+func TestRunAllParallelMatchesSerial(t *testing.T) {
+	var ranSerial, ranPar atomic.Int64
+	c := Config{Topo: topology.Laptop(), Seed: 7}
+
+	var serial bytes.Buffer
+	if err := RunAll(fakeExperiments(&ranSerial), c, Options{Parallel: 1, Banner: true}, &serial); err != nil {
+		t.Fatal(err)
+	}
+	var par bytes.Buffer
+	if err := RunAll(fakeExperiments(&ranPar), c, Options{Parallel: 8, Banner: true}, &par); err != nil {
+		t.Fatal(err)
+	}
+	if serial.String() != par.String() {
+		t.Errorf("parallel output differs from serial:\n--- serial ---\n%s--- parallel ---\n%s", serial.String(), par.String())
+	}
+	if ranSerial.Load() != 8 || ranPar.Load() != 8 {
+		t.Errorf("executed %d serial / %d parallel points, want 8 each", ranSerial.Load(), ranPar.Load())
+	}
+	if !strings.Contains(serial.String(), "=== syn1: synthetic syn1 ===") {
+		t.Errorf("banner missing:\n%s", serial.String())
+	}
+}
+
+// A warm cache must serve every point without re-running a simulation,
+// and yield byte-identical output.
+func TestRunAllCacheWarmRunSkipsPoints(t *testing.T) {
+	dir := t.TempDir()
+	c := Config{Topo: topology.Laptop(), Seed: 3, Quick: true}
+	opt := Options{Parallel: 2, CacheDir: dir}
+
+	var ranCold, ranWarm atomic.Int64
+	var cold, warm bytes.Buffer
+	if err := RunAll(fakeExperiments(&ranCold), c, opt, &cold); err != nil {
+		t.Fatal(err)
+	}
+	if ranCold.Load() != 8 {
+		t.Fatalf("cold run executed %d points, want 8", ranCold.Load())
+	}
+	if err := RunAll(fakeExperiments(&ranWarm), c, opt, &warm); err != nil {
+		t.Fatal(err)
+	}
+	if ranWarm.Load() != 0 {
+		t.Errorf("warm run executed %d points, want 0 (all cached)", ranWarm.Load())
+	}
+	if cold.String() != warm.String() {
+		t.Errorf("warm output differs from cold:\n--- cold ---\n%s--- warm ---\n%s", cold.String(), warm.String())
+	}
+	files, err := filepath.Glob(filepath.Join(dir, "shflbench-*.json"))
+	if err != nil || len(files) != 8 {
+		t.Errorf("cache holds %d entries (err=%v), want 8", len(files), err)
+	}
+}
+
+// The cache key must separate harness inputs: a different seed, topology,
+// or quick mode re-runs the points instead of replaying stale entries.
+func TestCacheKeySeparatesConfigs(t *testing.T) {
+	dir := t.TempDir()
+	base := Config{Topo: topology.Laptop(), Seed: 1}
+	opt := Options{CacheDir: dir}
+
+	var runs atomic.Int64
+	for _, c := range []Config{
+		base,
+		{Topo: topology.Laptop(), Seed: 0}, // seed 0 is distinct from seed 1
+		{Topo: topology.Laptop(), Seed: 1, Quick: true},
+		{Topo: topology.Machine{Sockets: 1, CoresPerSocket: 4}, Seed: 1},
+	} {
+		var buf bytes.Buffer
+		if err := RunAll(fakeExperiments(&runs), c, opt, &buf); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if runs.Load() != 4*8 {
+		t.Errorf("executed %d points across 4 distinct configs, want %d (no cross-config cache hits)", runs.Load(), 4*8)
+	}
+	// And the same config again is fully served from cache.
+	var buf bytes.Buffer
+	if err := RunAll(fakeExperiments(&runs), base, opt, &buf); err != nil {
+		t.Fatal(err)
+	}
+	if runs.Load() != 4*8 {
+		t.Errorf("repeat run executed %d extra points, want 0", runs.Load()-4*8)
+	}
+}
+
+// Duplicate keys within one experiment (a baseline reused as a sweep
+// member, like fig13b's pthread row) must collapse to one simulation.
+func TestRunAllDeduplicatesPoints(t *testing.T) {
+	var ran atomic.Int64
+	e := Experiment{
+		ID: "dup", Title: "dup",
+		Points: func(c Config) []Point {
+			run := func(c Config) workloads.Result {
+				ran.Add(1)
+				return workloads.Result{OpsPerSec: 42}
+			}
+			return []Point{
+				{Lock: "l", Threads: 8, Run: run},
+				{Lock: "l", Threads: 8, Run: run}, // repeat of the same key
+				{Lock: "l", Threads: 8, Variant: "other", Run: run},
+			}
+		},
+		Render: func(c Config, r *Results, w io.Writer) {
+			fmt.Fprintf(w, "%.0f %.0f\n", r.Get("l", 8).OpsPerSec, r.GetV("l", 8, "other").OpsPerSec)
+		},
+	}
+	var buf bytes.Buffer
+	if err := RunAll([]Experiment{e}, Config{}, Options{}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	if ran.Load() != 2 {
+		t.Errorf("executed %d points, want 2 (duplicate key collapsed)", ran.Load())
+	}
+	if buf.String() != "42 42\n" {
+		t.Errorf("unexpected render: %q", buf.String())
+	}
+}
+
+// Real experiments, serial vs parallel, on a tiny machine: the end-to-end
+// byte-identity guarantee the verify.sh gate relies on.
+func TestExperimentsParallelByteIdentical(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs real simulations")
+	}
+	ids := []string{"fig8b", "fig11e", "fig13b", "table1"}
+	var exps []Experiment
+	for _, id := range ids {
+		e, ok := ByID(id)
+		if !ok {
+			t.Fatalf("experiment %s missing", id)
+		}
+		exps = append(exps, e)
+	}
+	c := tinyConfig()
+	var serial, par bytes.Buffer
+	if err := RunAll(exps, c, Options{Parallel: 1, Banner: true}, &serial); err != nil {
+		t.Fatal(err)
+	}
+	if err := RunAll(exps, c, Options{Parallel: 4, Banner: true}, &par); err != nil {
+		t.Fatal(err)
+	}
+	if serial.String() != par.String() {
+		t.Errorf("parallel run is not byte-identical to serial:\n--- serial ---\n%s--- parallel ---\n%s", serial.String(), par.String())
+	}
+}

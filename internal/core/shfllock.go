@@ -115,10 +115,7 @@ func (l *shflState) lock(blocking bool) {
 	if next == nil {
 		if l.tail.CompareAndSwap(n, nil) {
 			if !blocking {
-				v := l.glock.Load()
-				if v&glkNoSteal != 0 {
-					l.glock.CompareAndSwap(v, v&^glkNoSteal)
-				}
+				l.clearNoSteal()
 			}
 			putNode(n)
 			if p := l.probe; p != nil {
@@ -154,6 +151,35 @@ func (l *shflState) lock(blocking bool) {
 	if p := l.probe; p != nil {
 		p.Contended()
 		p.Handoff()
+	}
+}
+
+// testHookGlkClearRace, when non-nil, runs inside clearNoSteal's
+// load-to-CAS window. It exists only so tests can deterministically land a
+// concurrent glock update in that window and prove the clear must retry: a
+// single CAS attempt loses the race and leaves stealing disabled forever.
+var testHookGlkClearRace func(l *shflState)
+
+// clearNoSteal re-enables TAS stealing after the last queued waiter has
+// left the queue. The clear must not be a single CAS attempt: any glock
+// update landing between the load and the CAS — an unlock/relock cycle of
+// a TAS stealer, or a TryLock racing into the window — fails the CAS, and
+// a lost clear is permanent on a lock whose remaining users only TryLock:
+// with glkNoSteal stuck, trySteal and tryLock see a non-zero word and fail
+// forever even though the lock is free. Retry until the bit is observed
+// clear.
+func (l *shflState) clearNoSteal() {
+	for {
+		v := l.glock.Load()
+		if v&glkNoSteal == 0 {
+			return
+		}
+		if h := testHookGlkClearRace; h != nil {
+			h(l)
+		}
+		if l.glock.CompareAndSwap(v, v&^glkNoSteal) {
+			return
+		}
 	}
 }
 

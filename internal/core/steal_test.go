@@ -1,0 +1,118 @@
+package core
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// TestNoStealClearSurvivesRace is the regression test for the lost
+// glkNoSteal clear: when the last queued waiter leaves the SpinLock's
+// queue it must re-enable TAS stealing even if a concurrent glock update
+// lands between its load of the word and the clearing CAS. The pre-fix
+// code issued exactly one CompareAndSwap, so the injected racer below made
+// it lose silently — leaving glkNoSteal set on a free lock, where every
+// later TryLock fails although nobody holds or waits for the lock.
+func TestNoStealClearSurvivesRace(t *testing.T) {
+	var l SpinLock
+
+	// Wedge the lock into the bug's end state first to pin down the
+	// symptom: stealing disabled, lock free, queue empty.
+	l.s.glock.Store(glkNoSteal)
+	if l.TryLock() {
+		t.Fatal("TryLock must fail while glkNoSteal is set")
+	}
+
+	// A queued Lock/Unlock cycle clears the bit on queue exit. Land a
+	// racing glock update (a TAS stealer's unlock observed mid-window) in
+	// the clear's load-to-CAS window so the first CAS attempt fails.
+	fired := 0
+	testHookGlkClearRace = func(s *shflState) {
+		if fired++; fired > 1 {
+			return
+		}
+		s.glock.Store(s.glock.Load() &^ glkLocked)
+	}
+	defer func() { testHookGlkClearRace = nil }()
+
+	l.Lock()
+	l.Unlock()
+
+	if fired == 0 {
+		t.Fatal("race hook never fired — Lock no longer exercises the clear path")
+	}
+	if !l.TryLock() {
+		t.Fatal("TryLock failed on an uncontended lock: the glkNoSteal clear was lost")
+	}
+	l.Unlock()
+}
+
+// tryLocker is the surface shared by both native ShflLocks.
+type tryLocker interface {
+	Lock()
+	Unlock()
+	TryLock() bool
+}
+
+// TestStealPathLiveness drives concurrent Lock/Unlock/TryLock traffic on
+// the native locks and asserts the steal path stays live: once the queue
+// drains, a TryLock on the now-uncontended lock must succeed. Run under
+// the race detector by verify.sh; a lost glkNoSteal clear fails the final
+// TryLock deterministically.
+func TestStealPathLiveness(t *testing.T) {
+	iters := 400
+	if testing.Short() {
+		iters = 60
+	}
+	locks := []struct {
+		name string
+		l    tryLocker
+	}{
+		{"spinlock", &SpinLock{}},
+		{"mutex", &Mutex{}},
+	}
+	for _, tc := range locks {
+		t.Run(tc.name, func(t *testing.T) {
+			l := tc.l
+			var held atomic.Int32
+			enterCS := func() {
+				if h := held.Add(1); h != 1 {
+					t.Errorf("%d threads in the critical section", h)
+				}
+				held.Add(-1)
+			}
+			var wg sync.WaitGroup
+			for w := 0; w < 6; w++ {
+				wg.Add(1)
+				go func(w int) {
+					defer wg.Done()
+					for k := 0; k < iters; k++ {
+						if (w+k)%3 == 0 {
+							if l.TryLock() {
+								enterCS()
+								l.Unlock()
+							}
+							continue
+						}
+						l.Lock()
+						enterCS()
+						l.Unlock()
+					}
+				}(w)
+			}
+			wg.Wait()
+			// All workers are gone, so the lock is free and the queue is
+			// empty; the TAS steal path must accept a TryLock promptly.
+			deadline := time.Now().Add(10 * time.Second)
+			for !l.TryLock() {
+				if time.Now().After(deadline) {
+					t.Fatal("TryLock never succeeded after the queue drained — steal path dead")
+				}
+				runtime.Gosched()
+			}
+			l.Unlock()
+		})
+	}
+}

@@ -1,0 +1,37 @@
+package workloads
+
+import (
+	"testing"
+
+	"shfllock/internal/simlocks"
+	"shfllock/internal/topology"
+)
+
+// Params must forward Seed verbatim: seed 0 is a real seed, not an alias
+// for 1, so shflbench -seed 0 produces its own deterministic run.
+func TestParamsSeedZeroPreserved(t *testing.T) {
+	p := Params{Topo: topology.Laptop()}.withDefaults()
+	if p.Seed != 0 {
+		t.Fatalf("withDefaults remapped Seed 0 to %d", p.Seed)
+	}
+}
+
+// Seeds 0 and 1 must drive distinguishable runs, and every seed must be
+// reproducible run-to-run.
+func TestSeedZeroDistinctFromSeedOne(t *testing.T) {
+	run := func(seed int64) Result {
+		return Lock1(Params{Topo: topology.Laptop(), Threads: 4, Seed: seed, Duration: 2_000_000}, simlocks.ShflLockNBMaker())
+	}
+	r0, r1 := run(0), run(1)
+	same := r0.TotalOps == r1.TotalOps
+	for i := range r0.PerThread {
+		same = same && r0.PerThread[i] == r1.PerThread[i]
+	}
+	if same {
+		t.Errorf("seed 0 and seed 1 produced identical per-thread ops %v — seed 0 is being aliased", r0.PerThread)
+	}
+	again := run(0)
+	if again.TotalOps != r0.TotalOps {
+		t.Errorf("seed 0 not reproducible: %d vs %d total ops", again.TotalOps, r0.TotalOps)
+	}
+}

@@ -20,7 +20,11 @@ const ClockGHz = 2.2
 type Params struct {
 	Topo    topology.Machine
 	Threads int
-	Seed    int64
+	// Seed is used verbatim: 0 is an ordinary seed, distinct from 1, so
+	// callers sweeping seeds (shflbench -seed N) get a unique run per
+	// value. There is deliberately no "unset" remapping here — a default
+	// seed is a caller policy (cmd/shflbench's flag default is 1).
+	Seed int64
 	// Duration is the measured interval in cycles (after setup); the
 	// default is 20M cycles (~9ms of virtual time).
 	Duration uint64
@@ -35,9 +39,6 @@ func (p Params) withDefaults() Params {
 	}
 	if p.Duration == 0 {
 		p.Duration = 20_000_000
-	}
-	if p.Seed == 0 {
-		p.Seed = 1
 	}
 	return p
 }

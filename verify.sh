@@ -7,7 +7,13 @@
 # Tier-1 is the contract every change must keep green:
 #   go build ./... && go test ./...
 # The race pass re-runs the native-lock package (including the shuffling
-# invariant tests) under the race detector, which is where lock bugs hide.
+# invariant and steal-path liveness tests) under the race detector, which
+# is where lock bugs hide.
+#
+# The shape gate runs twice — serially and with a parallel worker pool —
+# and diffs the outputs byte-for-byte: the parallel benchmark harness
+# guarantees identical results whatever the execution order, and this is
+# where that guarantee is enforced.
 set -eu
 
 cd "$(dirname "$0")"
@@ -26,11 +32,16 @@ go build ./...
 echo "== go test ./...  (tier-1)"
 go test $SHORT ./...
 
-echo "== go test -race ./internal/core/..."
+echo "== go test -race ./internal/core/...  (incl. steal-path liveness)"
 go test -race $SHORT ./internal/core/...
 
-echo "== shape gate: shflbench -exp all -quick"
-go run ./cmd/shflbench -exp all -quick >/tmp/shflbench-verify.txt
-grep "shape\[" /tmp/shflbench-verify.txt
+echo "== shape gate: shflbench -exp all -quick -parallel 1 (serial)"
+go run ./cmd/shflbench -exp all -quick -parallel 1 >/tmp/shflbench-serial.txt
+grep "shape\[" /tmp/shflbench-serial.txt
+
+echo "== shape gate: shflbench -exp all -quick -parallel 4 (determinism diff)"
+go run ./cmd/shflbench -exp all -quick -parallel 4 >/tmp/shflbench-parallel.txt
+diff /tmp/shflbench-serial.txt /tmp/shflbench-parallel.txt
+echo "parallel output byte-identical to serial"
 
 echo "verify.sh: ALL PASS"
