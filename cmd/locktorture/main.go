@@ -8,7 +8,8 @@
 // cross-counter consistency verification) after the run.
 //
 // Usage: locktorture [-lock mutex|spinlock|rwmutex|tas|ticket|mcs]
-// [-threads 16] [-duration 5s] [-sockets 4] [-lockstat]
+// [-policy numa|prio|...] [-threads 16] [-duration 5s] [-sockets 4]
+// [-lockstat]
 package main
 
 import (
@@ -16,12 +17,14 @@ import (
 	"fmt"
 	"math/rand"
 	"os"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"shfllock/internal/core"
 	"shfllock/internal/lockstat"
+	"shfllock/internal/shuffle"
 )
 
 type locker interface {
@@ -43,13 +46,24 @@ func main() {
 		threads  = flag.Int("threads", 16, "torture goroutines")
 		duration = flag.Duration("duration", 5*time.Second, "how long to run")
 		sockets  = flag.Int("sockets", 4, "sockets assumed by the shuffling policy")
+		policy   = flag.String("policy", "", "shuffling policy for the ShflLock family (default numa)")
 		stat     = flag.Bool("lockstat", false, "instrument the lock and print lock_stat-style reports")
 	)
 	flag.Parse()
 	core.SetSockets(*sockets)
 
+	var pol shuffle.Policy
+	if *policy != "" {
+		if pol = shuffle.ByName(*policy); pol == nil {
+			fmt.Fprintf(os.Stderr, "unknown policy %q (have: %s)\n",
+				*policy, strings.Join(shuffle.Names(), " "))
+			os.Exit(2)
+		}
+	}
+
 	if *lockName == "rwmutex" {
 		var mu core.RWMutex
+		mu.SetPolicy(pol)
 		var l rwLocker = &mu
 		if *stat {
 			l = lockstat.InstrumentRW(&mu, "torture/rwmutex")
@@ -64,9 +78,13 @@ func main() {
 	var l locker
 	switch *lockName {
 	case "mutex":
-		l = &core.Mutex{}
+		m := &core.Mutex{}
+		m.SetPolicy(pol)
+		l = m
 	case "spinlock":
-		l = &core.SpinLock{}
+		s := &core.SpinLock{}
+		s.SetPolicy(pol)
+		l = s
 	case "tas":
 		l = &core.TASLock{}
 	case "ticket":
@@ -76,6 +94,13 @@ func main() {
 	default:
 		fmt.Fprintf(os.Stderr, "unknown lock %q\n", *lockName)
 		os.Exit(2)
+	}
+	if pol != nil {
+		switch *lockName {
+		case "tas", "ticket", "mcs":
+			fmt.Fprintf(os.Stderr, "-policy applies only to the ShflLock family, not %q\n", *lockName)
+			os.Exit(2)
+		}
 	}
 	if *stat {
 		l = lockstat.Instrument(l, "torture/"+*lockName)

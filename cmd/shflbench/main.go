@@ -19,8 +19,10 @@ import (
 	"fmt"
 	"os"
 	"runtime"
+	"strings"
 
 	"shfllock/internal/bench"
+	"shfllock/internal/shuffle"
 	"shfllock/internal/topology"
 )
 
@@ -45,6 +47,7 @@ func main() {
 		for _, e := range bench.All() {
 			fmt.Printf("  %-8s %s\n", e.ID, e.Title)
 		}
+		fmt.Printf("\nshuffling policies: %s\n", strings.Join(shuffle.Names(), " "))
 		if *exp == "" && !*list {
 			fmt.Println("\nrun one with: shflbench -exp <id> [-quick]")
 		}

@@ -1,0 +1,123 @@
+package core
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"shfllock/internal/shuffle"
+	"shfllock/internal/simlocks"
+)
+
+// replayOnCore materializes a queue snapshot on the native substrate and
+// runs one shuffling round over it, returning the engine's decision trace.
+// The counterpart of simlocks.ReplayShuffleSnapshot: snapshot node i maps
+// to trace ID i+1 on both substrates (the simulator's thread handles),
+// installed here via testHookQnodeID. The TAS word is held for the whole
+// round and no node is ever granted head status, so the round's exit
+// conditions never fire and the scan is a deterministic function of the
+// snapshot alone.
+func replayOnCore(t *testing.T, snap shuffle.Snapshot) []string {
+	t.Helper()
+	pol := shuffle.ByName(snap.Policy)
+	if pol == nil {
+		t.Fatalf("unknown shuffle policy %q", snap.Policy)
+	}
+	nodes := make([]*qnode, len(snap.Nodes))
+	ids := make(map[*qnode]uint64, len(snap.Nodes))
+	for i, nd := range snap.Nodes {
+		n := &qnode{socket: uint32(nd.Socket), prio: nd.Prio, park: make(chan struct{}, 1)}
+		n.status.Store(uint32(nd.Status))
+		n.batch.Store(uint32(nd.Batch))
+		nodes[i] = n
+		ids[n] = uint64(i + 1)
+	}
+	for i := 0; i+1 < len(nodes); i++ {
+		nodes[i].next.Store(nodes[i+1])
+	}
+	if snap.Hint > 0 {
+		nodes[0].lastHint.Store(nodes[snap.Hint])
+	}
+	var l shflState
+	l.glock.Store(glkLocked)
+	testHookQnodeID = func(n *qnode) uint64 { return ids[n] }
+	defer func() { testHookQnodeID = nil }()
+	var tr shuffle.Trace
+	shuffle.Run(coreSub{l: &l, self: nodes[0], pol: pol}, pol, nodes[0],
+		shuffle.Input{Blocking: snap.Blocking, VNext: snap.VNext, FromRole: true, Trace: &tr})
+	return tr.Lines
+}
+
+// randomSnapshot draws a well-formed queue snapshot: node 0 is the
+// shuffler, statuses are Waiting or Spinning (Parked would need a thread to
+// wake; Ready would fire the round's exit condition), and a resumption hint
+// is set only for policies that consult one.
+func randomSnapshot(rng *rand.Rand, policy string) shuffle.Snapshot {
+	pol := shuffle.ByName(policy)
+	nn := 2 + rng.Intn(11)
+	snap := shuffle.Snapshot{
+		Policy:   policy,
+		Blocking: rng.Intn(2) == 0,
+		VNext:    rng.Intn(2) == 0,
+	}
+	for i := 0; i < nn; i++ {
+		st := shuffle.StatusWaiting
+		if rng.Intn(4) == 0 {
+			st = shuffle.StatusSpinning
+		}
+		snap.Nodes = append(snap.Nodes, shuffle.SnapNode{
+			Socket: uint64(rng.Intn(3)),
+			Prio:   uint64(rng.Intn(3)),
+			Batch:  uint64(rng.Intn(3)),
+			Status: st,
+		})
+	}
+	if rng.Intn(16) == 0 {
+		snap.Nodes[0].Batch = shuffle.MaxShuffles // exercise the budget abort
+	}
+	if pol.UseHint() && nn > 2 && rng.Intn(3) == 0 {
+		snap.Hint = 1 + rng.Intn(nn-1)
+	}
+	return snap
+}
+
+// TestDifferentialShuffle replays identical queue snapshots through the
+// native and simulated substrates and requires byte-identical decision
+// traces from the shared engine — the regression net that catches one
+// substrate's accessors drifting from the other's.
+func TestDifferentialShuffle(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	marks, moves, skips := 0, 0, 0
+	for _, name := range shuffle.Names() {
+		t.Run(name, func(t *testing.T) {
+			for i := 0; i < 40; i++ {
+				snap := randomSnapshot(rng, name)
+				got := replayOnCore(t, snap)
+				want := simlocks.ReplayShuffleSnapshot(snap)
+				if len(got) == 0 {
+					t.Fatalf("empty native trace for %+v", snap)
+				}
+				if len(got) != len(want) {
+					t.Fatalf("trace length mismatch for %+v:\nnative: %v\nsim:    %v", snap, got, want)
+				}
+				for j := range got {
+					if got[j] != want[j] {
+						t.Fatalf("trace diverges at line %d for %+v:\nnative: %q\nsim:    %q", j, snap, got[j], want[j])
+					}
+					switch {
+					case strings.HasPrefix(got[j], "mark "):
+						marks++
+					case strings.HasPrefix(got[j], "move "):
+						moves++
+					case strings.HasPrefix(got[j], "skip "):
+						skips++
+					}
+				}
+			}
+		})
+	}
+	// The agreement must be about real work, not a fleet of empty rounds.
+	if marks == 0 || moves == 0 || skips == 0 {
+		t.Fatalf("snapshots too trivial: marks=%d moves=%d skips=%d", marks, moves, skips)
+	}
+}

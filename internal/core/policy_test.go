@@ -1,0 +1,100 @@
+package core
+
+import (
+	"runtime"
+	"sync"
+	"testing"
+
+	"shfllock/internal/shuffle"
+)
+
+// hammerPolicy drives a lock through concurrent acquisitions with mixed
+// priorities. Queue integrity is observed end-to-end: a dropped waiter
+// deadlocks the test, a duplicated grant breaks mutual exclusion on the
+// plain counter (caught directly, and as a data race under -race).
+func hammerPolicy(t *testing.T, lock func(uint64), unlock func()) {
+	t.Helper()
+	goroutines, iters := 8, 400
+	if testing.Short() {
+		goroutines, iters = 4, 100
+	}
+	counter := 0
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		prio := uint64(g % 3)
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < iters; i++ {
+				lock(prio)
+				counter++
+				if i%64 == 0 {
+					runtime.Gosched()
+				}
+				unlock()
+			}
+		}()
+	}
+	wg.Wait()
+	if counter != goroutines*iters {
+		t.Fatalf("lost updates: counter=%d want %d", counter, goroutines*iters)
+	}
+}
+
+// TestPolicyQueueIntegrity runs the shared-engine property test on the
+// native substrate: every registered policy, on both lock variants, under
+// real concurrency (and under -race via verify.sh).
+func TestPolicyQueueIntegrity(t *testing.T) {
+	defer SetSockets(Sockets())
+	SetSockets(2) // make NUMA grouping actually partition the waiters
+	for _, name := range shuffle.Names() {
+		pol := shuffle.ByName(name)
+		t.Run(name+"/spin", func(t *testing.T) {
+			var l SpinLock
+			l.SetPolicy(pol)
+			hammerPolicy(t, l.LockWithPriority, l.Unlock)
+		})
+		t.Run(name+"/mutex", func(t *testing.T) {
+			var m Mutex
+			m.SetPolicy(pol)
+			hammerPolicy(t, m.LockWithPriority, m.Unlock)
+		})
+	}
+}
+
+// policyProbe records which policy each shuffling round is attributed to.
+type policyProbe struct {
+	mu     sync.Mutex
+	rounds map[string]int
+}
+
+func (p *policyProbe) Steal(bool)  {}
+func (p *policyProbe) Contended()  {}
+func (p *policyProbe) Handoff()    {}
+func (p *policyProbe) Park()       {}
+func (p *policyProbe) Unpark(bool) {}
+func (p *policyProbe) Shuffle(policy string, scanned, moved int) {
+	p.mu.Lock()
+	p.rounds[policy]++
+	p.mu.Unlock()
+}
+
+// TestShufflePolicyAttribution: rounds report the name of the policy that
+// drove them, so per-policy lockstat breakdowns can be trusted.
+func TestShufflePolicyAttribution(t *testing.T) {
+	pr := &policyProbe{rounds: map[string]int{}}
+	var l SpinLock
+	l.SetPolicy(shuffle.Priority())
+	l.SetProbe(pr)
+	hammerPolicy(t, l.LockWithPriority, l.Unlock)
+	pr.mu.Lock()
+	defer pr.mu.Unlock()
+	for name, n := range pr.rounds {
+		if name != "prio" {
+			t.Fatalf("round attributed to %q (%d rounds), lock runs prio", name, n)
+		}
+	}
+	if pr.rounds["prio"] == 0 {
+		t.Skip("no contention produced a shuffling round on this machine")
+	}
+}

@@ -1,6 +1,10 @@
 package core
 
-import "sync/atomic"
+import (
+	"sync/atomic"
+
+	"shfllock/internal/shuffle"
+)
 
 // Probe receives internal lock events from the ShflLock family. A probe is
 // attached with SetProbe before the lock is shared; all methods may be
@@ -30,9 +34,9 @@ type Probe interface {
 	// wakeup was issued by the lock holder on the critical path, false
 	// when a shuffler issued it off the critical path.
 	Unpark(inCS bool)
-	// Shuffle reports one completed shuffling round: how many queue nodes
-	// the shuffler examined and how many it relocated.
-	Shuffle(scanned, moved int)
+	// Shuffle reports one completed shuffling round: which policy drove it,
+	// how many queue nodes the shuffler examined and how many it relocated.
+	Shuffle(policy string, scanned, moved int)
 }
 
 // SetProbe attaches a probe to the spinlock. Attach before the lock is
@@ -47,6 +51,11 @@ func (m *Mutex) SetProbe(p Probe) { m.s.probe = p }
 // for the internal ordering mutex, which every contended reader and writer
 // passes through. Attach before the lock is shared.
 func (l *RWMutex) SetProbe(p Probe) { l.wlock.s.probe = p }
+
+// SetPolicy replaces the shuffling policy of the internal ordering mutex
+// (default: NUMA grouping). Attach before the lock is shared; passing nil
+// restores the default.
+func (l *RWMutex) SetPolicy(p shuffle.Policy) { l.wlock.s.policy = p }
 
 // shflOracleHooks are structural hooks used by the invariant tests to watch
 // queue-node-level events (which the public Probe cannot expose, since

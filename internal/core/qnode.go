@@ -27,9 +27,6 @@ const (
 	sSpinning        // marked by a shuffler: keep spinning
 )
 
-// maxShuffles bounds same-socket batching for long-term fairness.
-const maxShuffles = 1024
-
 // spinBudget is how many local spin iterations a blocking waiter performs
 // before parking (the userspace ShflLock^B parks after a constant spin,
 // paper footnote 3).
@@ -45,6 +42,7 @@ type qnode struct {
 	lastHint atomic.Pointer[qnode]
 	batch    atomic.Uint32 // written by shufflers, read by the owner
 	socket   uint32        // write-once at node creation
+	prio     uint64        // stamped per acquisition, before tail publication
 	park     chan struct{}
 }
 

@@ -3,6 +3,8 @@ package core
 import (
 	"runtime"
 	"sync/atomic"
+
+	"shfllock/internal/shuffle"
 )
 
 // glock bit layout: bit 0 = locked, bit 8 = no-stealing.
@@ -13,7 +15,8 @@ const (
 
 // shflState is the 12-byte-equivalent lock state shared by the
 // non-blocking and blocking ShflLocks: a TAS word plus the waiter-queue
-// tail. All policy work happens in the waiters (shuffling).
+// tail. All policy work happens in the waiters (shuffling), driven by the
+// internal/shuffle engine over a pluggable policy.
 type shflState struct {
 	glock atomic.Uint32
 	tail  atomic.Pointer[qnode]
@@ -21,6 +24,16 @@ type shflState struct {
 	// Written by SetProbe before the lock is shared; read with plain
 	// loads on the lock paths so a nil probe costs one branch.
 	probe Probe
+	// policy, when non-nil, overrides the default NUMA shuffling policy.
+	// Written by SetPolicy before the lock is shared, like probe.
+	policy shuffle.Policy
+}
+
+func (l *shflState) pol() shuffle.Policy {
+	if p := l.policy; p != nil {
+		return p
+	}
+	return defaultPolicy
 }
 
 // trySteal is the TAS fast path; with stealing permitted it also barges
@@ -52,17 +65,19 @@ func (l *shflState) unlock() {
 }
 
 // lock acquires via fast path or the shuffled waiter queue (Figure 4 / 6).
-func (l *shflState) lock(blocking bool) {
+func (l *shflState) lock(blocking bool, prio uint64) {
 	if l.trySteal() {
 		if p := l.probe; p != nil && l.tail.Load() != nil {
 			p.Steal(false)
 		}
 		return
 	}
+	pol := l.pol()
 	n := getNode()
+	n.prio = prio
 	prev := l.tail.Swap(n)
 	if prev != nil {
-		l.spinUntilVeryNextWaiter(blocking, prev, n)
+		l.spinUntilVeryNextWaiter(pol, blocking, prev, n)
 	} else if !blocking {
 		// Preserve FIFO while a queue exists; the blocking variant keeps
 		// stealing enabled so the lock stays live across wakeup latency.
@@ -80,7 +95,10 @@ func (l *shflState) lock(blocking bool) {
 	}
 
 	// Head of the queue: grab the TAS lock the moment it is free; shuffle
-	// while it is held.
+	// while it is held. An unproductive round retains the role (roleMine)
+	// without rescanning per iteration; the head relays role and frontier
+	// to its successor when it acquires.
+	roleMine := false
 	spins := 0
 	for {
 		v := l.glock.Load()
@@ -94,8 +112,10 @@ func (l *shflState) lock(blocking bool) {
 			}
 			continue
 		}
-		if n.batch.Load() == 0 || n.shuffler.Load() != 0 {
-			l.shuffleWaiters(blocking, n, true)
+		if !roleMine && (n.batch.Load() == 0 || n.shuffler.Load() != 0) {
+			fromRole := n.shuffler.Load() != 0
+			roleMine = shuffle.Run(coreSub{l: l, self: n, pol: pol}, pol, n,
+				shuffle.Input{Blocking: blocking, VNext: true, FromRole: fromRole}).Retained
 			if l.glock.Load()&0xff == 0 {
 				continue
 			}
@@ -128,9 +148,11 @@ func (l *shflState) lock(blocking bool) {
 		}
 	}
 	// Relay a still-held shuffler role (and scan frontier) to the successor.
-	if n.shuffler.Load() != 0 {
-		if h := n.lastHint.Load(); h != nil && h != next && h != n {
-			next.lastHint.Store(h)
+	if pol.PassRole() && (roleMine || n.shuffler.Load() != 0) {
+		if pol.UseHint() {
+			if h := n.lastHint.Load(); h != nil && h != next && h != n {
+				next.lastHint.Store(h)
+			}
 		}
 		if o := shflOracle.Load(); o != nil && o.handoff != nil {
 			o.handoff(n, next, true)
@@ -186,7 +208,7 @@ func (l *shflState) clearNoSteal() {
 // spinUntilVeryNextWaiter links behind prev and waits for head status,
 // shuffling when handed the role and parking after the spin budget in the
 // blocking variant.
-func (l *shflState) spinUntilVeryNextWaiter(blocking bool, prev, n *qnode) {
+func (l *shflState) spinUntilVeryNextWaiter(pol shuffle.Policy, blocking bool, prev, n *qnode) {
 	prev.next.Store(n)
 	spins := 0
 	for {
@@ -195,7 +217,8 @@ func (l *shflState) spinUntilVeryNextWaiter(blocking bool, prev, n *qnode) {
 			return
 		}
 		if n.shuffler.Load() != 0 {
-			l.shuffleWaiters(blocking, n, false)
+			shuffle.Run(coreSub{l: l, self: n, pol: pol}, pol, n,
+				shuffle.Input{Blocking: blocking, VNext: false, FromRole: true})
 			continue
 		}
 		spins++
@@ -228,113 +251,6 @@ func (l *shflState) setSpinning(n *qnode) {
 	}
 }
 
-// shuffleWaiters reorders the waiter queue, grouping nodes of the
-// shuffler's socket directly behind the already-shuffled chain, waking
-// sleepers along the way in the blocking variant (Figures 4 and 6, plus
-// the +qlast traversal-resumption optimization).
-func (l *shflState) shuffleWaiters(blocking bool, n *qnode, vnextWaiter bool) {
-	qlast := n
-	qprev := n
-	scanned, moved := 0, 0
-	fromRole := n.shuffler.Load() != 0
-
-	if n.batch.Load() == 0 {
-		n.batch.Store(1)
-	}
-	n.shuffler.Store(0)
-	if n.batch.Load() >= maxShuffles {
-		return
-	}
-	oracle := shflOracle.Load()
-	if oracle != nil && oracle.roundBegin != nil {
-		oracle.roundBegin(n, fromRole, vnextWaiter)
-	}
-	if blocking && !vnextWaiter {
-		if old := n.status.Swap(sSpinning); old == sReady {
-			n.status.Store(sReady) // preserve a racing grant
-		}
-	}
-	if h := n.lastHint.Load(); h != nil {
-		qprev = h
-	}
-	batch := n.batch.Load()
-
-	for {
-		qcurr := qprev.next.Load()
-		if qcurr == nil || qcurr == l.tail.Load() {
-			break
-		}
-		if qcurr == n {
-			// Stale resume hint: abandon it and restart next round.
-			n.lastHint.Store(nil)
-			break
-		}
-		scanned++
-		if qcurr.socket == n.socket {
-			if qprev == qlast {
-				// Contiguous same-socket chain: mark it.
-				batch++
-				qcurr.batch.Store(batch)
-				if blocking {
-					l.setSpinning(qcurr)
-				}
-				qlast = qcurr
-				qprev = qcurr
-			} else {
-				qnext := qcurr.next.Load()
-				if qnext == nil {
-					break
-				}
-				batch++
-				qcurr.batch.Store(batch)
-				if blocking {
-					l.setSpinning(qcurr)
-				}
-				if oracle != nil && oracle.moved != nil {
-					oracle.moved(n, qcurr)
-				}
-				qprev.next.Store(qnext)
-				qcurr.next.Store(qlast.next.Load())
-				qlast.next.Store(qcurr)
-				qlast = qcurr
-				moved++
-			}
-		} else {
-			qprev = qcurr
-		}
-		if vnextWaiter && l.glock.Load()&0xff == 0 {
-			break
-		}
-		if !vnextWaiter && n.status.Load() == sReady {
-			break
-		}
-	}
-
-	// The round is over before the role moves on: report it (and close the
-	// oracle's round window) ahead of arming the next shuffler, so rounds
-	// observably never overlap (invariant 2).
-	if p := l.probe; p != nil {
-		p.Shuffle(scanned, moved)
-	}
-	if oracle != nil && oracle.roundEnd != nil {
-		oracle.roundEnd(n)
-	}
-	if qlast == n {
-		if qprev != n {
-			n.lastHint.Store(qprev)
-		}
-		n.shuffler.Store(1) // keep retrying
-		return
-	}
-	if qprev != qlast {
-		qlast.lastHint.Store(qprev)
-	}
-	if oracle != nil && oracle.handoff != nil {
-		oracle.handoff(n, qlast, false)
-	}
-	qlast.shuffler.Store(1)
-}
-
 // SpinLock is the non-blocking ShflLock (ShflLock^NB): a NUMA-aware
 // spinlock with a 12-byte-equivalent footprint, single-CAS TryLock, and
 // waiter-driven queue shuffling. The zero value is an unlocked SpinLock.
@@ -343,13 +259,23 @@ type SpinLock struct {
 }
 
 // Lock acquires the spinlock.
-func (l *SpinLock) Lock() { l.s.lock(false) }
+func (l *SpinLock) Lock() { l.s.lock(false, 0) }
+
+// LockWithPriority acquires the spinlock with a scheduling priority
+// (higher is more urgent). Only meaningful under a priority policy (see
+// SetPolicy and shuffle.Priority); other policies ignore it.
+func (l *SpinLock) LockWithPriority(prio uint64) { l.s.lock(false, prio) }
 
 // Unlock releases the spinlock.
 func (l *SpinLock) Unlock() { l.s.unlock() }
 
 // TryLock attempts the acquisition with a single compare-and-swap.
 func (l *SpinLock) TryLock() bool { return l.s.tryLock() }
+
+// SetPolicy replaces the shuffling policy (default: NUMA grouping).
+// Attach before the lock is shared between goroutines; passing nil
+// restores the default.
+func (l *SpinLock) SetPolicy(p shuffle.Policy) { l.s.policy = p }
 
 // Mutex is the blocking ShflLock (ShflLock^B): waiters spin briefly and
 // then park; shufflers wake parked waiters that are about to get the lock,
@@ -360,10 +286,20 @@ type Mutex struct {
 }
 
 // Lock acquires the mutex, parking under contention.
-func (m *Mutex) Lock() { m.s.lock(true) }
+func (m *Mutex) Lock() { m.s.lock(true, 0) }
+
+// LockWithPriority acquires the mutex with a scheduling priority (higher
+// is more urgent). Only meaningful under a priority policy (see SetPolicy
+// and shuffle.Priority); other policies ignore it.
+func (m *Mutex) LockWithPriority(prio uint64) { m.s.lock(true, prio) }
 
 // Unlock releases the mutex.
 func (m *Mutex) Unlock() { m.s.unlock() }
 
 // TryLock attempts the acquisition with a single compare-and-swap.
 func (m *Mutex) TryLock() bool { return m.s.tryLock() }
+
+// SetPolicy replaces the shuffling policy (default: NUMA grouping).
+// Attach before the lock is shared between goroutines; passing nil
+// restores the default.
+func (m *Mutex) SetPolicy(p shuffle.Policy) { m.s.policy = p }

@@ -1,0 +1,89 @@
+package core
+
+import "shfllock/internal/shuffle"
+
+// defaultPolicy is the paper's NUMA-grouping policy, used by every lock
+// that has no explicit policy attached via SetPolicy.
+var defaultPolicy = shuffle.NUMA()
+
+// testHookQnodeID, when non-nil, names queue nodes in shuffle decision
+// traces. Only the differential substrate tests install it; production
+// rounds never carry a trace, so the hook is never consulted.
+var testHookQnodeID func(*qnode) uint64
+
+// coreSub backs the shuffle engine with sync/atomic accesses on *qnode.
+// One value is built per shuffling round; self is the shuffler's node (its
+// socket is the thread's own placement, so reading it is not a queue-node
+// access the way Socket(n) is).
+type coreSub struct {
+	l    *shflState
+	self *qnode
+	pol  shuffle.Policy
+}
+
+func (s coreSub) LoadNext(n *qnode) *qnode             { return n.next.Load() }
+func (s coreSub) StoreNext(n, v *qnode)                { n.next.Store(v) }
+func (s coreSub) LoadStatus(n *qnode) uint64           { return uint64(n.status.Load()) }
+func (s coreSub) StoreStatus(n *qnode, v uint64)       { n.status.Store(uint32(v)) }
+func (s coreSub) SwapStatus(n *qnode, v uint64) uint64 { return uint64(n.status.Swap(uint32(v))) }
+func (s coreSub) StoreShuffler(n *qnode, v uint64)     { n.shuffler.Store(uint32(v)) }
+func (s coreSub) LoadBatch(n *qnode) uint64            { return uint64(n.batch.Load()) }
+func (s coreSub) StoreBatch(n *qnode, v uint64)        { n.batch.Store(uint32(v)) }
+func (s coreSub) LoadHint(n *qnode) *qnode             { return n.lastHint.Load() }
+func (s coreSub) StoreHint(n, v *qnode)                { n.lastHint.Store(v) }
+
+func (s coreSub) ShufflerSocket() uint64 { return uint64(s.self.socket) }
+func (s coreSub) Socket(n *qnode) uint64 { return uint64(n.socket) }
+func (s coreSub) Prio(n *qnode) uint64   { return n.prio }
+func (s coreSub) LockByteFree() bool     { return s.l.glock.Load()&0xff == 0 }
+func (s coreSub) SetSpinning(n *qnode)   { s.l.setSpinning(n) }
+
+func (s coreSub) RoundStart(*qnode) {}
+func (s coreSub) RoleTaken(*qnode)  {}
+func (s coreSub) RoundAbort(*qnode) {}
+
+func (s coreSub) RoundActive(n *qnode, fromRole, atHead bool) {
+	if o := shflOracle.Load(); o != nil && o.roundBegin != nil {
+		o.roundBegin(n, fromRole, atHead)
+	}
+}
+
+func (s coreSub) Moved(shuffler, moved *qnode) {
+	if o := shflOracle.Load(); o != nil && o.moved != nil {
+		o.moved(shuffler, moved)
+	}
+}
+
+func (s coreSub) RoundEnd(n *qnode, scanned, moved, marked int) {
+	if p := s.l.probe; p != nil {
+		p.Shuffle(s.pol.Name(), scanned, moved)
+	}
+	if o := shflOracle.Load(); o != nil && o.roundEnd != nil {
+		o.roundEnd(n)
+	}
+}
+
+func (s coreSub) GiveRole(from, to *qnode, why shuffle.RoleWhy) {
+	if why == shuffle.RolePassChain {
+		if o := shflOracle.Load(); o != nil && o.handoff != nil {
+			o.handoff(from, to, false)
+		}
+	}
+	to.shuffler.Store(1)
+}
+
+func (s coreSub) RetainRole(*qnode) {}
+func (s coreSub) DropRole(*qnode)   {}
+
+// StaleSelfScan is a real (if rare) event here: queue nodes are recycled
+// through a pool, so a forwarded resumption hint can name a node that left
+// and re-entered the queue behind the shuffler. The engine abandons the
+// hint; nothing else to do.
+func (s coreSub) StaleSelfScan(*qnode) {}
+
+func (s coreSub) DebugID(n *qnode) uint64 {
+	if f := testHookQnodeID; f != nil {
+		return f(n)
+	}
+	return 0
+}

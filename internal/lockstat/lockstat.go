@@ -150,8 +150,35 @@ type Site struct {
 	reads      atomic.Uint64 // read-side acquisitions (RW locks)
 	holdTick   atomic.Uint64 // hold-sampling counter
 
+	// pmu guards the policy map structure; the per-policy counters inside
+	// are atomic, so rounds only take the mutex to find their bucket.
+	pmu      sync.Mutex
+	policies map[string]*policyCounts
+
 	wait Hist // time from requesting the lock to holding it
 	hold Hist // time from acquiring to releasing (sampled)
+}
+
+// policyCounts accumulates shuffle activity attributed to one policy.
+type policyCounts struct {
+	rounds  atomic.Uint64
+	scanned atomic.Uint64
+	moved   atomic.Uint64
+}
+
+// policy returns the counter bucket for the named shuffling policy.
+func (s *Site) policy(name string) *policyCounts {
+	s.pmu.Lock()
+	defer s.pmu.Unlock()
+	if s.policies == nil {
+		s.policies = make(map[string]*policyCounts)
+	}
+	c, ok := s.policies[name]
+	if !ok {
+		c = &policyCounts{}
+		s.policies[name] = c
+	}
+	return c
 }
 
 // Name returns the site's registered name.
@@ -199,6 +226,9 @@ func (s *Site) reset() {
 	s.shufMoves.Store(0)
 	s.reads.Store(0)
 	s.holdTick.Store(0)
+	s.pmu.Lock()
+	s.policies = nil
+	s.pmu.Unlock()
 	s.wait.reset()
 	s.hold.reset()
 }
@@ -209,6 +239,19 @@ func (s *Site) Report() Report {
 	s.flush()
 	un := s.unparks.Load()
 	inCS := s.unparksCS.Load()
+	var pols map[string]PolicyShuffleStats
+	s.pmu.Lock()
+	if len(s.policies) > 0 {
+		pols = make(map[string]PolicyShuffleStats, len(s.policies))
+		for name, c := range s.policies {
+			pols[name] = PolicyShuffleStats{
+				Rounds:  c.rounds.Load(),
+				Scanned: c.scanned.Load(),
+				Moved:   c.moved.Load(),
+			}
+		}
+	}
+	s.pmu.Unlock()
 	return Report{
 		Name:           s.name,
 		Substrate:      "native",
@@ -225,6 +268,7 @@ func (s *Site) Report() Report {
 		Shuffles:       s.shuffles.Load(),
 		ShuffleScanned: s.shufScan.Load(),
 		ShuffleMoves:   s.shufMoves.Load(),
+		Policies:       pols,
 		Wait:           s.wait.Snapshot(),
 		Hold:           s.hold.Snapshot(),
 	}
@@ -270,11 +314,15 @@ func (p siteProbe) Unpark(inCS bool) {
 	}
 }
 
-func (p siteProbe) Shuffle(scanned, moved int) {
+func (p siteProbe) Shuffle(policy string, scanned, moved int) {
 	if !p.on() {
 		return
 	}
 	p.s.shuffles.Add(1)
 	p.s.shufScan.Add(uint64(scanned))
 	p.s.shufMoves.Add(uint64(moved))
+	c := p.s.policy(policy)
+	c.rounds.Add(1)
+	c.scanned.Add(uint64(scanned))
+	c.moved.Add(uint64(moved))
 }

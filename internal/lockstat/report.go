@@ -4,6 +4,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"sort"
 	"strings"
 
 	"shfllock/internal/simlocks"
@@ -32,10 +33,22 @@ type Report struct {
 	ShuffleScanned uint64 `json:"shuffle_scanned,omitempty"`
 	ShuffleMoves   uint64 `json:"shuffle_moves,omitempty"`
 
+	// Policies breaks the shuffle counters down by the shuffling policy
+	// that drove each round (native substrate only; the simulator's
+	// counters are per-lock, and a simulated lock runs a single policy).
+	Policies map[string]PolicyShuffleStats `json:"policies,omitempty"`
+
 	DynamicAllocs uint64 `json:"dynamic_allocs,omitempty"`
 
 	Wait *HistSnapshot `json:"wait_ns,omitempty"`
 	Hold *HistSnapshot `json:"hold_ns,omitempty"`
+}
+
+// PolicyShuffleStats is the shuffle activity one policy produced at a site.
+type PolicyShuffleStats struct {
+	Rounds  uint64 `json:"rounds"`
+	Scanned uint64 `json:"scanned"`
+	Moved   uint64 `json:"moved"`
 }
 
 // ContentionPct returns the percentage of acquisitions that waited.
@@ -134,6 +147,17 @@ func WriteText(w io.Writer, reps []Report) {
 		}
 		if r.Shuffles > 0 {
 			fmt.Fprintf(w, "    shuffle: scanned=%d moved=%d\n", r.ShuffleScanned, r.ShuffleMoves)
+		}
+		if len(r.Policies) > 0 {
+			names := make([]string, 0, len(r.Policies))
+			for n := range r.Policies {
+				names = append(names, n)
+			}
+			sort.Strings(names)
+			for _, n := range names {
+				p := r.Policies[n]
+				fmt.Fprintf(w, "    policy %s: rounds=%d scanned=%d moved=%d\n", n, p.Rounds, p.Scanned, p.Moved)
+			}
 		}
 		if r.DynamicAllocs > 0 {
 			fmt.Fprintf(w, "    dynamic allocs=%d\n", r.DynamicAllocs)

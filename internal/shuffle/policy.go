@@ -1,0 +1,165 @@
+package shuffle
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// Ctx exposes what a Policy.Match decision may examine: the shuffler and
+// the candidate waiter under the scan cursor. CandidateSocket, ShufflerPrio
+// and CandidatePrio are charged node-line loads on the simulator — a policy
+// should call each at most once per Match and only when the decision needs
+// it, because every call is real cache-line traffic on both substrates.
+// ShufflerSocket is the shuffling thread's own placement and is free.
+type Ctx interface {
+	ShufflerSocket() uint64
+	CandidateSocket() uint64
+	ShufflerPrio() uint64
+	CandidatePrio() uint64
+}
+
+// Policy decides who a shuffling round groups, how the batch is bounded,
+// whether grouped waiters are pre-woken, and how the shuffler role travels.
+// Implementations must be stateless (shared by every lock using them).
+type Policy interface {
+	// Name identifies the policy in registries, traces and lockstat.
+	Name() string
+	// Shuffles reports whether shuffling rounds run at all. The ablation
+	// "Base" stage returns false: the engine then only consumes the role.
+	Shuffles() bool
+	// PassRole reports whether a productive round relays the shuffler role
+	// to the last grouped waiter (the paper's "+Shufflers" stage).
+	PassRole() bool
+	// UseHint reports whether rounds resume from the stored traversal
+	// frontier instead of rescanning from the shuffler ("+qlast").
+	UseHint() bool
+	// Budget caps the batch counter: rounds abort once a group reaches it.
+	Budget() uint64
+	// Match reports whether the candidate belongs in the shuffler's group.
+	Match(c Ctx) bool
+	// WakeGrouped reports whether grouping a waiter also moves it to the
+	// spinning state (waking it if parked). Standard policies return the
+	// blocking flag: pre-waking only matters when waiters park.
+	WakeGrouped(blocking bool) bool
+}
+
+// numaPolicy is the paper's default: group waiters on the shuffler's NUMA
+// socket so the lock hops sockets once per batch instead of per handoff.
+type numaPolicy struct{}
+
+func (numaPolicy) Name() string                   { return "numa" }
+func (numaPolicy) Shuffles() bool                 { return true }
+func (numaPolicy) PassRole() bool                 { return true }
+func (numaPolicy) UseHint() bool                  { return true }
+func (numaPolicy) Budget() uint64                 { return MaxShuffles }
+func (numaPolicy) Match(c Ctx) bool               { return c.CandidateSocket() == c.ShufflerSocket() }
+func (numaPolicy) WakeGrouped(blocking bool) bool { return blocking }
+
+// prioPolicy groups strictly higher-priority waiters ahead of the rest,
+// falling back to NUMA grouping among equals (Section 4.3's "shuffling as
+// a generic policy vehicle": same engine, different Match).
+type prioPolicy struct{}
+
+func (prioPolicy) Name() string   { return "prio" }
+func (prioPolicy) Shuffles() bool { return true }
+func (prioPolicy) PassRole() bool { return true }
+func (prioPolicy) UseHint() bool  { return true }
+func (prioPolicy) Budget() uint64 { return MaxShuffles }
+func (prioPolicy) Match(c Ctx) bool {
+	sp := c.ShufflerPrio()
+	cp := c.CandidatePrio()
+	if cp != sp {
+		return cp > sp
+	}
+	return c.CandidateSocket() == c.ShufflerSocket()
+}
+func (prioPolicy) WakeGrouped(blocking bool) bool { return blocking }
+
+// Ablation stages for the paper's Figure 11(e) factor analysis. Each stage
+// layers one mechanism onto the previous:
+//
+//	stage 0 "base":       plain MCS-style queue, no shuffling
+//	stage 1 "+shuffler":  one NUMA round per lock pass, role not relayed
+//	stage 2 "+shufflers": productive rounds relay the role down the chain
+//	stage 3 "+qlast":     rounds resume from the stored traversal frontier
+type ablationPolicy struct {
+	name     string
+	shuffles bool
+	passRole bool
+	useHint  bool
+}
+
+func (p ablationPolicy) Name() string                   { return p.name }
+func (p ablationPolicy) Shuffles() bool                 { return p.shuffles }
+func (p ablationPolicy) PassRole() bool                 { return p.passRole }
+func (p ablationPolicy) UseHint() bool                  { return p.useHint }
+func (p ablationPolicy) Budget() uint64                 { return MaxShuffles }
+func (p ablationPolicy) Match(c Ctx) bool               { return c.CandidateSocket() == c.ShufflerSocket() }
+func (p ablationPolicy) WakeGrouped(blocking bool) bool { return blocking }
+
+// NUMA is the default grouping policy (group by the shuffler's socket).
+func NUMA() Policy { return numaPolicy{} }
+
+// Priority groups higher-priority waiters first, NUMA among equals.
+func Priority() Policy { return prioPolicy{} }
+
+// Ablation returns the factor-analysis stage policies; stage is clamped
+// to [0,3]. Stage 3 is behaviourally identical to NUMA().
+func Ablation(stage int) Policy {
+	if stage < 0 {
+		stage = 0
+	}
+	if stage > 3 {
+		stage = 3
+	}
+	return [...]Policy{
+		ablationPolicy{name: "ablation-base"},
+		ablationPolicy{name: "ablation+shuffler", shuffles: true},
+		ablationPolicy{name: "ablation+shufflers", shuffles: true, passRole: true},
+		ablationPolicy{name: "ablation+qlast", shuffles: true, passRole: true, useHint: true},
+	}[stage]
+}
+
+var (
+	regMu    sync.RWMutex
+	registry = map[string]Policy{}
+)
+
+// Register makes a policy available to ByName; it panics on duplicates so
+// misconfigured registrations fail loudly at init time.
+func Register(p Policy) {
+	regMu.Lock()
+	defer regMu.Unlock()
+	if _, dup := registry[p.Name()]; dup {
+		panic(fmt.Sprintf("shuffle: duplicate policy %q", p.Name()))
+	}
+	registry[p.Name()] = p
+}
+
+// ByName returns a registered policy, or nil when unknown.
+func ByName(name string) Policy {
+	regMu.RLock()
+	defer regMu.RUnlock()
+	return registry[name]
+}
+
+// Names lists the registered policies in sorted order.
+func Names() []string {
+	regMu.RLock()
+	defer regMu.RUnlock()
+	out := make([]string, 0, len(registry))
+	for n := range registry {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+func init() {
+	Register(NUMA())
+	Register(Priority())
+	for s := 0; s <= 3; s++ {
+		Register(Ablation(s))
+	}
+}

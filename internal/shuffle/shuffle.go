@@ -1,0 +1,341 @@
+// Package shuffle is the substrate-independent shuffling layer of the
+// ShflLock family: one queue-walk state machine (the paper's Figure 4
+// lines 59-108 plus the +qlast traversal-resumption optimization),
+// parameterized over
+//
+//   - a Substrate — how queue-node fields are read and written. The native
+//     locks (internal/core) back it with sync/atomic on *qnode; the
+//     simulator (internal/simlocks) backs it with sim.Word accesses so the
+//     cost model still charges exact cache-line traffic; and
+//   - a Policy — who gets grouped behind the shuffler's chain, how large a
+//     batch may grow, whether grouped waiters are pre-woken, and whether
+//     the shuffler role is relayed (see policy.go).
+//
+// Both lock substrates used to carry their own hand-inlined copy of this
+// walk, which let them silently diverge (a steal-bit bug once existed only
+// on the native side). Now the decision procedure exists once; the
+// substrates contribute only memory accesses and bookkeeping hooks, and a
+// differential test replays identical queue snapshots through both and
+// asserts byte-identical decision traces.
+package shuffle
+
+// Queue-node status values (Figures 4 and 6 of the paper). Both substrates
+// use these exact values: 0 must be the initial state of a fresh node.
+const (
+	StatusWaiting  uint64 = 0 // spinning on the node; may park (blocking)
+	StatusReady    uint64 = 1 // head of the queue: go take the TAS lock
+	StatusParked   uint64 = 2 // descheduled; must be woken
+	StatusSpinning uint64 = 3 // marked by a shuffler: keep spinning
+)
+
+// MaxShuffles caps how many waiters one policy group may batch before the
+// shuffler must stand down, bounding unfairness to the ungrouped waiters
+// (MAX_SHUFFLES = 1024 in the paper's pseudocode).
+const MaxShuffles = 1024
+
+// RoleWhy classifies a shuffler-role grant for substrate bookkeeping.
+type RoleWhy uint8
+
+const (
+	// RoleSelfRetry re-arms the shuffler's own flag after an unproductive
+	// round: a waiting (non-head) shuffler keeps polling for group members.
+	RoleSelfRetry RoleWhy = iota
+	// RolePassChain hands the role to the last waiter the round grouped.
+	RolePassChain
+)
+
+// Substrate supplies the memory accesses and bookkeeping hooks one
+// shuffling round needs. N identifies a queue node: a *qnode on the native
+// substrate, a simulated-memory handle on the simulator. The zero value of
+// N is "no node".
+//
+// The Load*/Store*/Swap* accessors and Socket/Prio are the charged
+// operations: on the simulator each one costs exactly the cache-line
+// traffic of its real counterpart, so Run must call them in the same order
+// a hand-inlined walk would. The remaining methods are bookkeeping
+// (counters, probes, debug oracles) and must not touch simulated memory.
+type Substrate[N comparable] interface {
+	// LoadNext returns n's queue successor (zero N when none).
+	LoadNext(n N) N
+	// StoreNext links v as n's queue successor.
+	StoreNext(n N, v N)
+	// LoadStatus returns n's status word.
+	LoadStatus(n N) uint64
+	// StoreStatus writes n's status word.
+	StoreStatus(n N, v uint64)
+	// SwapStatus atomically exchanges n's status word.
+	SwapStatus(n N, v uint64) uint64
+	// StoreShuffler writes n's shuffler-role flag.
+	StoreShuffler(n N, v uint64)
+	// LoadBatch returns n's batch counter.
+	LoadBatch(n N) uint64
+	// StoreBatch writes n's batch counter.
+	StoreBatch(n N, v uint64)
+	// LoadHint returns n's traversal-resumption hint (+qlast).
+	LoadHint(n N) N
+	// StoreHint writes n's traversal-resumption hint.
+	StoreHint(n N, v N)
+
+	// ShufflerSocket returns the shuffling thread's own NUMA socket. The
+	// shuffler knows where it runs, so this is never a charged access.
+	ShufflerSocket() uint64
+	// Socket returns a node's NUMA socket (charged node-line load).
+	Socket(n N) uint64
+	// Prio returns a node's scheduling priority (charged node-line load).
+	Prio(n N) uint64
+
+	// LockByteFree reports whether the TAS byte of the lock word is clear
+	// (charged lock-line load) — the queue head's exit condition.
+	LockByteFree() bool
+
+	// SetSpinning moves a grouped waiter into the spinning state, waking
+	// it if parked (the Figure 6 wakeup policy, off the critical path).
+	SetSpinning(n N)
+
+	// RoundStart reports a shuffling round being attempted (counted even
+	// if the batch budget then aborts it).
+	RoundStart(n N)
+	// RoleTaken reports the round consuming the shuffler role.
+	RoleTaken(n N)
+	// RoundAbort reports the round standing down at the batch budget.
+	RoundAbort(n N)
+	// RoundActive reports the round proceeding to its queue scan. fromRole
+	// distinguishes inherited rounds from fresh ones (only the queue head
+	// may start fresh); atHead reports the calling path.
+	RoundActive(n N, fromRole, atHead bool)
+	// Moved reports the round relocating a queue node (never the head).
+	Moved(shuffler, moved N)
+	// RoundEnd reports the finished scan: rounds observably never overlap,
+	// so this fires before the role moves on.
+	RoundEnd(n N, scanned, moved, marked int)
+	// GiveRole reports the shuffler role being granted to a node (stores
+	// the target's shuffler flag).
+	GiveRole(from, to N, why RoleWhy)
+	// RetainRole reports the queue head keeping an unproductive round's
+	// role without re-arming its flag; the caller relays it at acquisition.
+	RetainRole(n N)
+	// DropRole reports the role dying because the policy does not pass it.
+	DropRole(n N)
+	// StaleSelfScan reports the scan reaching the shuffler's own node via
+	// a stale resumption hint. Possible on the native substrate (queue
+	// nodes are pooled); a protocol violation on the simulator.
+	StaleSelfScan(n N)
+	// DebugID names a node in decision traces (differential tests only).
+	DebugID(n N) uint64
+}
+
+// Input configures one shuffling round.
+type Input struct {
+	// Blocking selects the ShflLock^B wakeup behaviour: grouped waiters
+	// are moved to the spinning state (woken if parked), and a non-head
+	// shuffler pins its own status so it cannot park mid-round.
+	Blocking bool
+	// VNext is true when the round runs on the queue-head path (the
+	// pseudocode's vnext_waiter): the scan exits as soon as the lock byte
+	// is free, and a retained role is not re-armed (the head relays it to
+	// its successor at acquisition).
+	VNext bool
+	// FromRole records whether the node was handed the shuffler role (as
+	// opposed to starting a fresh round, permitted only at the head).
+	// Purely observational: forwarded to Substrate.RoundActive.
+	FromRole bool
+	// Trace, when non-nil, records the round's decision sequence for
+	// differential substrate testing.
+	Trace *Trace
+}
+
+// Result reports what one shuffling round did.
+type Result struct {
+	// Retained is true when the round found no group member and the
+	// shuffler kept the role (re-armed when off the head path).
+	Retained bool
+	// Scanned, Marked and Moved count examined nodes, nodes marked into a
+	// contiguous chain, and nodes relocated behind the chain.
+	Scanned, Marked, Moved int
+}
+
+// Run executes one shuffling round for shuffler node n: walk the waiter
+// queue from the resumption frontier, group policy-matching waiters
+// immediately behind the already-shuffled chain, then retain or relay the
+// shuffler role. The caller must have observed n's shuffler flag set, or
+// hold queue-head status with a zero batch (a fresh round).
+//
+// Run issues charged substrate accesses in the exact order of the paper's
+// pseudocode, so the simulator's cycle accounting is identical to a
+// hand-inlined walk.
+func Run[N comparable, S Substrate[N]](s S, p Policy, n N, in Input) Result {
+	var nilN N
+	if !p.Shuffles() {
+		// Ablation "Base": the round is a no-op beyond consuming the flag.
+		s.StoreShuffler(n, 0)
+		in.Trace.add("round disabled by policy %s", p.Name())
+		return Result{}
+	}
+	s.RoundStart(n)
+	qlast := n // end of the shuffled chain (last grouped waiter)
+	qprev := n // scan frontier: the node whose successor is examined next
+
+	batch := s.LoadBatch(n)
+	if batch == 0 {
+		batch++
+		s.StoreBatch(n, batch)
+	}
+	s.RoleTaken(n)
+	// The next shuffler is decided at the end of the round; consume the flag.
+	s.StoreShuffler(n, 0)
+	in.Trace.add("begin policy=%s vnext=%v blocking=%v batch=%d", p.Name(), in.VNext, in.Blocking, batch)
+	if batch >= p.Budget() {
+		// No more batching: avoid starving the ungrouped waiters.
+		s.RoundAbort(n)
+		in.Trace.add("abort budget=%d", p.Budget())
+		return Result{}
+	}
+	s.RoundActive(n, in.FromRole, in.VNext)
+
+	if in.Blocking && !in.VNext {
+		// We will soon acquire the lock: make sure we never park. If a
+		// grant raced with us, put it back — the granter has already left
+		// the queue and will not write our status again.
+		if old := s.SwapStatus(n, StatusSpinning); old == StatusReady {
+			s.StoreStatus(n, StatusReady)
+		}
+	}
+	if p.UseHint() {
+		if h := s.LoadHint(n); h != nilN {
+			qprev = h // resume where the previous shuffler stopped (+qlast)
+			in.Trace.add("resume hint=%d", s.DebugID(h))
+		}
+	}
+
+	scanned, marked, moved := 0, 0, 0
+	wake := p.WakeGrouped(in.Blocking)
+	ctx := matchCtx[N, S]{sub: s, shuffler: n}
+	for {
+		qcurr := s.LoadNext(qprev)
+		if qcurr == nilN {
+			break
+		}
+		if qcurr == n {
+			// Stale resumption hint: the frontier named a node that since
+			// left and re-entered the queue behind us. Abandon the hint and
+			// restart from scratch next round. (The simulator substrate
+			// panics here instead: its nodes are per-thread, so a self-scan
+			// is a protocol violation, not pool recycling.)
+			s.StaleSelfScan(n)
+			s.StoreHint(n, nilN)
+			// Reset the frontier too, or the epilogue's retain-hint store
+			// would re-arm the very hint just abandoned and every later
+			// round would shipwreck on the same stale node.
+			qprev = qlast
+			in.Trace.add("stale self-scan")
+			break
+		}
+		scanned++
+		ctx.candidate = qcurr
+		if p.Match(&ctx) {
+			// The contiguous case applies only when qcurr directly follows
+			// the shuffled chain; with +qlast scan resumption it must be
+			// the chain end itself, or the marked chain would fragment and
+			// the role handoff would lose its single-shuffler invariant.
+			if qprev == qlast {
+				// Contiguous group chain: just mark it.
+				batch++
+				s.StoreBatch(qcurr, batch)
+				if wake {
+					s.SetSpinning(qcurr)
+				}
+				marked++
+				in.Trace.add("mark %d batch=%d", s.DebugID(qcurr), batch)
+				qlast = qcurr
+				qprev = qcurr
+			} else {
+				// Ungrouped waiters sit between the chain and qcurr: move
+				// qcurr to the end of the shuffled chain. A node with a nil
+				// successor is the queue tail — leave it alone, a joiner
+				// may be linking behind it.
+				qnext := s.LoadNext(qcurr)
+				if qnext == nilN {
+					in.Trace.add("tail-stop %d", s.DebugID(qcurr))
+					break
+				}
+				batch++
+				s.StoreBatch(qcurr, batch)
+				if wake {
+					s.SetSpinning(qcurr)
+				}
+				s.Moved(n, qcurr)
+				s.StoreNext(qprev, qnext)
+				s.StoreNext(qcurr, s.LoadNext(qlast))
+				s.StoreNext(qlast, qcurr)
+				moved++
+				in.Trace.add("move %d after %d batch=%d", s.DebugID(qcurr), s.DebugID(qlast), batch)
+				qlast = qcurr
+			}
+		} else {
+			in.Trace.add("skip %d", s.DebugID(qcurr))
+			qprev = qcurr
+		}
+		// Exit: the TAS lock is free and we are the queue head, or a
+		// predecessor granted us head status mid-scan.
+		if in.VNext {
+			if s.LockByteFree() {
+				in.Trace.add("exit lock-free")
+				break
+			}
+		} else if s.LoadStatus(n) == StatusReady {
+			in.Trace.add("exit ready")
+			break
+		}
+	}
+
+	// The round is over before the role moves on: report it first, so
+	// rounds observably never overlap (invariant 2).
+	s.RoundEnd(n, scanned, moved, marked)
+	res := Result{Scanned: scanned, Marked: marked, Moved: moved}
+	if qlast == n {
+		// No group member found yet: the role stays with the shuffler,
+		// resuming the scan where it stopped. A waiting (non-head)
+		// shuffler re-arms its flag and polls; the head retains the role
+		// silently and relays it to its successor at acquisition, so the
+		// handoff path is not burdened with a rescan per lock transition.
+		if p.UseHint() && qprev != n {
+			s.StoreHint(n, qprev)
+			in.Trace.add("retain hint=%d", s.DebugID(qprev))
+		}
+		if !in.VNext {
+			s.GiveRole(n, n, RoleSelfRetry)
+			in.Trace.add("self-retry")
+		} else {
+			s.RetainRole(n)
+			in.Trace.add("retain at head")
+		}
+		res.Retained = true
+		return res
+	}
+	if p.UseHint() && qprev != qlast {
+		s.StoreHint(qlast, qprev)
+		in.Trace.add("forward hint=%d to %d", s.DebugID(qprev), s.DebugID(qlast))
+	}
+	if p.PassRole() {
+		s.GiveRole(n, qlast, RolePassChain)
+		in.Trace.add("pass role to %d", s.DebugID(qlast))
+	} else {
+		s.DropRole(n)
+		in.Trace.add("drop role")
+	}
+	return res
+}
+
+// matchCtx adapts a (substrate, shuffler, candidate) triple to the Ctx a
+// policy's Match receives. One value lives per round; only the candidate
+// field changes between iterations.
+type matchCtx[N comparable, S Substrate[N]] struct {
+	sub       S
+	shuffler  N
+	candidate N
+}
+
+func (c *matchCtx[N, S]) ShufflerSocket() uint64  { return c.sub.ShufflerSocket() }
+func (c *matchCtx[N, S]) CandidateSocket() uint64 { return c.sub.Socket(c.candidate) }
+func (c *matchCtx[N, S]) ShufflerPrio() uint64    { return c.sub.Prio(c.shuffler) }
+func (c *matchCtx[N, S]) CandidatePrio() uint64   { return c.sub.Prio(c.candidate) }

@@ -1,0 +1,276 @@
+package shuffle
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// tnode is a plain in-memory queue node for single-threaded engine tests.
+type tnode struct {
+	id       int
+	next     *tnode
+	status   uint64
+	batch    uint64
+	shuffler uint64
+	hint     *tnode
+	socket   uint64
+	prio     uint64
+}
+
+// tsub backs the engine with plain field accesses. lockFree mirrors the TAS
+// byte (true lets a VNext round exit early); selfScans counts stale-hint
+// events.
+type tsub struct {
+	self      *tnode
+	lockFree  bool
+	selfScans int
+}
+
+func (s *tsub) LoadNext(n *tnode) *tnode       { return n.next }
+func (s *tsub) StoreNext(n, v *tnode)          { n.next = v }
+func (s *tsub) LoadStatus(n *tnode) uint64     { return n.status }
+func (s *tsub) StoreStatus(n *tnode, v uint64) { n.status = v }
+func (s *tsub) SwapStatus(n *tnode, v uint64) uint64 {
+	old := n.status
+	n.status = v
+	return old
+}
+func (s *tsub) StoreShuffler(n *tnode, v uint64) { n.shuffler = v }
+func (s *tsub) LoadBatch(n *tnode) uint64        { return n.batch }
+func (s *tsub) StoreBatch(n *tnode, v uint64)    { n.batch = v }
+func (s *tsub) LoadHint(n *tnode) *tnode         { return n.hint }
+func (s *tsub) StoreHint(n, v *tnode)            { n.hint = v }
+
+func (s *tsub) ShufflerSocket() uint64 { return s.self.socket }
+func (s *tsub) Socket(n *tnode) uint64 { return n.socket }
+func (s *tsub) Prio(n *tnode) uint64   { return n.prio }
+func (s *tsub) LockByteFree() bool     { return s.lockFree }
+func (s *tsub) SetSpinning(n *tnode) {
+	if n.status == StatusWaiting || n.status == StatusParked {
+		n.status = StatusSpinning
+	}
+}
+
+func (s *tsub) RoundStart(*tnode)                {}
+func (s *tsub) RoleTaken(*tnode)                 {}
+func (s *tsub) RoundAbort(*tnode)                {}
+func (s *tsub) RoundActive(*tnode, bool, bool)   {}
+func (s *tsub) Moved(_, _ *tnode)                {}
+func (s *tsub) RoundEnd(*tnode, int, int, int)   {}
+func (s *tsub) GiveRole(_, to *tnode, _ RoleWhy) { to.shuffler = 1 }
+func (s *tsub) RetainRole(*tnode)                {}
+func (s *tsub) DropRole(*tnode)                  {}
+func (s *tsub) StaleSelfScan(*tnode)             { s.selfScans++ }
+func (s *tsub) DebugID(n *tnode) uint64          { return uint64(n.id) }
+
+// chaosPolicy draws every decision from a seeded source, so the property
+// test covers arbitrary decision sequences, not just the registered
+// policies' reachable ones.
+type chaosPolicy struct {
+	rng      *rand.Rand
+	shuffles bool
+	passRole bool
+	useHint  bool
+	budget   uint64
+}
+
+func (p *chaosPolicy) Name() string          { return "chaos" }
+func (p *chaosPolicy) Shuffles() bool        { return p.shuffles }
+func (p *chaosPolicy) PassRole() bool        { return p.passRole }
+func (p *chaosPolicy) UseHint() bool         { return p.useHint }
+func (p *chaosPolicy) Budget() uint64        { return p.budget }
+func (p *chaosPolicy) Match(Ctx) bool        { return p.rng.Intn(2) == 0 }
+func (p *chaosPolicy) WakeGrouped(bool) bool { return p.rng.Intn(2) == 0 }
+
+// TestRunPreservesQueueIntegrity is the engine's safety property: whatever
+// a policy decides, a shuffling round may reorder the waiter queue but must
+// never drop, duplicate or cycle it, and the shuffler stays at the front.
+// Randomized queues (arrival order, sockets, priorities, statuses, hints)
+// are driven through every registered policy plus chaos policies whose
+// decisions are coin flips.
+func TestRunPreservesQueueIntegrity(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	registered := Names()
+	for iter := 0; iter < 5000; iter++ {
+		k := rng.Intn(15) // waiters behind the shuffler
+		nodes := make([]*tnode, k+1)
+		for i := range nodes {
+			nodes[i] = &tnode{
+				id:     i + 1,
+				status: StatusWaiting,
+				socket: uint64(rng.Intn(4)),
+				prio:   uint64(rng.Intn(3)),
+				batch:  uint64(rng.Intn(3)),
+			}
+			if rng.Intn(4) == 0 {
+				nodes[i].status = StatusSpinning
+			}
+			if i > 0 {
+				nodes[i-1].next = nodes[i]
+			}
+		}
+		var pol Policy
+		if rng.Intn(3) == 0 {
+			pol = &chaosPolicy{
+				rng:      rng,
+				shuffles: rng.Intn(8) != 0,
+				passRole: rng.Intn(2) == 0,
+				useHint:  rng.Intn(2) == 0,
+				budget:   uint64(1 + rng.Intn(MaxShuffles)),
+			}
+		} else {
+			pol = ByName(registered[rng.Intn(len(registered))])
+		}
+		if pol.UseHint() && k >= 2 && rng.Intn(2) == 0 {
+			nodes[0].hint = nodes[1+rng.Intn(k)]
+		}
+		sub := &tsub{self: nodes[0], lockFree: rng.Intn(8) == 0}
+		in := Input{Blocking: rng.Intn(2) == 0, VNext: rng.Intn(2) == 0, FromRole: true}
+		res := Run[*tnode, *tsub](sub, pol, nodes[0], in)
+
+		seen := make(map[*tnode]bool, len(nodes))
+		count := 0
+		for n := nodes[0]; n != nil; n = n.next {
+			if seen[n] {
+				t.Fatalf("iter %d: node %d reached twice (queue cycle)", iter, n.id)
+			}
+			seen[n] = true
+			count++
+			if count > len(nodes) {
+				t.Fatalf("iter %d: queue longer than its %d nodes", iter, len(nodes))
+			}
+		}
+		if count != len(nodes) {
+			t.Fatalf("iter %d: queue has %d nodes, want %d (waiter dropped)", iter, count, len(nodes))
+		}
+		for _, n := range nodes {
+			if !seen[n] {
+				t.Fatalf("iter %d: node %d no longer reachable", iter, n.id)
+			}
+		}
+		if res.Moved+res.Marked > res.Scanned {
+			t.Fatalf("iter %d: grouped %d+%d nodes but scanned only %d",
+				iter, res.Marked, res.Moved, res.Scanned)
+		}
+		if sub.selfScans != 0 {
+			t.Fatalf("iter %d: self-scan on a well-formed queue", iter)
+		}
+	}
+}
+
+// TestStaleHintSelfScan reproduces the pooled-node hazard the native
+// substrate faces: a forwarded resumption hint naming a node that left the
+// queue and whose stale next pointer leads back to the shuffler. The engine
+// must report the event, abandon the hint, and leave the queue untouched.
+func TestStaleHintSelfScan(t *testing.T) {
+	n := &tnode{id: 1}
+	a := &tnode{id: 2}
+	n.next = a
+	stale := &tnode{id: 3}
+	stale.next = n // recycled node still pointing at the shuffler
+	n.hint = stale
+	sub := &tsub{self: n}
+	res := Run[*tnode, *tsub](sub, NUMA(), n, Input{FromRole: true})
+	if sub.selfScans != 1 {
+		t.Fatalf("self-scan not reported: %d events", sub.selfScans)
+	}
+	if n.hint != nil {
+		t.Fatalf("stale hint not abandoned")
+	}
+	if n.next != a || a.next != nil {
+		t.Fatalf("queue disturbed by a stale-hint round")
+	}
+	if res.Scanned != 0 || res.Moved != 0 || res.Marked != 0 {
+		t.Fatalf("stale-hint round claims work: %+v", res)
+	}
+}
+
+// TestBudgetAbort: a shuffler whose batch has reached the policy budget
+// must stand down without touching the queue.
+func TestBudgetAbort(t *testing.T) {
+	n := &tnode{id: 1, batch: MaxShuffles}
+	w := &tnode{id: 2}
+	n.next = w
+	sub := &tsub{self: n}
+	res := Run[*tnode, *tsub](sub, NUMA(), n, Input{FromRole: true})
+	if res.Scanned != 0 || res.Moved != 0 || res.Marked != 0 || res.Retained {
+		t.Fatalf("budget-capped round still ran: %+v", res)
+	}
+	if n.next != w || n.shuffler != 0 {
+		t.Fatalf("budget-capped round touched the queue")
+	}
+}
+
+// TestRolePlumbing checks the three ways a round disposes of the shuffler
+// role: self-retry off the head path, silent retention at the head, and the
+// chain handoff to the last grouped waiter.
+func TestRolePlumbing(t *testing.T) {
+	mk := func(socket uint64) (*tnode, *tnode) {
+		n := &tnode{id: 1}
+		w := &tnode{id: 2, socket: socket}
+		n.next = w
+		return n, w
+	}
+
+	// Unproductive round off the head path: role re-armed on the shuffler.
+	n, w := mk(1)
+	res := Run[*tnode, *tsub](&tsub{self: n}, NUMA(), n, Input{FromRole: true})
+	if !res.Retained || n.shuffler != 1 || w.shuffler != 0 {
+		t.Fatalf("self-retry: res=%+v shuffler=%d/%d", res, n.shuffler, w.shuffler)
+	}
+
+	// Unproductive round at the head: role retained without re-arming (the
+	// caller relays it at acquisition).
+	n, w = mk(1)
+	res = Run[*tnode, *tsub](&tsub{self: n}, NUMA(), n, Input{FromRole: true, VNext: true})
+	if !res.Retained || n.shuffler != 0 || w.shuffler != 0 {
+		t.Fatalf("head retention: res=%+v shuffler=%d/%d", res, n.shuffler, w.shuffler)
+	}
+
+	// Productive round: role passed to the grouped waiter...
+	n, w = mk(0)
+	res = Run[*tnode, *tsub](&tsub{self: n}, NUMA(), n, Input{FromRole: true})
+	if res.Retained || res.Marked != 1 || w.shuffler != 1 {
+		t.Fatalf("chain handoff: res=%+v shuffler=%d", res, w.shuffler)
+	}
+
+	// ...unless the policy does not relay it (+shuffler ablation stage).
+	n, w = mk(0)
+	res = Run[*tnode, *tsub](&tsub{self: n}, Ablation(1), n, Input{FromRole: true})
+	if res.Retained || res.Marked != 1 || w.shuffler != 0 {
+		t.Fatalf("role drop: res=%+v shuffler=%d", res, w.shuffler)
+	}
+}
+
+// TestRegistry checks the policy registry and the ablation-stage mapping.
+func TestRegistry(t *testing.T) {
+	for _, name := range []string{
+		"numa", "prio",
+		"ablation-base", "ablation+shuffler", "ablation+shufflers", "ablation+qlast",
+	} {
+		if ByName(name) == nil {
+			t.Errorf("policy %q not registered", name)
+		}
+	}
+	if ByName("no-such-policy") != nil {
+		t.Errorf("unknown policy resolved")
+	}
+	names := Names()
+	for i := 1; i < len(names); i++ {
+		if names[i-1] >= names[i] {
+			t.Errorf("Names not sorted: %v", names)
+		}
+	}
+	if got := Ablation(-5).Name(); got != "ablation-base" {
+		t.Errorf("Ablation(-5) = %q", got)
+	}
+	if got := Ablation(99).Name(); got != "ablation+qlast" {
+		t.Errorf("Ablation(99) = %q", got)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Errorf("duplicate Register did not panic")
+		}
+	}()
+	Register(NUMA())
+}

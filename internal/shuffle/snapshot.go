@@ -1,0 +1,30 @@
+package shuffle
+
+// Snapshot describes a frozen waiter queue for differential substrate
+// testing: both lock implementations materialize the same snapshot in
+// their own node representation, run one shuffling round over it, and the
+// resulting decision traces must match byte for byte.
+//
+// Nodes[0] is the shuffler (the queue head in the replayed round); the
+// remaining nodes are linked behind it in slice order. The lock word is
+// held locked and no waiter is granted mid-round, so neither exit
+// condition fires and the round runs to the end of the queue.
+type Snapshot struct {
+	// Policy names the registered policy driving the round.
+	Policy string
+	// Blocking and VNext mirror Input.
+	Blocking, VNext bool
+	// Hint, when >0, is the Nodes index the shuffler's traversal-
+	// resumption hint points at (only meaningful for +qlast policies).
+	Hint int
+	// Nodes describes the queue, shuffler first.
+	Nodes []SnapNode
+}
+
+// SnapNode is one waiter's observable state within a Snapshot.
+type SnapNode struct {
+	Socket uint64
+	Prio   uint64
+	Batch  uint64
+	Status uint64
+}

@@ -1,0 +1,19 @@
+package shuffle
+
+import "fmt"
+
+// Trace accumulates a shuffling round's decision sequence as formatted
+// lines. The differential substrate test replays one queue snapshot
+// through both substrates and asserts the traces are byte-identical; the
+// engine emits nothing when the Input carries a nil Trace, so production
+// rounds pay only a nil check per decision.
+type Trace struct {
+	Lines []string
+}
+
+func (t *Trace) add(format string, args ...any) {
+	if t == nil {
+		return
+	}
+	t.Lines = append(t.Lines, fmt.Sprintf(format, args...))
+}

@@ -1,0 +1,81 @@
+package simlocks
+
+import (
+	"fmt"
+
+	"shfllock/internal/shuffle"
+	"shfllock/internal/sim"
+	"shfllock/internal/topology"
+)
+
+// ReplayShuffleSnapshot materializes the given queue snapshot on the
+// simulator substrate, runs one shuffling round over it, and returns the
+// engine's decision trace. The differential substrate test compares this
+// byte-for-byte against the same snapshot replayed on the native substrate
+// — the regression net that catches one implementation drifting from the
+// other.
+//
+// Snapshot node i becomes thread i's queue node, so trace IDs are i+1 on
+// both substrates. The TAS lock is held and no waiter is granted head
+// status mid-round, so the round's exit conditions never fire; statuses
+// must not include Parked (there is no parked thread to wake).
+func ReplayShuffleSnapshot(snap shuffle.Snapshot) []string {
+	pol := shuffle.ByName(snap.Policy)
+	if pol == nil {
+		panic(fmt.Sprintf("simlocks: unknown shuffle policy %q", snap.Policy))
+	}
+	nn := len(snap.Nodes)
+	if nn == 0 {
+		return nil
+	}
+	sockets := 1
+	for _, nd := range snap.Nodes {
+		if int(nd.Socket)+1 > sockets {
+			sockets = int(nd.Socket) + 1
+		}
+	}
+	// One core per snapshot node on every socket, so the shuffler can be
+	// pinned to its snapshot socket and each node thread gets its own core.
+	topo := topology.Machine{Sockets: sockets, CoresPerSocket: nn}
+	e := sim.NewEngine(sim.Config{Topo: topo, Seed: 1, HardStop: 1_000_000_000})
+	l := newShfl(e, "replay", snap.Blocking)
+	l.Policy = pol
+
+	var trace shuffle.Trace
+	// The shuffler must run on its snapshot socket: ShufflerSocket is the
+	// thread's own placement, not a queue-node field.
+	core := int(snap.Nodes[0].Socket) * nn
+	e.Spawn("shuffler", core, func(t *sim.Thread) {
+		// Materialize the snapshot. The writer identity does not matter for
+		// the decisions (only field values do), so the shuffler thread
+		// populates every node itself.
+		t.Store(l.glock, shLocked)
+		for i, nd := range snap.Nodes {
+			w := l.node(uint64(i + 1))
+			t.Store(w[shStatus], nd.Status)
+			t.Store(w[shSocket], nd.Socket)
+			t.Store(w[shPrio], nd.Prio)
+			t.Store(w[shBatch], nd.Batch)
+			t.Store(w[shShuffler], 0)
+			t.Store(w[shLastHint], 0)
+			if i+1 < nn {
+				t.Store(w[shNext], uint64(i+2))
+			} else {
+				t.Store(w[shNext], 0)
+			}
+		}
+		if snap.Hint > 0 {
+			t.Store(l.node(1)[shLastHint], uint64(snap.Hint+1))
+		}
+		shuffle.Run(simSub{l, t}, pol, 1,
+			shuffle.Input{Blocking: snap.Blocking, VNext: snap.VNext, FromRole: true, Trace: &trace})
+	})
+	// The remaining threads exist only to own queue nodes (handles resolve
+	// through the thread table); they never execute lock code.
+	for i := 1; i < nn; i++ {
+		c := (core + i) % topo.Cores()
+		e.Spawn("node", c, func(t *sim.Thread) {})
+	}
+	e.Run()
+	return trace.Lines
+}

@@ -3,27 +3,17 @@ package simlocks
 import (
 	"fmt"
 
+	"shfllock/internal/shuffle"
 	"shfllock/internal/sim"
 )
 
-// shflTrace, when non-nil, receives protocol events for debugging.
-var shflTrace []string
-
-func strace(format string, args ...any) {
-	if shflTrace != nil {
-		shflTrace = append(shflTrace, fmt.Sprintf(format, args...))
-		if len(shflTrace) > 400 {
-			shflTrace = shflTrace[200:]
-		}
-	}
-}
-
-// ShflLock queue-node status values (Figures 4 and 6 of the paper).
+// ShflLock queue-node status values are shuffle.Status*; these aliases keep
+// the lock code close to the paper's pseudocode (Figures 4 and 6).
 const (
-	sWaiting  = 0 // spinning on the node, may park (blocking variant)
-	sReady    = 1 // at the head of the queue; go take the TAS lock
-	sParked   = 2 // descheduled; must be woken by SWAP/CAS + unpark
-	sSpinning = 3 // marked by a shuffler: keep spinning, lock is near
+	sWaiting  = shuffle.StatusWaiting
+	sReady    = shuffle.StatusReady
+	sParked   = shuffle.StatusParked
+	sSpinning = shuffle.StatusSpinning
 )
 
 // ShflLock queue-node field offsets.
@@ -44,31 +34,21 @@ const (
 	shNoSteal = 1 << 8
 )
 
-// maxShuffles caps how many waiters one socket may batch before the
-// shuffler must stand down, bounding unfairness to remote sockets
-// (MAX_SHUFFLES = 1024 in the paper's pseudocode). Long batches make the
-// fairness factor look high over millisecond measurement windows — the
-// paper measures 30-second runs — but they are what keeps throughput flat
-// under over-subscription.
-const maxShuffles = 1024
-
 // shufflePoll paces a shuffler's retry loop while it has not yet found a
-// same-socket successor (the real implementation busy-polls the queue).
+// group-member successor (the real implementation busy-polls the queue).
 const shufflePoll = 300
 
 // ShflLock is the paper's lock: a TAS lock guarding the critical section
 // plus an MCS-style waiter queue whose *waiters* reorder it (shuffling)
-// according to a policy — here NUMA grouping, plus wakeup hints in the
-// blocking variant. The lock state is decoupled from the queue: the holder
-// releases its queue node before entering the critical section, TryLock is
-// a single CAS, and the TAS path permits stealing.
+// according to a pluggable policy — NUMA grouping by default, plus wakeup
+// hints in the blocking variant. The lock state is decoupled from the
+// queue: the holder releases its queue node before entering the critical
+// section, TryLock is a single CAS, and the TAS path permits stealing.
 //
-// Policy knobs reproduce the factor analysis of Figure 11(e):
-//
-//	PolicyShuffle=false                 -> "Base" (NUMA-oblivious)
-//	PassRole=false                      -> "+Shuffler" (head shuffles only)
-//	PassRole=true                       -> "+Shufflers"
-//	OptQlast=true                       -> "+qlast"
+// The shuffling rounds themselves run in the substrate-independent
+// internal/shuffle engine; this type contributes the simulated-memory
+// accesses (so the cost model charges exact cache-line traffic) and the
+// TAS/queue mechanism around them.
 type ShflLock struct {
 	e     *sim.Engine
 	glock sim.Word
@@ -80,22 +60,15 @@ type ShflLock struct {
 	// stays enabled.
 	Blocking bool
 
-	PolicyShuffle bool
-	PassRole      bool
-	OptQlast      bool
+	// Policy drives the shuffling rounds. NUMA grouping by default; the
+	// ablation and priority makers install other registered policies.
+	// Replace before the lock is shared.
+	Policy shuffle.Policy
 
 	// StealLocalOnly restricts TAS stealing to threads on the same socket
 	// as the previous holder (the "ShflLock (NUMA)" variant of Fig 11d).
 	StealLocalOnly bool
 	lastSocket     sim.Word
-
-	// PolicyMatch, when non-nil, replaces the NUMA grouping predicate:
-	// the shuffler groups candidate waiters for which it returns true
-	// directly behind its shuffled chain. This is the §7 extension point
-	// ("shuffling ... gives us the freedom to design and multiplex new
-	// policies"); see ShflLockPriorityMaker for a priority policy that
-	// counters priority inversion.
-	PolicyMatch func(t *sim.Thread, shuffler, candidate []sim.Word) bool
 
 	// prios holds per-thread priorities for the priority policy.
 	prios map[int]uint64
@@ -122,10 +95,8 @@ func newShfl(e *sim.Engine, tag string, blocking bool) *ShflLock {
 	ws := e.Mem().Alloc(tag, 2)
 	l := &ShflLock{
 		e: e, glock: ws[0], tail: ws[1],
-		Blocking:      blocking,
-		PolicyShuffle: true,
-		PassRole:      true,
-		OptQlast:      true,
+		Blocking: blocking,
+		Policy:   shuffle.NUMA(),
 	}
 	l.nodes = newNodeTable(e, tag, shWords, &l.cnt)
 	return l
@@ -143,14 +114,13 @@ func (l *ShflLock) Stats() *Counters { return &l.cnt }
 
 // giveRole is the single point where the shuffler flag is set; the oracle
 // asserts role uniqueness.
-func (l *ShflLock) giveRole(t *sim.Thread, to uint64, why string) {
+func (l *ShflLock) giveRole(t *sim.Thread, to uint64) {
 	if l.roleOracle {
 		if l.roleHolder != 0 && l.roleHolder != to && l.roleHolder != handle(t) {
-			panic(fmt.Sprintf("shfllock: duplicate role: T%d gives role to T%d (%s) while T%d holds it\n%v",
-				t.ID(), to-1, why, l.roleHolder-1, shflTrace))
+			panic(fmt.Sprintf("shfllock: duplicate role: T%d gives role to T%d while T%d holds it",
+				t.ID(), to-1, l.roleHolder-1))
 		}
 		l.roleHolder = to
-		strace("t=%d T%d role -> T%d (%s)", t.Now(), t.ID(), to-1, why)
 	}
 	t.Store(l.node(to)[shShuffler], 1)
 }
@@ -159,7 +129,7 @@ func (l *ShflLock) giveRole(t *sim.Thread, to uint64, why string) {
 func (l *ShflLock) takeRole(t *sim.Thread) {
 	if l.roleOracle {
 		if l.roleHolder != 0 && l.roleHolder != handle(t) {
-			panic(fmt.Sprintf("shfllock: T%d shuffles but role is at T%d\n%v", t.ID(), l.roleHolder-1, shflTrace))
+			panic(fmt.Sprintf("shfllock: T%d shuffles but role is at T%d", t.ID(), l.roleHolder-1))
 		}
 		l.roleHolder = handle(t)
 	}
@@ -211,7 +181,6 @@ func (l *ShflLock) Lock(t *sim.Thread) {
 	}
 
 	prev := t.Swap(l.tail, handle(t))
-	strace("t=%d T%d join prev=T%d", t.Now(), t.ID(), prev-1)
 	if prev != 0 {
 		l.spinUntilVeryNextWaiter(t, prev, n)
 	} else if !l.Blocking {
@@ -234,12 +203,13 @@ func (l *ShflLock) Lock(t *sim.Thread) {
 	// 20-30). The shuffler's exit condition fires as soon as the lock is
 	// free, so a shuffle on the handoff path costs at most one scanned
 	// node — the transient price of sorting the queue. An unproductive
-	// head keeps the role without rescanning; it relays role and frontier
-	// to its successor when it acquires.
+	// head keeps the role (roleMine) without rescanning; it relays role
+	// and frontier to its successor when it acquires.
 	roleMine := false
 	for {
 		if !roleMine && (t.Load(n[shBatch]) == 0 || t.Load(n[shShuffler]) != 0) {
-			roleMine = l.shuffleWaiters(t, n, true)
+			roleMine = shuffle.Run(simSub{l, t}, l.Policy, handle(t),
+				shuffle.Input{Blocking: l.Blocking, VNext: true}).Retained
 		}
 		x := t.Load(l.glock)
 		if x&0xff == 0 {
@@ -277,18 +247,17 @@ func (l *ShflLock) Lock(t *sim.Thread) {
 		next = t.SpinUntil(n[shNext], func(v uint64) bool { return v != 0 })
 	}
 	if next == handle(t) {
-		panic(fmt.Sprintf("shfllock: T%d granting itself\n%v", t.ID(), shflTrace))
+		panic(fmt.Sprintf("shfllock: T%d granting itself", t.ID()))
 	}
-	strace("t=%d T%d acquired; grant head to T%d", t.Now(), t.ID(), next-1)
-	// If we still hold the shuffler role (our scan never found a local
-	// waiter), relay it — with the scan frontier — to our successor, so
+	// If we still hold the shuffler role (our scan never found a group
+	// member), relay it — with the scan frontier — to our successor, so
 	// traversal resumes near where it stopped instead of restarting
 	// (invariant 4: a shuffler may pass the role to one of its
 	// successors; this is what makes +qlast "traverse mostly from the
 	// near end of the tail"). These stores happen while we hold the TAS
 	// lock, off the handoff path.
-	if l.PassRole && (roleMine || l.e.Mem().Peek(n[shShuffler]) != 0) {
-		if l.OptQlast {
+	if l.Policy.PassRole() && (roleMine || l.e.Mem().Peek(n[shShuffler]) != 0) {
+		if l.Policy.UseHint() {
 			// Forward the frontier only if it names a node that is still
 			// queued behind the recipient: not the recipient, and not
 			// ourselves (we are about to leave the queue).
@@ -296,7 +265,7 @@ func (l *ShflLock) Lock(t *sim.Thread) {
 				t.Store(l.node(next)[shLastHint], h)
 			}
 		}
-		l.giveRole(t, next, "relay")
+		l.giveRole(t, next)
 	} else if l.roleOracle && l.roleHolder == handle(t) {
 		// Leaving the queue while holding the role without relaying it
 		// (PassRole disabled, or the role was never ours): it dies here.
@@ -344,7 +313,8 @@ func (l *ShflLock) spinUntilVeryNextWaiter(t *sim.Thread, prev uint64, n []sim.W
 			return
 		}
 		if t.Load(n[shShuffler]) != 0 {
-			l.shuffleWaiters(t, n, false)
+			shuffle.Run(simSub{l, t}, l.Policy, handle(t),
+				shuffle.Input{Blocking: l.Blocking, VNext: false, FromRole: true})
 			if t.Load(n[shShuffler]) != 0 {
 				// Still holding the role after an unproductive scan:
 				// pace the retry loop (the real shuffler busy-polls).
@@ -383,145 +353,6 @@ func (l *ShflLock) setSpinning(t *sim.Thread, h uint64, byShuffler bool) {
 		_ = byShuffler
 		t.Unpark(threadOf(l.e, h))
 	}
-}
-
-// shuffleWaiters is the shuffling mechanism (Figure 4, lines 59-108, plus
-// the +qlast traversal-resumption optimization): the shuffler walks the
-// queue grouping waiters of its own socket immediately behind the already-
-// shuffled chain, then passes the shuffler role to the last grouped waiter.
-func (l *ShflLock) shuffleWaiters(t *sim.Thread, n []sim.Word, vnextWaiter bool) (retained bool) {
-	if !l.PolicyShuffle {
-		t.Store(n[shShuffler], 0)
-		return false
-	}
-	l.cnt.Shuffles++
-	me := handle(t)
-	qlast := me
-	qprev := me
-
-	batch := t.Load(n[shBatch])
-	if batch == 0 {
-		batch++
-		t.Store(n[shBatch], batch)
-	}
-	l.takeRole(t)
-	// The shuffler is decided at the end, so clear our own flag.
-	t.Store(n[shShuffler], 0)
-	if batch >= maxShuffles {
-		if l.roleOracle {
-			l.roleHolder = 0
-		}
-		return false // no more batching: avoid starving remote sockets
-	}
-	if l.Blocking && !vnextWaiter {
-		// We will soon acquire the lock: make sure we never park. If the
-		// grant raced with us, put it back — the granter has already left
-		// the queue and will not write our status again.
-		if old := t.Swap(n[shStatus], sSpinning); old == sReady {
-			t.Store(n[shStatus], sReady)
-		}
-	}
-	mySkt := uint64(t.Socket())
-	if l.OptQlast {
-		if h := t.Load(n[shLastHint]); h != 0 {
-			qprev = h // resume where the previous shuffler stopped
-		}
-	}
-	for {
-		qcurr := t.Load(l.node(qprev)[shNext])
-		strace("t=%d T%d scan qprev=T%d qcurr=T%d qlast=T%d vnext=%v", t.Now(), t.ID(), qprev-1, qcurr-1, qlast-1, vnextWaiter)
-		if qcurr == 0 {
-			break
-		}
-		// The pseudocode compares qcurr against lock.tail so the scan
-		// never moves a node a joiner may be linking behind. The
-		// qnext==0 guard below covers the same hazard without re-reading
-		// the contended lock line: a node with a non-nil next is no
-		// longer the tail.
-		if qcurr == me {
-			panic(fmt.Sprintf("shfllock: T%d scan reached itself (qprev=T%d)\n%v", t.ID(), qprev-1, shflTrace))
-		}
-		cn := l.node(qcurr)
-		l.cnt.ShuffleScanned++
-		match := t.Load(cn[shSocket]) == mySkt
-		if l.PolicyMatch != nil {
-			match = l.PolicyMatch(t, n, cn)
-		}
-		if match {
-			// The contiguous case applies only when qcurr directly
-			// follows our shuffled chain (for a fresh scan this is
-			// exactly the pseudocode's qprev.skt == qnode.skt test; with
-			// +qlast scan resumption it must be the chain end itself, or
-			// the marked chain would fragment and the shuffler-role
-			// handoff would lose its single-shuffler invariant).
-			if qprev == qlast {
-				// Contiguous same-socket chain: just mark it.
-				batch++
-				t.Store(cn[shBatch], batch)
-				if l.Blocking {
-					l.setSpinning(t, qcurr, true)
-				}
-				l.cnt.ShuffleMarked++
-				qlast = qcurr
-				qprev = qcurr
-			} else {
-				// Remote waiters sit between the chain and qcurr: move
-				// qcurr to the end of the shuffled chain.
-				qnext := t.Load(cn[shNext])
-				if qnext == 0 {
-					break
-				}
-				batch++
-				t.Store(cn[shBatch], batch)
-				if l.Blocking {
-					l.setSpinning(t, qcurr, true)
-				}
-				t.Store(l.node(qprev)[shNext], qnext)
-				t.Store(cn[shNext], t.Load(l.node(qlast)[shNext]))
-				t.Store(l.node(qlast)[shNext], qcurr)
-				strace("t=%d T%d MOVE T%d after T%d (qprev=T%d qnext=T%d)", t.Now(), t.ID(), qcurr-1, qlast-1, qprev-1, qnext-1)
-				qlast = qcurr
-				l.cnt.ShuffleMoves++
-			}
-		} else {
-			qprev = qcurr
-		}
-		// Exit: the TAS lock is free and we are the queue head, or a
-		// predecessor made us the head.
-		if vnextWaiter && t.Load(l.glock)&0xff == 0 {
-			break
-		}
-		if !vnextWaiter && t.Load(n[shStatus]) == sReady {
-			break
-		}
-	}
-
-	if qlast == me {
-		// No local waiter found yet: the role stays with us, resuming the
-		// scan where it stopped ("the shuffler keeps retrying to find a
-		// waiter from the same socket"). A waiting (non-head) shuffler
-		// re-arms its flag and polls; the head retains the role silently
-		// and relays it to its successor at acquisition, so the handoff
-		// path is not burdened with a rescan per lock transition.
-		if l.OptQlast && qprev != me {
-			t.Store(n[shLastHint], qprev)
-		}
-		if !vnextWaiter {
-			l.giveRole(t, me, "self-retry")
-		} else if l.roleOracle {
-			l.roleHolder = handle(t)
-		}
-		return true
-	}
-	if l.OptQlast && qprev != qlast {
-		t.Store(l.node(qlast)[shLastHint], qprev)
-	}
-	if l.PassRole {
-		l.giveRole(t, qlast, "pass-qlast")
-	} else if l.roleOracle {
-		l.roleHolder = 0
-	}
-	return false
 }
 
 // ShflLockNBMaker registers the non-blocking ShflLock.
@@ -567,7 +398,7 @@ func ShflLockBNUMAStealMaker() Maker {
 }
 
 // ShflLockAblationMaker builds the Figure 11(e) factor-analysis variants.
-// stage: 0=Base, 1=+Shuffler, 2=+Shufflers, 3=+qlast.
+// stage: 0=Base, 1=+Shuffler, 2=+Shufflers, 3=+qlast (see shuffle.Ablation).
 func ShflLockAblationMaker(stage int) Maker {
 	names := []string{"shfl-base", "shfl+shuffler", "shfl+shufflers", "shfl+qlast"}
 	return Maker{
@@ -575,9 +406,7 @@ func ShflLockAblationMaker(stage int) Maker {
 		Kind: NonBlocking,
 		New: func(e *sim.Engine, tag string) Lock {
 			l := NewShflLockNB(e, tag)
-			l.PolicyShuffle = stage >= 1
-			l.PassRole = stage >= 2
-			l.OptQlast = stage >= 3
+			l.Policy = shuffle.Ablation(stage)
 			return l
 		},
 		Footprint: func(int) Footprint {
@@ -600,7 +429,8 @@ func (l *ShflLock) SetPriority(threadID int, prio uint64) {
 // policy groups waiters with higher priority than the shuffler directly
 // behind the shuffled chain — the priority-inversion counter-measure the
 // paper sketches in §7. Ties fall back to NUMA grouping, so the lock keeps
-// its locality when priorities are uniform.
+// its locality when priorities are uniform. The same shuffle.Priority
+// policy runs on the native core locks via SetPolicy/LockWithPriority.
 func ShflLockPriorityMaker() Maker {
 	return Maker{
 		Name: "shfllock-prio",
@@ -608,14 +438,7 @@ func ShflLockPriorityMaker() Maker {
 		New: func(e *sim.Engine, tag string) Lock {
 			l := NewShflLockNB(e, tag)
 			l.prios = make(map[int]uint64)
-			l.PolicyMatch = func(t *sim.Thread, shuffler, candidate []sim.Word) bool {
-				sp := t.Load(shuffler[shPrio])
-				cp := t.Load(candidate[shPrio])
-				if cp != sp {
-					return cp > sp
-				}
-				return t.Load(candidate[shSocket]) == uint64(t.Socket())
-			}
+			l.Policy = shuffle.Priority()
 			return l
 		},
 		Footprint: func(int) Footprint {

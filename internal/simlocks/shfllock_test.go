@@ -108,7 +108,7 @@ func TestPriorityPolicy(t *testing.T) {
 					ops[id]++
 				}
 			})
-			if pl, ok := l.(*ShflLock); ok && pl.PolicyMatch != nil {
+			if pl, ok := l.(*ShflLock); ok && pl.prios != nil {
 				prio := uint64(0)
 				if id < 4 {
 					prio = 10 // threads 0-3 are high priority

@@ -1,0 +1,76 @@
+package simlocks
+
+import (
+	"fmt"
+
+	"shfllock/internal/shuffle"
+	"shfllock/internal/sim"
+)
+
+// simSub backs the shuffle engine with simulated-memory accesses: every
+// accessor charges the cost model exactly the cache-line traffic its
+// native counterpart causes, so moving the queue walk into the shared
+// engine is invisible to cycle accounting. Node handles are thread IDs + 1
+// (see handle); zero is nil.
+type simSub struct {
+	l *ShflLock
+	t *sim.Thread
+}
+
+func (s simSub) LoadNext(h uint64) uint64      { return s.t.Load(s.l.node(h)[shNext]) }
+func (s simSub) StoreNext(h, v uint64)         { s.t.Store(s.l.node(h)[shNext], v) }
+func (s simSub) LoadStatus(h uint64) uint64    { return s.t.Load(s.l.node(h)[shStatus]) }
+func (s simSub) StoreStatus(h, v uint64)       { s.t.Store(s.l.node(h)[shStatus], v) }
+func (s simSub) SwapStatus(h, v uint64) uint64 { return s.t.Swap(s.l.node(h)[shStatus], v) }
+func (s simSub) StoreShuffler(h, v uint64)     { s.t.Store(s.l.node(h)[shShuffler], v) }
+func (s simSub) LoadBatch(h uint64) uint64     { return s.t.Load(s.l.node(h)[shBatch]) }
+func (s simSub) StoreBatch(h, v uint64)        { s.t.Store(s.l.node(h)[shBatch], v) }
+func (s simSub) LoadHint(h uint64) uint64      { return s.t.Load(s.l.node(h)[shLastHint]) }
+func (s simSub) StoreHint(h, v uint64)         { s.t.Store(s.l.node(h)[shLastHint], v) }
+
+func (s simSub) ShufflerSocket() uint64 { return uint64(s.t.Socket()) }
+func (s simSub) Socket(h uint64) uint64 { return s.t.Load(s.l.node(h)[shSocket]) }
+func (s simSub) Prio(h uint64) uint64   { return s.t.Load(s.l.node(h)[shPrio]) }
+func (s simSub) LockByteFree() bool     { return s.t.Load(s.l.glock)&0xff == 0 }
+func (s simSub) SetSpinning(h uint64)   { s.l.setSpinning(s.t, h, true) }
+
+func (s simSub) RoundStart(uint64) { s.l.cnt.Shuffles++ }
+func (s simSub) RoleTaken(uint64)  { s.l.takeRole(s.t) }
+
+func (s simSub) RoundAbort(uint64) {
+	if s.l.roleOracle {
+		s.l.roleHolder = 0
+	}
+}
+
+func (s simSub) RoundActive(uint64, bool, bool) {}
+func (s simSub) Moved(uint64, uint64)           {}
+
+func (s simSub) RoundEnd(_ uint64, scanned, moved, marked int) {
+	s.l.cnt.ShuffleScanned += uint64(scanned)
+	s.l.cnt.ShuffleMoves += uint64(moved)
+	s.l.cnt.ShuffleMarked += uint64(marked)
+}
+
+func (s simSub) GiveRole(_, to uint64, _ shuffle.RoleWhy) { s.l.giveRole(s.t, to) }
+
+func (s simSub) RetainRole(uint64) {
+	if s.l.roleOracle {
+		s.l.roleHolder = handle(s.t)
+	}
+}
+
+func (s simSub) DropRole(uint64) {
+	if s.l.roleOracle {
+		s.l.roleHolder = 0
+	}
+}
+
+// StaleSelfScan is a protocol violation on this substrate: queue nodes are
+// per-thread, so a scan can only reach the shuffler's own node through a
+// corrupted queue or a mis-forwarded hint.
+func (s simSub) StaleSelfScan(uint64) {
+	panic(fmt.Sprintf("shfllock: T%d scan reached itself", s.t.ID()))
+}
+
+func (s simSub) DebugID(h uint64) uint64 { return h }

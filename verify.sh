@@ -35,6 +35,15 @@ go test $SHORT ./...
 echo "== go test -race ./internal/core/...  (incl. steal-path liveness)"
 go test -race $SHORT ./internal/core/...
 
+echo "== differential shuffle gate: one engine, two substrates"
+go test -race -run 'TestDifferentialShuffle' ./internal/core
+
+echo "== layering gate: no hand-inlined shuffle walk outside internal/shuffle"
+if grep -rn "func .*shuffleWaiters" internal/core internal/simlocks; then
+	echo "FAIL: a substrate reintroduced a local shuffleWaiters; the queue walk lives in internal/shuffle" >&2
+	exit 1
+fi
+
 echo "== shape gate: shflbench -exp all -quick -parallel 1 (serial)"
 go run ./cmd/shflbench -exp all -quick -parallel 1 >/tmp/shflbench-serial.txt
 grep "shape\[" /tmp/shflbench-serial.txt
