@@ -39,6 +39,11 @@ func main() {
 		lockstat = flag.Bool("lockstat", false, "append lock_stat-style reports to experiments that carry them")
 		parallel = flag.Int("parallel", runtime.GOMAXPROCS(0), "simulation points to run concurrently (1 = serial)")
 		cacheDir = flag.String("cache", "", "directory memoizing finished points across runs")
+		// Results are byte-identical with the fast path on or off (verify.sh
+		// diffs the two); the flag exists to run the slow path as an oracle
+		// and to quantify the speedup.
+		enginefast  = flag.Bool("enginefast", true, "engine fast path: in-place time advance and direct thread handoff")
+		enginestats = flag.Bool("enginestats", false, "print aggregate engine fast-path/slow-path counters after the run")
 	)
 	flag.Parse()
 
@@ -56,13 +61,14 @@ func main() {
 
 	shapes := &bench.ShapeLog{}
 	cfg := bench.Config{
-		Topo:     topology.Machine{Sockets: *sockets, CoresPerSocket: *cores},
-		Seed:     *seed,
-		Quick:    *quick,
-		LockStat: *lockstat,
-		Shapes:   shapes,
+		Topo:       topology.Machine{Sockets: *sockets, CoresPerSocket: *cores},
+		Seed:       *seed,
+		Quick:      *quick,
+		LockStat:   *lockstat,
+		Shapes:     shapes,
+		NoFastPath: !*enginefast,
 	}
-	opt := bench.Options{Parallel: *parallel, CacheDir: *cacheDir}
+	opt := bench.Options{Parallel: *parallel, CacheDir: *cacheDir, EngineStats: *enginestats}
 
 	exps := bench.All()
 	if *exp != "all" {

@@ -33,6 +33,10 @@ type Config struct {
 	Quick    bool      // fewer sweep points, shorter measurement windows
 	LockStat bool      // append a lockstat report to experiments that carry one
 	Shapes   *ShapeLog // collects shape-check verdicts when non-nil
+	// NoFastPath runs every simulation through the engine's event-queue
+	// slow path (-enginefast=false). Results are identical either way; the
+	// mode exists so the fast path can be diffed against its oracle.
+	NoFastPath bool
 }
 
 func (c Config) withDefaults() Config {
@@ -88,10 +92,11 @@ func (c Config) threadPoints(oversub int) []int {
 // params builds workload parameters for one sweep point.
 func (c Config) params(threads int) workloads.Params {
 	return workloads.Params{
-		Topo:     c.Topo,
-		Threads:  threads,
-		Seed:     c.Seed,
-		Duration: c.duration(),
+		Topo:       c.Topo,
+		Threads:    threads,
+		Seed:       c.Seed,
+		Duration:   c.duration(),
+		NoFastPath: c.NoFastPath,
 	}
 }
 

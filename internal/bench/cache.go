@@ -14,7 +14,7 @@ import (
 // harnessVersion keys the on-disk result cache. Bump it whenever the
 // simulator, the cost model, or any workload changes behavior, so stale
 // entries can never be replayed as current results.
-const harnessVersion = "shflbench-v2"
+const harnessVersion = "shflbench-v3"
 
 // cacheKey is everything a point's result depends on. Two runs with equal
 // keys are guaranteed byte-identical results (the simulator is
@@ -29,6 +29,10 @@ type cacheKey struct {
 	Cores   int    `json:"cores_per_socket"`
 	Seed    int64  `json:"seed"`
 	Quick   bool   `json:"quick"`
+	// NoFastPath keys the engine mode: the simulated results are identical
+	// either way, but the per-run PathStats counters are not, and a replay
+	// must report the counters of the mode it claims to have run.
+	NoFastPath bool `json:"no_fast_path,omitempty"`
 }
 
 // cacheEntry is the on-disk format: the full key is stored alongside the
@@ -57,8 +61,9 @@ func (d *diskCache) keyOf(exp string, k resKey, c Config) cacheKey {
 		Variant: k.variant,
 		Sockets: c.Topo.Sockets,
 		Cores:   c.Topo.CoresPerSocket,
-		Seed:    c.Seed,
-		Quick:   c.Quick,
+		Seed:       c.Seed,
+		Quick:      c.Quick,
+		NoFastPath: c.NoFastPath,
 	}
 }
 

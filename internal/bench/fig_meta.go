@@ -32,7 +32,7 @@ var linuxLockCalls = []struct {
 // measureAtomics runs a short single-lock stress and returns atomic RMWs
 // per acquire, using the memory model's per-tag accounting.
 func measureAtomics(c Config, mk simlocks.Maker, threads, ops int) float64 {
-	e := sim.NewEngine(sim.Config{Topo: c.Topo, Seed: c.Seed, HardStop: 3_000_000_000_000})
+	e := sim.NewEngine(sim.Config{Topo: c.Topo, Seed: c.Seed, HardStop: 3_000_000_000_000, NoFastPath: c.NoFastPath})
 	l := mk.New(e, "t1")
 	for i := 0; i < threads; i++ {
 		e.Spawn("w", -1, func(t *sim.Thread) {

@@ -129,6 +129,7 @@ func init() {
 				lockstat.WriteText(w, []lockstat.Report{
 					lockstat.FromExtra(fmt.Sprintf("hash-table/shfllock-b@%d", lastN), last.Extra),
 				})
+				lockstat.WriteEngineText(w, last.Engine.FastResumes, last.Engine.FastHandoffs, last.Engine.EngineTrips)
 			}
 		})
 

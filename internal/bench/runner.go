@@ -5,6 +5,7 @@ import (
 	"io"
 	"sync"
 
+	"shfllock/internal/sim"
 	"shfllock/internal/workloads"
 )
 
@@ -20,6 +21,10 @@ type Options struct {
 	// Banner prints the "=== id: title ===" separator before each
 	// experiment (the -exp all layout).
 	Banner bool
+	// EngineStats appends an aggregate of the simulator's fast-path/
+	// slow-path transfer counters across every executed point
+	// (shflbench -enginestats).
+	EngineStats bool
 }
 
 // RunAll executes the experiments' simulation points — concurrently when
@@ -137,6 +142,16 @@ func RunAll(exps []Experiment, c Config, opt Options, w io.Writer) error {
 		if opt.Banner {
 			fmt.Fprintln(w)
 		}
+	}
+	if opt.EngineStats {
+		// Summed in slot (declaration) order; addition commutes, so the
+		// line is identical however the points were scheduled or cached.
+		var agg sim.PathStats
+		for _, s := range slots {
+			agg.Add(s.res.Engine)
+		}
+		fmt.Fprintf(w, "engine: fast_resumes=%d fast_handoffs=%d engine_trips=%d fast_share=%.2f%%\n",
+			agg.FastResumes, agg.FastHandoffs, agg.EngineTrips, agg.FastShare())
 	}
 	return nil
 }

@@ -170,6 +170,21 @@ func WriteText(w io.Writer, reps []Report) {
 	}
 }
 
+// WriteEngineText renders the simulator's fast-path/slow-path transfer
+// counters as a one-site block matching the lock_stat layout: how often the
+// engine advanced virtual time in place (fast resumes), handed the CPU
+// thread-to-thread without an event (fast handoffs), and fell back to a
+// full event-queue round trip (engine trips).
+func WriteEngineText(w io.Writer, fastResumes, fastHandoffs, engineTrips uint64) {
+	total := fastResumes + fastHandoffs + engineTrips
+	share := 0.0
+	if total > 0 {
+		share = 100 * float64(fastResumes+fastHandoffs) / float64(total)
+	}
+	fmt.Fprintf(w, "engine_stat: fast_resumes=%d fast_handoffs=%d engine_trips=%d fast_share=%.1f%%\n",
+		fastResumes, fastHandoffs, engineTrips, share)
+}
+
 func writeHistLine(w io.Writer, label string, h *HistSnapshot) {
 	if h == nil {
 		return

@@ -323,35 +323,61 @@ func (m *Memory) xferCost(dst, src int, st *GroupStats) uint64 {
 }
 
 // nearestSharer picks a source core for a shared-line fetch, preferring a
-// sharer on the requester's socket.
+// sharer on the requester's socket. The bitset is walked directly rather
+// than through bitset.iter: this runs on every shared-line miss, and the
+// iterator's closure would allocate each time.
 func (m *Memory) nearestSharer(core int, ln *line) int {
 	mySock := m.topo.SocketOf(core)
 	best := -1
-	for c := range ln.sharers.iter(m.topo.Cores()) {
-		if best == -1 {
-			best = c
-		}
-		if m.topo.SocketOf(c) == mySock {
-			return c
+	limit := m.topo.Cores()
+	for wi, wv := range ln.sharers.w {
+		for wv != 0 {
+			bit := bits.TrailingZeros64(wv)
+			c := wi<<6 + bit
+			if c >= limit {
+				return best
+			}
+			if best == -1 {
+				best = c
+			}
+			if m.topo.SocketOf(c) == mySock {
+				return c
+			}
+			wv &^= 1 << uint(bit)
 		}
 	}
 	return best
 }
 
 // invalidateCost charges for invalidating every foreign copy of a shared
-// line; the requester stalls for the farthest acknowledgment.
+// line; the requester stalls for the farthest acknowledgment. Like
+// nearestSharer, it walks the bitset words directly to keep the write hot
+// path allocation-free.
 func (m *Memory) invalidateCost(core int, ln *line, st *GroupStats) uint64 {
 	mySock := m.topo.SocketOf(core)
 	remote := false
 	local := false
-	for c := range ln.sharers.iter(m.topo.Cores()) {
-		if c == core {
-			continue
+	limit := m.topo.Cores()
+	for wi, wv := range ln.sharers.w {
+		if remote {
+			break
 		}
-		if m.topo.SocketOf(c) == mySock {
-			local = true
-		} else {
-			remote = true
+		for wv != 0 {
+			bit := bits.TrailingZeros64(wv)
+			c := wi<<6 + bit
+			if c >= limit {
+				break
+			}
+			wv &^= 1 << uint(bit)
+			if c == core {
+				continue
+			}
+			if m.topo.SocketOf(c) == mySock {
+				local = true
+			} else {
+				remote = true
+				break
+			}
 		}
 	}
 	switch {

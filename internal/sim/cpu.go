@@ -39,8 +39,23 @@ func (c *cpu) dispatchNext(e *Engine) {
 	if next == nil {
 		return
 	}
+	c.setupDispatch(next, e)
+	e.push(event{at: e.now + e.costs.CtxSwitch, kind: evResume, t: next, epoch: next.epoch})
+}
+
+// dispatchFast dequeues the next thread with dispatchNext's bookkeeping but
+// no resume event: the caller has already advanced the clock past the
+// context-switch cost and transfers control itself. The run queue must be
+// non-empty.
+func (c *cpu) dispatchFast(e *Engine) *Thread {
+	next := c.dequeue()
+	c.cur = next
+	c.setupDispatch(next, e)
+	return next
+}
+
+func (c *cpu) setupDispatch(next *Thread, e *Engine) {
 	next.state = tsDispatched
 	next.quantumLeft = int64(e.costs.Quantum)
 	next.needResched = false
-	e.push(event{at: e.now + e.costs.CtxSwitch, kind: evResume, t: next, epoch: next.epoch})
 }

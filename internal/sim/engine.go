@@ -1,8 +1,10 @@
 // Package sim is a deterministic discrete-event simulator of a NUMA
 // multiprocessor. Simulated threads are ordinary Go functions that run as
-// goroutines, but the engine executes exactly one of them at a time, handing
-// control back and forth over channels; all simulator state is therefore
-// mutated race-free and every run is bit-reproducible for a given seed.
+// goroutines, but the engine executes exactly one of them at a time: a
+// blocking thread runs the event loop on its own goroutine and hands
+// control to the next thread over a channel (or, on the fast paths, keeps
+// running in place). All simulator state is therefore mutated race-free and
+// every run is bit-reproducible for a given seed.
 //
 // Threads interact with the machine through the Thread API: typed atomic
 // operations on simulated memory words (charged by the memsim cost model),
@@ -15,6 +17,7 @@ package sim
 import (
 	"fmt"
 	"math/rand"
+	"sort"
 	"strings"
 
 	"shfllock/internal/memsim"
@@ -32,7 +35,46 @@ type Config struct {
 	// HardStop aborts the simulation (panic) if virtual time exceeds this
 	// bound; it guards against livelocked protocols. Zero disables it.
 	HardStop uint64
+	// NoFastPath forces every virtual-time advance through the event queue
+	// and the engine goroutine (the -enginefast=false mode). The fast path
+	// is on by default; results are identical either way — the slow path
+	// survives as the correctness oracle the differential tests diff
+	// against.
+	NoFastPath bool
 }
+
+// PathStats counts how control returned to threads: in place (fast path)
+// or through a full event-queue round trip on the engine goroutine.
+type PathStats struct {
+	// FastResumes counts charge steps absorbed by advancing the clock in
+	// place — no event, no goroutine switch.
+	FastResumes uint64 `json:"fast_resumes"`
+	// FastHandoffs counts CPU handoffs (resched, park, wake-dispatch) that
+	// bypassed the event queue.
+	FastHandoffs uint64 `json:"fast_handoffs"`
+	// EngineTrips counts control transfers through the engine's event
+	// loop — the slow path.
+	EngineTrips uint64 `json:"engine_trips"`
+}
+
+// FastShare returns the percentage of control transfers that took a fast
+// path.
+func (p PathStats) FastShare() float64 {
+	total := p.FastResumes + p.FastHandoffs + p.EngineTrips
+	if total == 0 {
+		return 0
+	}
+	return 100 * float64(p.FastResumes+p.FastHandoffs) / float64(total)
+}
+
+func (p *PathStats) add(o PathStats) {
+	p.FastResumes += o.FastResumes
+	p.FastHandoffs += o.FastHandoffs
+	p.EngineTrips += o.EngineTrips
+}
+
+// Add accumulates another engine's counters (harness aggregation).
+func (p *PathStats) Add(o PathStats) { p.add(o) }
 
 // Engine owns the virtual clock, the event queue, the simulated memory, and
 // the per-core scheduler state.
@@ -49,13 +91,18 @@ type Engine struct {
 	threads []*Thread
 	live    int
 
-	back    chan struct{} // threads signal the engine here
+	done    chan struct{} // the last finishing thread signals Run here
 	running *Thread
 
-	watchers map[int32][]*Thread // cache line -> spin-waiting threads
+	// watchq holds, per cache line, the threads spin-waiting on it, in
+	// registration order. The slices are pooled in place: onWrite truncates
+	// a drained list to length zero and leaves the capacity on the line's
+	// slot, so steady-state watch/wake cycles never allocate.
+	watchq [][]*Thread
 
 	stopped  bool
 	hardStop uint64
+	fast     bool // direct time advance + direct handoff enabled
 	rng      *rand.Rand
 
 	// Counters of scheduler activity, reported by experiments.
@@ -64,6 +111,7 @@ type Engine struct {
 	ParkCount   uint64
 	UnparkCount uint64
 	YieldCount  uint64
+	paths       PathStats
 	started     bool
 }
 
@@ -82,9 +130,9 @@ func NewEngine(cfg Config) *Engine {
 		topo:     cfg.Topo,
 		costs:    cfg.Costs,
 		mem:      memsim.New(cfg.Topo, cfg.Costs),
-		back:     make(chan struct{}),
-		watchers: make(map[int32][]*Thread),
+		done:     make(chan struct{}, 1),
 		hardStop: cfg.HardStop,
+		fast:     !cfg.NoFastPath,
 		rng:      rand.New(rand.NewSource(cfg.Seed)),
 	}
 	e.cpus = make([]cpu, cfg.Topo.Cores())
@@ -108,6 +156,9 @@ func (e *Engine) Now() uint64 { return e.now }
 
 // Stopped reports whether the stop flag has been raised.
 func (e *Engine) Stopped() bool { return e.stopped }
+
+// PathStats returns the fast-path/slow-path transfer counters.
+func (e *Engine) PathStats() PathStats { return e.paths }
 
 // Threads returns all spawned threads.
 func (e *Engine) Threads() []*Thread { return e.threads }
@@ -169,7 +220,24 @@ func (e *Engine) Run() {
 			c.dispatchNext(e)
 		}
 	}
-	for e.live > 0 {
+	e.schedule(nil)
+	<-e.done
+}
+
+// schedule runs the event loop until control is handed to a thread (or the
+// simulation completes). It executes on whichever goroutine is giving up
+// control — the blocking thread itself — so a slow-path transfer costs one
+// goroutine switch, thread to thread, instead of a round trip through a
+// dedicated scheduler goroutine. self is the blocking thread (nil from Run
+// and from a finished thread); when the next event resumes self, schedule
+// skips the channel handshake entirely and the caller just keeps running.
+// Returns the thread control was handed to.
+func (e *Engine) schedule(self *Thread) *Thread {
+	if e.live == 0 {
+		e.done <- struct{}{}
+		return nil
+	}
+	for {
 		if len(e.evq) == 0 {
 			panic("sim: deadlock — live threads but no pending events\n" + e.dump())
 		}
@@ -189,29 +257,37 @@ func (e *Engine) Run() {
 			if t.epoch != ev.epoch {
 				continue // stale
 			}
-			e.transfer(t)
+			e.paths.EngineTrips++
+			e.handoff(t, self)
+			return t
 		case evPreempt:
 			t := ev.t
 			if t.epoch != ev.epoch || t.state != tsSpinWait {
 				continue
 			}
 			// Hand the CPU back to the spin-waiting thread with
-			// needResched raised: transfer's spin-wait bookkeeping zeroes
+			// needResched raised: handoff's spin-wait bookkeeping zeroes
 			// its quantum, so the thread's next scheduling check parks,
 			// yields, or rescheds it (kernel-style preemption point).
-			e.transfer(t)
+			e.paths.EngineTrips++
+			e.handoff(t, self)
+			return t
 		case evWake:
 			t := ev.t
 			if t.epoch != ev.epoch || t.state != tsWaking {
 				continue
 			}
-			e.makeRunnable(t)
+			if next := e.makeRunnable(t, self); next != nil {
+				return next
+			}
 		}
 	}
 }
 
-// transfer gives the CPU to t until it blocks again.
-func (e *Engine) transfer(t *Thread) {
+// handoff gives the CPU to t. When t is the very goroutine executing the
+// event loop (self), the channel handshake is skipped: the caller returns
+// from schedule and simply continues running.
+func (e *Engine) handoff(t, self *Thread) {
 	t.epoch++
 	if t.state == tsSpinWait {
 		// Woken by a write to the watched line: account the time spent
@@ -224,15 +300,37 @@ func (e *Engine) transfer(t *Thread) {
 	}
 	t.state = tsRunning
 	e.running = t
-	t.resume <- struct{}{}
-	<-e.back
-	e.running = nil
+	if t != self {
+		t.resume <- struct{}{}
+	}
+}
+
+// fastCovers reports whether the queue-top invariant licenses advancing
+// the clock by step without an engine round trip: fast mode is on and
+// every pending event fires strictly later than now+step. Ties (an event
+// at exactly now+step) must take the slow path — the queued event carries
+// a smaller seq than the resume the slow path would push, so the (at, seq)
+// order runs the queued event first.
+func (e *Engine) fastCovers(step uint64) bool {
+	return e.fast && (len(e.evq) == 0 || e.evq[0].at > e.now+step)
+}
+
+// fastAdvance moves virtual time forward in place (fast path). The hard
+// stop is checked here because the slow path checks it when popping the
+// resume event this advance replaces.
+func (e *Engine) fastAdvance(step uint64) {
+	e.now += step
+	if e.hardStop > 0 && e.now > e.hardStop {
+		panic("sim: hard stop exceeded — livelocked protocol?\n" + e.dump())
+	}
 }
 
 // makeRunnable places a woken thread on its core's run queue, dispatching
 // immediately if the core is idle and arranging preemption of a spinner
-// whose quantum has expired.
-func (e *Engine) makeRunnable(t *Thread) {
+// whose quantum has expired. Returns the thread control was handed to when
+// the idle-core dispatch took the fast path, nil otherwise (the event loop
+// keeps running).
+func (e *Engine) makeRunnable(t, self *Thread) *Thread {
 	t.state = tsReady
 	t.epoch++
 	c := t.cpu
@@ -240,10 +338,25 @@ func (e *Engine) makeRunnable(t *Thread) {
 	switch {
 	case c.cur == nil:
 		e.CtxSwitches++
+		if e.fastCovers(e.costs.CtxSwitch) {
+			// Idle core, no event can fire inside the switch: skip the
+			// dispatch event and hand the CPU over right away.
+			e.paths.FastHandoffs++
+			e.fastAdvance(e.costs.CtxSwitch)
+			next := c.dispatchFast(e)
+			next.epoch++
+			next.state = tsRunning
+			e.running = next
+			if next != self {
+				next.resume <- struct{}{}
+			}
+			return next
+		}
 		c.dispatchNext(e)
 	case c.cur.state == tsSpinWait:
 		e.schedulePreempt(c.cur)
 	}
+	return nil
 }
 
 // schedulePreempt arms a preemption event for a spin-waiting thread at the
@@ -256,14 +369,29 @@ func (e *Engine) schedulePreempt(t *Thread) {
 	e.push(event{at: e.now + uint64(rem), kind: evPreempt, t: t, epoch: t.epoch})
 }
 
+// addWatcher registers t on the written-line wake list of the given line,
+// growing the per-line table on first use.
+func (e *Engine) addWatcher(line int32, t *Thread) {
+	for int(line) >= len(e.watchq) {
+		e.watchq = append(e.watchq, nil)
+	}
+	e.watchq[line] = append(e.watchq[line], t)
+}
+
 // onWrite is installed as the memory's write callback; it wakes every
-// thread spin-waiting on the written line.
+// thread spin-waiting on the written line, in registration order.
 func (e *Engine) onWrite(line int32) {
-	ws := e.watchers[line]
+	if int(line) >= len(e.watchq) {
+		return
+	}
+	ws := e.watchq[line]
 	if len(ws) == 0 {
 		return
 	}
-	delete(e.watchers, line)
+	// Truncate in place before walking: the capacity stays on the line's
+	// slot, so the next watch/wake cycle on this line reuses it instead of
+	// allocating. No thread can run (and re-register) during the walk.
+	e.watchq[line] = ws[:0]
 	for _, t := range ws {
 		if t.state != tsSpinWait || t.watchLine != line {
 			continue // stale entry: the thread was preempted or moved on
@@ -284,7 +412,10 @@ func (e *Engine) threadDone(t *Thread) {
 	}
 }
 
-// dump renders scheduler state for deadlock diagnostics.
+// dump renders scheduler state for deadlock diagnostics: every live
+// thread, every core's current thread and run-queue contents, and a
+// summary of the pending events — enough to diagnose a hard stop or a
+// deadlock panic without a debugger.
 func (e *Engine) dump() string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "t=%d live=%d\n", e.now, e.live)
@@ -295,6 +426,48 @@ func (e *Engine) dump() string {
 		fmt.Fprintf(&b, "  thread %d %q core=%d state=%v", t.id, t.name, t.cpu.id, t.state)
 		if t.state == tsSpinWait && t.watchLine >= 0 {
 			fmt.Fprintf(&b, " watching w%d=%d (%s)", t.watchWord, e.mem.Peek(t.watchWord), e.mem.TagOf(t.watchWord))
+		}
+		fmt.Fprintf(&b, "\n")
+	}
+	for i := range e.cpus {
+		c := &e.cpus[i]
+		if c.cur == nil && c.qlen() == 0 {
+			continue
+		}
+		fmt.Fprintf(&b, "  core %d:", c.id)
+		if c.cur != nil {
+			fmt.Fprintf(&b, " cur=%d", c.cur.id)
+		} else {
+			fmt.Fprintf(&b, " idle")
+		}
+		if c.qlen() > 0 {
+			fmt.Fprintf(&b, " runq=[")
+			for j := c.head; j < len(c.runq); j++ {
+				if j > c.head {
+					fmt.Fprintf(&b, " ")
+				}
+				fmt.Fprintf(&b, "%d", c.runq[j].id)
+			}
+			fmt.Fprintf(&b, "]")
+		}
+		fmt.Fprintf(&b, "\n")
+	}
+	fmt.Fprintf(&b, "  events: %d pending\n", len(e.evq))
+	evs := append(eventHeap(nil), e.evq...)
+	sort.Slice(evs, func(i, j int) bool { return less(evs[i], evs[j]) })
+	const maxDump = 16
+	for i, ev := range evs {
+		if i == maxDump {
+			fmt.Fprintf(&b, "    ... %d more\n", len(evs)-maxDump)
+			break
+		}
+		fmt.Fprintf(&b, "    at=%d kind=%v", ev.at, ev.kind)
+		if ev.t != nil {
+			stale := ""
+			if ev.t.epoch != ev.epoch {
+				stale = " (stale)"
+			}
+			fmt.Fprintf(&b, " thread=%d%s", ev.t.id, stale)
 		}
 		fmt.Fprintf(&b, "\n")
 	}

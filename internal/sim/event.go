@@ -17,6 +17,20 @@ const (
 	evStop
 )
 
+func (k eventKind) String() string {
+	switch k {
+	case evResume:
+		return "resume"
+	case evPreempt:
+		return "preempt"
+	case evWake:
+		return "wake"
+	case evStop:
+		return "stop"
+	}
+	return "?"
+}
+
 type event struct {
 	at    uint64
 	seq   uint64 // tie-breaker: FIFO among simultaneous events
@@ -46,6 +60,9 @@ func (h *eventHeap) pop() event {
 	top := old[0]
 	n := len(old) - 1
 	old[0] = old[n]
+	// Zero the vacated tail slot: the heap slice is reused for the whole
+	// run, and a stale copy there would pin its *Thread live.
+	old[n] = event{}
 	*h = old[:n]
 	i := 0
 	for {

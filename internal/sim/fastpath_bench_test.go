@@ -1,0 +1,72 @@
+package sim
+
+import (
+	"math/rand"
+	"testing"
+
+	"shfllock/internal/topology"
+)
+
+// benchCharge times the engine's hottest edge: a sole thread charging many
+// small steps. With the fast path every step is an in-place clock advance;
+// without it every step is an event push plus a goroutine handoff.
+func benchCharge(b *testing.B, noFast bool) {
+	e := NewEngine(Config{Topo: topology.Laptop(), Seed: 1, NoFastPath: noFast})
+	e.Spawn("t", 0, func(th *Thread) {
+		for i := 0; i < b.N; i++ {
+			th.Delay(10)
+		}
+	})
+	b.ResetTimer()
+	e.Run()
+}
+
+func BenchmarkChargeFastPath(b *testing.B) {
+	b.Run("fast", func(b *testing.B) { benchCharge(b, false) })
+	b.Run("slow", func(b *testing.B) { benchCharge(b, true) })
+}
+
+// benchWatchWake times the spin-wait wake cycle: two threads on different
+// cores ping-pong through watched words, so every iteration registers a
+// watcher, fires a write notification, and hands the CPU over.
+func benchWatchWake(b *testing.B, noFast bool) {
+	e := NewEngine(Config{Topo: topology.Laptop(), Seed: 1, NoFastPath: noFast})
+	ping := e.Mem().AllocWord("ping")
+	pong := e.Mem().AllocWord("pong")
+	e.Spawn("ping", 0, func(th *Thread) {
+		for i := 0; i < b.N; i++ {
+			th.Store(ping, uint64(i+1))
+			th.SpinUntil(pong, func(v uint64) bool { return v == uint64(i+1) })
+		}
+	})
+	e.Spawn("pong", 1, func(th *Thread) {
+		for i := 0; i < b.N; i++ {
+			th.SpinUntil(ping, func(v uint64) bool { return v == uint64(i+1) })
+			th.Store(pong, uint64(i+1))
+		}
+	})
+	b.ResetTimer()
+	e.Run()
+}
+
+func BenchmarkWatchWake(b *testing.B) {
+	b.Run("fast", func(b *testing.B) { benchWatchWake(b, false) })
+	b.Run("slow", func(b *testing.B) { benchWatchWake(b, true) })
+}
+
+// BenchmarkEventHeap times raw heap churn at a realistic pending-event
+// population (a few hundred, as in a full-subscription sweep point).
+func BenchmarkEventHeap(b *testing.B) {
+	var h eventHeap
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 256; i++ {
+		h.push(event{at: uint64(rng.Intn(1 << 20)), seq: uint64(i)})
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ev := h.pop()
+		ev.at += uint64(rng.Intn(1024)) + 1
+		ev.seq = uint64(256 + i)
+		h.push(ev)
+	}
+}

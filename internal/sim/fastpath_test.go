@@ -1,0 +1,168 @@
+package sim
+
+import (
+	"testing"
+
+	"shfllock/internal/memsim"
+	"shfllock/internal/topology"
+)
+
+// differentialOutcome is everything observable about a run that the fast
+// path must leave unchanged: virtual end time, every scheduler counter, the
+// memory model's totals, and the per-thread operation counts.
+type differentialOutcome struct {
+	end         uint64
+	preemptions uint64
+	ctxSwitches uint64
+	parks       uint64
+	unparks     uint64
+	yields      uint64
+	mem         memsim.GroupStats
+	ops         [13]uint64
+}
+
+// runDifferentialWorkload runs a mixed workload — a TAS lock with spin-wait,
+// park/unpark pairs, yields, oversubscribed cores — with the fast path on
+// or off, and returns the outcome plus the engine's path counters.
+func runDifferentialWorkload(seed int64, noFast bool) (differentialOutcome, PathStats) {
+	e := NewEngine(Config{
+		Topo:       topology.Laptop(),
+		Seed:       seed,
+		HardStop:   50_000_000_000,
+		NoFastPath: noFast,
+	})
+	lock := e.Mem().AllocWord("lock")
+	ack := e.Mem().AllocWord("ack")
+	var out differentialOutcome
+	const n = 13 // 3x+ oversubscribed on the 4-core laptop topology
+	// Park/unpark pair in lockstep: the waker waits for the sleeper to
+	// acknowledge park k before issuing wakeup k+1, so exactly one unpark
+	// is ever outstanding and the one-token permit cannot lose a wakeup.
+	var sleeper *Thread
+	sleeper = e.Spawn("sleeper", 0, func(th *Thread) {
+		for k := 0; k < 10; k++ {
+			th.Park()
+			th.Add(ack, 1)
+			out.ops[th.ID()]++
+		}
+	})
+	e.Spawn("waker", 1, func(th *Thread) {
+		for k := 0; k < 10; k++ {
+			th.SpinUntil(ack, func(v uint64) bool { return v >= uint64(k) })
+			th.Delay(uint64(th.Rng().Intn(2000)))
+			th.Unpark(sleeper)
+			out.ops[th.ID()]++
+		}
+	})
+	for i := 2; i < n; i++ {
+		e.Spawn("t", -1, func(th *Thread) {
+			for k := 0; k < 25; k++ {
+				for !th.CAS(lock, 0, 1) {
+					th.SpinWhileEq(lock, 1)
+				}
+				th.Delay(uint64(th.Rng().Intn(700)) + 50)
+				th.Store(lock, 0)
+				out.ops[th.ID()]++
+				switch th.Rng().Intn(5) {
+				case 0:
+					th.Yield()
+				case 1:
+					th.Delay(uint64(th.Rng().Intn(3000)))
+				}
+			}
+		})
+	}
+	e.Run()
+	out.end = e.Now()
+	out.preemptions = e.Preemptions
+	out.ctxSwitches = e.CtxSwitches
+	out.parks = e.ParkCount
+	out.unparks = e.UnparkCount
+	out.yields = e.YieldCount
+	out.mem = e.Mem().TotalStats()
+	return out, e.PathStats()
+}
+
+// TestFastPathDifferential runs the same seeds through both engine modes
+// and requires identical outcomes: the fast path may only change how fast
+// the host executes the simulation, never what it simulates.
+func TestFastPathDifferential(t *testing.T) {
+	for seed := int64(1); seed <= 8; seed++ {
+		slow, slowPaths := runDifferentialWorkload(seed, true)
+		fast, fastPaths := runDifferentialWorkload(seed, false)
+		if slow != fast {
+			t.Errorf("seed %d: outcomes diverge\n slow: %+v\n fast: %+v", seed, slow, fast)
+		}
+		if slowPaths.FastResumes != 0 || slowPaths.FastHandoffs != 0 {
+			t.Errorf("seed %d: slow mode took fast paths: %+v", seed, slowPaths)
+		}
+		if fastPaths.FastResumes == 0 {
+			t.Errorf("seed %d: fast mode never took the fast path: %+v", seed, fastPaths)
+		}
+	}
+}
+
+// TestWatchWakeOrderFIFO pins one spinner per core, registers them on the
+// same word at staggered times, and checks a single write wakes them in
+// registration order — the order the per-line watch list must preserve.
+func TestWatchWakeOrderFIFO(t *testing.T) {
+	e := NewEngine(Config{Topo: topology.Laptop(), Seed: 1, HardStop: 50_000_000_000})
+	flag := e.Mem().AllocWord("flag")
+	var order []int
+	for i := 0; i < 3; i++ {
+		i := i
+		e.Spawn("spin", i, func(th *Thread) {
+			th.Delay(uint64(100_000 * (i + 1)))
+			th.SpinUntil(flag, func(v uint64) bool { return v == 1 })
+			order = append(order, i)
+		})
+	}
+	e.Spawn("writer", 3, func(th *Thread) {
+		th.Delay(600_000)
+		th.Store(flag, 1)
+	})
+	e.Run()
+	if len(order) != 3 || order[0] != 0 || order[1] != 1 || order[2] != 2 {
+		t.Fatalf("wake order = %v, want [0 1 2]", order)
+	}
+}
+
+// TestRewatchWakesAtFirstPosition exercises the duplicate-entry semantics
+// of the watch list: a spinner that is preempted mid-watch and re-registers
+// later must still wake at its ORIGINAL list position (the stale first
+// entry matches the live re-watch, and the duplicate's resume goes stale).
+// An implementation that unlinked entries on detach would move the thread
+// to the back of the line and change simulated wake order.
+func TestRewatchWakesAtFirstPosition(t *testing.T) {
+	e := NewEngine(Config{Topo: topology.Laptop(), Seed: 1, HardStop: 50_000_000_000})
+	flag := e.Mem().AllocWord("flag")
+	var order []string
+	// A registers first but shares core 0 with a hog, so its quantum
+	// expires mid-watch; it is preempted and re-registers after B.
+	e.Spawn("A", 0, func(th *Thread) {
+		th.SpinUntil(flag, func(v uint64) bool { return v == 1 })
+		order = append(order, "A")
+	})
+	e.Spawn("hog", 0, func(th *Thread) {
+		th.Delay(3 * e.Costs().Quantum)
+	})
+	e.Spawn("B", 1, func(th *Thread) {
+		th.Delay(e.Costs().Quantum / 2)
+		th.SpinUntil(flag, func(v uint64) bool { return v == 1 })
+		order = append(order, "B")
+	})
+	// 4.5 quanta lands inside a window where A is re-registered and
+	// genuinely spin-waiting (its first watch ended in preemption at ~1
+	// quantum; it re-watches each time the hog's quantum expires).
+	e.Spawn("writer", 2, func(th *Thread) {
+		th.Delay(9 * e.Costs().Quantum / 2)
+		th.Store(flag, 1)
+	})
+	e.Run()
+	if e.Preemptions == 0 {
+		t.Fatal("scenario did not preempt the first watcher; test needs retuning")
+	}
+	if len(order) != 2 || order[0] != "A" || order[1] != "B" {
+		t.Fatalf("wake order = %v, want [A B] (A keeps its first-registration position)", order)
+	}
+}

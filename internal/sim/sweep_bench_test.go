@@ -1,0 +1,38 @@
+// External benchmarks: whole sweep points of the benchmark harness, timed
+// in both engine modes. These are the numbers BENCH_sim.json records — the
+// uncontended point is dominated by charge fast-path hits, the
+// full-subscription point by handoffs and watch/wake traffic.
+package sim_test
+
+import (
+	"testing"
+
+	"shfllock/internal/simlocks"
+	"shfllock/internal/topology"
+	"shfllock/internal/workloads"
+)
+
+func benchSweepPoint(b *testing.B, threads int, noFast bool) {
+	var res workloads.Result
+	for i := 0; i < b.N; i++ {
+		res = workloads.HashTable(workloads.Params{
+			Topo:       topology.Reference(),
+			Threads:    threads,
+			Seed:       1,
+			Duration:   2_000_000,
+			NoFastPath: noFast,
+		}, simlocks.ShflLockNBMaker(), 10)
+	}
+	b.ReportMetric(res.OpsPerSec, "simops/s")
+	b.ReportMetric(res.Engine.FastShare(), "fast%")
+}
+
+func BenchmarkSweepPointUncontended(b *testing.B) {
+	b.Run("fast", func(b *testing.B) { benchSweepPoint(b, 1, false) })
+	b.Run("slow", func(b *testing.B) { benchSweepPoint(b, 1, true) })
+}
+
+func BenchmarkSweepPointFullSubscription(b *testing.B) {
+	b.Run("fast", func(b *testing.B) { benchSweepPoint(b, topology.Reference().Cores(), false) })
+	b.Run("slow", func(b *testing.B) { benchSweepPoint(b, topology.Reference().Cores(), true) })
+}

@@ -105,13 +105,19 @@ func (t *Thread) run(fn func(*Thread)) {
 	<-t.resume
 	fn(t)
 	t.eng.threadDone(t)
-	t.eng.back <- struct{}{}
+	// Keep driving the event loop from this goroutine until control lands
+	// on another thread (or the simulation finishes and Run is signalled).
+	t.eng.schedule(nil)
 }
 
-// block returns control to the engine until the thread is resumed.
+// block gives up the CPU: the thread's own goroutine runs the event loop
+// until control is handed to some thread. If that thread is someone else,
+// wait here to be resumed; if it is the caller itself (its own resume or
+// preempt event was next), just keep running.
 func (t *Thread) block() {
-	t.eng.back <- struct{}{}
-	<-t.resume
+	if t.eng.schedule(t) != t {
+		<-t.resume
+	}
 }
 
 func (t *Thread) checkRunning() {
@@ -129,6 +135,11 @@ const graceCycles = 30_000
 // charge consumes CPU time, handling quantum expiry: needResched is raised
 // at the quantum boundary, and if other threads wait on this core the
 // thread is preempted round-robin once the grace window is exhausted.
+//
+// Fast path: when the event queue proves no other event can fire inside
+// the step, the clock advances in place and the thread keeps the CPU — no
+// event, no goroutine round trip through the engine. This is the engine's
+// hottest edge (every simulated memory access lands here).
 func (t *Thread) charge(cost uint64) {
 	t.checkRunning()
 	e := t.eng
@@ -154,10 +165,45 @@ func (t *Thread) charge(cost uint64) {
 			step = uint64(avail)
 		}
 		t.quantumLeft -= int64(step)
-		e.push(event{at: e.now + step, kind: evResume, t: t, epoch: t.epoch})
-		t.block()
+		if e.fastCovers(step) {
+			e.paths.FastResumes++
+			e.fastAdvance(step)
+		} else {
+			e.push(event{at: e.now + step, kind: evResume, t: t, epoch: t.epoch})
+			t.block()
+		}
 		cost -= step
 	}
+}
+
+// tryHandoff hands the CPU straight to the next thread on the caller's run
+// queue, from the caller's own goroutine, when the queue-top invariant
+// allows charging the context switch in place. The caller must already
+// have descheduled itself (state set, epoch bumped, enqueued if it stays
+// runnable). Returns the dispatched thread — which may be the caller
+// itself, in which case control simply continues — or nil when the slow
+// path must run.
+func (t *Thread) tryHandoff() *Thread {
+	e := t.eng
+	c := t.cpu
+	if c.qlen() == 0 || !e.fastCovers(e.costs.CtxSwitch) {
+		return nil
+	}
+	e.paths.FastHandoffs++
+	e.fastAdvance(e.costs.CtxSwitch)
+	next := c.dispatchFast(e)
+	// The epoch bump and state change transfer() would have applied when
+	// the dispatch event fired.
+	next.epoch++
+	next.state = tsRunning
+	e.running = next
+	if next != t {
+		// Wake the target directly, then wait for our own next dispatch —
+		// no event pushed, no heap traffic.
+		next.resume <- struct{}{}
+		<-t.resume
+	}
+	return next
 }
 
 // resched puts the thread at the back of its core's run queue and blocks
@@ -169,6 +215,9 @@ func (t *Thread) resched() {
 	t.epoch++
 	t.cpu.enqueue(t)
 	e.CtxSwitches++
+	if t.tryHandoff() != nil {
+		return
+	}
 	t.cpu.dispatchNext(e)
 	t.block()
 }
@@ -215,8 +264,10 @@ func (t *Thread) Park() {
 	t.epoch++
 	t.needResched = false
 	e.CtxSwitches++
-	t.cpu.dispatchNext(e)
-	t.block()
+	if t.tryHandoff() == nil {
+		t.cpu.dispatchNext(e)
+		t.block()
+	}
 }
 
 // Unpark makes o runnable after the wakeup latency, or deposits a permit if
@@ -339,7 +390,7 @@ func (t *Thread) WatchWait(w Word, seen uint64) {
 	e.mem.Watch(w)
 	t.watchLine = line
 	t.watchWord = w
-	e.watchers[line] = append(e.watchers[line], t)
+	e.addWatcher(line, t)
 	t.state = tsSpinWait
 	t.epoch++
 	t.spinStart = e.now

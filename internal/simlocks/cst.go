@@ -1,6 +1,8 @@
 package simlocks
 
 import (
+	"sync"
+
 	"shfllock/internal/alloc"
 	"shfllock/internal/sim"
 )
@@ -242,21 +244,37 @@ func (l *CST) TryLock(t *sim.Thread) bool {
 // Stats returns the lock's counters.
 func (l *CST) Stats() *Counters { return &l.cnt }
 
+// allocatorPerEngine returns a lookup that hands out exactly one slab
+// allocator per engine. The benchmark harness runs one maker's points on
+// several engines concurrently, so the lookup must be both thread-safe and
+// keyed by engine: a single last-engine cache slot thrashes between
+// concurrent engines and nondeterministically splits one engine's locks
+// across several allocators, perturbing allocation costs.
+func allocatorPerEngine() func(*sim.Engine) *alloc.Allocator {
+	var mu sync.Mutex
+	allocs := make(map[*sim.Engine]*alloc.Allocator)
+	return func(e *sim.Engine) *alloc.Allocator {
+		mu.Lock()
+		defer mu.Unlock()
+		al := allocs[e]
+		if al == nil {
+			al = alloc.New(e)
+			allocs[e] = al
+		}
+		return al
+	}
+}
+
 // CSTMaker registers the CST lock. The maker allocates a fresh slab
 // allocator per engine on demand; experiments that want shared allocator
 // pressure construct CST locks directly with their allocator.
 func CSTMaker() Maker {
-	var cached *alloc.Allocator
-	var cachedEngine *sim.Engine
+	allocFor := allocatorPerEngine()
 	return Maker{
 		Name: "cst",
 		Kind: Blocking,
 		New: func(e *sim.Engine, tag string) Lock {
-			if cachedEngine != e {
-				cachedEngine = e
-				cached = alloc.New(e)
-			}
-			return NewCST(e, cached, tag)
+			return NewCST(e, allocFor(e), tag)
 		},
 		Footprint: func(sockets int) Footprint {
 			return Footprint{PerLock: cstSnodeBytes*sockets + 32, PerWaiter: 24, PerHolder: 0, Dynamic: true}

@@ -1,0 +1,46 @@
+package simlocks
+
+import (
+	"testing"
+
+	"shfllock/internal/sim"
+	"shfllock/internal/topology"
+)
+
+// TestCSTMakerAllocatorPerEngine pins the maker's allocator-sharing
+// contract: every lock a maker builds for one engine must share that
+// engine's slab allocator, even when New calls for different engines
+// interleave. The benchmark harness interleaves exactly like this when it
+// runs one experiment's points concurrently; a last-engine cache slot gave
+// the second lock of an interleaved engine a fresh allocator, perturbing
+// allocation costs nondeterministically.
+func TestCSTMakerAllocatorPerEngine(t *testing.T) {
+	newEngine := func() *sim.Engine {
+		return sim.NewEngine(sim.Config{Topo: topology.Laptop(), Seed: 1})
+	}
+	e1, e2 := newEngine(), newEngine()
+
+	mk := CSTMaker()
+	l1a := mk.New(e1, "a").(*CST)
+	l2 := mk.New(e2, "b").(*CST) // interleaved: another engine between e1's locks
+	l1b := mk.New(e1, "c").(*CST)
+
+	if l1a.al != l1b.al {
+		t.Errorf("two locks for the same engine got different allocators")
+	}
+	if l1a.al == l2.al {
+		t.Errorf("locks for different engines share an allocator")
+	}
+
+	rmk := CSTRWMaker()
+	r1a := rmk.New(e1, "a").(*PerSocketRW).mutex.(*CST)
+	r2 := rmk.New(e2, "b").(*PerSocketRW).mutex.(*CST)
+	r1b := rmk.New(e1, "c").(*PerSocketRW).mutex.(*CST)
+
+	if r1a.al != r1b.al {
+		t.Errorf("two RW locks for the same engine got different allocators")
+	}
+	if r1a.al == r2.al {
+		t.Errorf("RW locks for different engines share an allocator")
+	}
+}

@@ -1,7 +1,6 @@
 package simlocks
 
 import (
-	"shfllock/internal/alloc"
 	"shfllock/internal/sim"
 )
 
@@ -201,17 +200,12 @@ func CohortRWMaker() RWMaker {
 // CSTRWMaker registers the CST readers-writer lock: per-socket indicators
 // over a CST mutex, with the per-socket structures dynamically allocated.
 func CSTRWMaker() RWMaker {
-	var cached *alloc.Allocator
-	var cachedEngine *sim.Engine
+	allocFor := allocatorPerEngine()
 	return RWMaker{
 		Name: "cst-rw",
 		Kind: Blocking,
 		New: func(e *sim.Engine, tag string) RWLock {
-			if cachedEngine != e {
-				cachedEngine = e
-				cached = alloc.New(e)
-			}
-			return NewPerSocketRW(e, tag, "cst-rw", NewCST(e, cached, tag+"/w"))
+			return NewPerSocketRW(e, tag, "cst-rw", NewCST(e, allocFor(e), tag+"/w"))
 		},
 		Footprint: func(sockets int) Footprint {
 			return Footprint{PerLock: 128*sockets + cstSnodeBytes*sockets + 32, PerWaiter: 24, PerHolder: 0, Dynamic: true}

@@ -81,7 +81,7 @@ func (k KernelLocks) taskBytes(sockets int) uint64 {
 // execution.
 func AFL(p Params, k KernelLocks) Result {
 	p = p.withDefaults()
-	e := sim.NewEngine(sim.Config{Topo: p.Topo, Seed: p.Seed, HardStop: hardStop(p)})
+	e := engineFor(p)
 	al := alloc.New(e)
 	f := fs.New(e, al, fs.Config{RW: k.RW, Mutex: k.Mutex, Spin: k.Spin})
 	sockets := p.Topo.Sockets
@@ -137,7 +137,7 @@ func AFL(p Params, k KernelLocks) Result {
 // is one delivered message.
 func Exim(p Params, k KernelLocks) Result {
 	p = p.withDefaults()
-	e := sim.NewEngine(sim.Config{Topo: p.Topo, Seed: p.Seed, HardStop: hardStop(p)})
+	e := engineFor(p)
 	al := alloc.New(e)
 	f := fs.New(e, al, fs.Config{RW: k.RW, Mutex: k.Mutex, Spin: k.Spin})
 	sockets := p.Topo.Sockets
@@ -197,7 +197,7 @@ func Exim(p Params, k KernelLocks) Result {
 // on the reader side of a single mmap_sem. One operation is one page fault.
 func Metis(p Params, k KernelLocks) Result {
 	p = p.withDefaults()
-	e := sim.NewEngine(sim.Config{Topo: p.Topo, Seed: p.Seed, HardStop: hardStop(p)})
+	e := engineFor(p)
 	al := alloc.New(e)
 	sockets := p.Topo.Sockets
 

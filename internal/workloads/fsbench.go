@@ -28,7 +28,7 @@ func fsConfig(rw simlocks.RWMaker, mutex, spin simlocks.Maker) fs.Config {
 // directory; the rename path serializes on a global spinlock (Figure 8).
 func MWRL(p Params, spin simlocks.Maker) Result {
 	p = p.withDefaults()
-	e := sim.NewEngine(sim.Config{Topo: p.Topo, Seed: p.Seed, HardStop: hardStop(p)})
+	e := engineFor(p)
 	al := alloc.New(e)
 	f := fs.New(e, al, fsConfig(simlocks.RWMaker{}, simlocks.Maker{}, spin))
 	dirs := make([]*fs.Inode, p.Threads)
@@ -54,7 +54,7 @@ func MWRL(p Params, spin simlocks.Maker) Result {
 // 9b). LockBytes reports the live lock memory embedded in inodes.
 func MWCM(p Params, rw simlocks.RWMaker) Result {
 	p = p.withDefaults()
-	e := sim.NewEngine(sim.Config{Topo: p.Topo, Seed: p.Seed, HardStop: hardStop(p)})
+	e := engineFor(p)
 	al := alloc.New(e)
 	f := fs.New(e, al, fsConfig(rw, simlocks.Maker{}, simlocks.Maker{}))
 	var shared *fs.Inode
@@ -81,7 +81,7 @@ func MWCM(p Params, rw simlocks.RWMaker) Result {
 // directory, stressing the superblock rename mutex (Figure 9a).
 func MWRM(p Params, mutex simlocks.Maker) Result {
 	p = p.withDefaults()
-	e := sim.NewEngine(sim.Config{Topo: p.Topo, Seed: p.Seed, HardStop: hardStop(p)})
+	e := engineFor(p)
 	al := alloc.New(e)
 	f := fs.New(e, al, fsConfig(simlocks.RWMaker{}, mutex, simlocks.Maker{}))
 	dirs := make([]*fs.Inode, p.Threads)
@@ -114,7 +114,7 @@ func MWRM(p Params, mutex simlocks.Maker) Result {
 // the reader side of the directory rwsem (Figure 9c).
 func MRDM(p Params, rw simlocks.RWMaker) Result {
 	p = p.withDefaults()
-	e := sim.NewEngine(sim.Config{Topo: p.Topo, Seed: p.Seed, HardStop: hardStop(p)})
+	e := engineFor(p)
 	al := alloc.New(e)
 	f := fs.New(e, al, fsConfig(rw, simlocks.Maker{}, simlocks.Maker{}))
 	var shared *fs.Inode

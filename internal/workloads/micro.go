@@ -9,7 +9,7 @@ import (
 // lock with an almost-empty critical section (Figure 8, right panel).
 func Lock1(p Params, mk simlocks.Maker) Result {
 	p = p.withDefaults()
-	e := sim.NewEngine(sim.Config{Topo: p.Topo, Seed: p.Seed, HardStop: hardStop(p)})
+	e := engineFor(p)
 	l := mk.New(e, "lock1")
 	shared := e.Mem().AllocWord("lock1/data")
 	h := newHarness(p, e)
@@ -68,7 +68,7 @@ func (ht *hashTable) write(t *sim.Thread, key int) {
 // but every operation holds the global lock.
 func HashTable(p Params, mk simlocks.Maker, writePct int) Result {
 	p = p.withDefaults()
-	e := sim.NewEngine(sim.Config{Topo: p.Topo, Seed: p.Seed, HardStop: hardStop(p)})
+	e := engineFor(p)
 	l := mk.New(e, "ht/lock")
 	ht := newHashTable(e)
 	h := newHarness(p, e)
@@ -92,7 +92,7 @@ func HashTable(p Params, mk simlocks.Maker, writePct int) Result {
 // (Figure 11 g-h): reads take the read side.
 func HashTableRW(p Params, mk simlocks.RWMaker, writePct int) Result {
 	p = p.withDefaults()
-	e := sim.NewEngine(sim.Config{Topo: p.Topo, Seed: p.Seed, HardStop: hardStop(p)})
+	e := engineFor(p)
 	l := mk.New(e, "ht/rwlock")
 	ht := newHashTable(e)
 	h := newHarness(p, e)

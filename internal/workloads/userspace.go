@@ -14,7 +14,7 @@ import (
 // exceeding the core count.
 func LevelDB(p Params, mk simlocks.Maker) Result {
 	p = p.withDefaults()
-	e := sim.NewEngine(sim.Config{Topo: p.Topo, Seed: p.Seed, HardStop: hardStop(p)})
+	e := engineFor(p)
 	db := kvstore.New(e, mk, 1<<16)
 	h := newHarness(p, e)
 	h.spawnWorkers(nil, func(t *sim.Thread, id, k int) {
@@ -33,7 +33,7 @@ func Streamcluster(p Params, mk simlocks.Maker, phases int) Result {
 	if phases == 0 {
 		phases = 48
 	}
-	e := sim.NewEngine(sim.Config{Topo: p.Topo, Seed: p.Seed, HardStop: hardStop(p)})
+	e := engineFor(p)
 	l := mk.New(e, "sc/barrier_mutex")
 	gen := e.Mem().AllocWord("sc/generation")
 	cnt := e.Mem().AllocWord("sc/count")
@@ -96,7 +96,7 @@ func Streamcluster(p Params, mk simlocks.Maker, phases int) Result {
 // needs — the Figure 13(b) memory ratio.
 func Dedup(p Params, mk simlocks.Maker) Result {
 	p = p.withDefaults()
-	e := sim.NewEngine(sim.Config{Topo: p.Topo, Seed: p.Seed, HardStop: hardStop(p)})
+	e := engineFor(p)
 	al := alloc.New(e)
 
 	const queueShards = 32

@@ -28,6 +28,22 @@ type Params struct {
 	// Duration is the measured interval in cycles (after setup); the
 	// default is 20M cycles (~9ms of virtual time).
 	Duration uint64
+	// NoFastPath disables the engine's in-place time advance and direct
+	// handoff (shflbench -enginefast=false). Results are identical either
+	// way; the slow path is kept as the correctness oracle.
+	NoFastPath bool
+}
+
+// engineFor builds the simulation engine for a workload run; every workload
+// goes through it so engine-level knobs (fast path, hard stop) stay in one
+// place.
+func engineFor(p Params) *sim.Engine {
+	return sim.NewEngine(sim.Config{
+		Topo:       p.Topo,
+		Seed:       p.Seed,
+		HardStop:   hardStop(p),
+		NoFastPath: p.NoFastPath,
+	})
 }
 
 func (p Params) withDefaults() Params {
@@ -58,6 +74,10 @@ type Result struct {
 
 	// Extra carries per-experiment metrics (wakeups, idle time, ...).
 	Extra map[string]float64
+
+	// Engine counts how the simulator moved virtual time for this run:
+	// fast-path advances/handoffs vs event-queue round trips.
+	Engine sim.PathStats
 }
 
 func (r *Result) finish() {
@@ -128,6 +148,7 @@ func (h *harness) run() Result {
 		PerThread: h.ops,
 		Cycles:    h.p.Duration,
 		Extra:     map[string]float64{},
+		Engine:    h.e.PathStats(),
 	}
 	res.finish()
 	return res

@@ -10,10 +10,12 @@
 # invariant and steal-path liveness tests) under the race detector, which
 # is where lock bugs hide.
 #
-# The shape gate runs twice — serially and with a parallel worker pool —
-# and diffs the outputs byte-for-byte: the parallel benchmark harness
-# guarantees identical results whatever the execution order, and this is
-# where that guarantee is enforced.
+# The shape gate runs three times — serially, with a parallel worker pool,
+# and with the engine fast path disabled — and diffs the outputs
+# byte-for-byte against each other and against the committed
+# results_quick.txt: the harness guarantees identical results whatever the
+# execution order, and the engine guarantees identical results whichever
+# path advances virtual time. This is where both guarantees are enforced.
 set -eu
 
 cd "$(dirname "$0")"
@@ -52,5 +54,14 @@ echo "== shape gate: shflbench -exp all -quick -parallel 4 (determinism diff)"
 go run ./cmd/shflbench -exp all -quick -parallel 4 >/tmp/shflbench-parallel.txt
 diff /tmp/shflbench-serial.txt /tmp/shflbench-parallel.txt
 echo "parallel output byte-identical to serial"
+
+echo "== shape gate: shflbench -exp all -quick -enginefast=false (fast-path oracle diff)"
+go run ./cmd/shflbench -exp all -quick -parallel 4 -enginefast=false >/tmp/shflbench-slowpath.txt
+diff /tmp/shflbench-serial.txt /tmp/shflbench-slowpath.txt
+echo "slow-path output byte-identical to fast-path"
+
+echo "== shape gate: diff against committed results_quick.txt"
+diff results_quick.txt /tmp/shflbench-serial.txt
+echo "output byte-identical to committed results_quick.txt"
 
 echo "verify.sh: ALL PASS"
