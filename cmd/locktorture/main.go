@@ -7,21 +7,36 @@
 // lock_stat-style report is printed once a second and a final report (with
 // cross-counter consistency verification) after the run.
 //
+// With -abort-frac a fraction of acquisitions run abortable — alternating
+// LockTimeout and LockContext with tight random budgets — so the
+// abandonment protocol is tortured alongside plain acquisitions.
+//
+// With -chaos the torture runs on the simulator instead: a seeded,
+// replayable fault schedule (shuffler preemption, holder stalls, waiter
+// timeouts, spurious wakeups) whose fault log and summary are
+// byte-identical for a given -chaos-seed. -chaos-deadlock injects a
+// permanent holder stall and expects the starvation watchdog to fire and
+// dump the frozen scheduler state instead of hanging.
+//
 // Usage: locktorture [-lock mutex|spinlock|rwmutex|tas|ticket|mcs]
 // [-policy numa|prio|...] [-threads 16] [-duration 5s] [-sockets 4]
-// [-lockstat]
+// [-lockstat] [-abort-frac 0.2] [-watchdog 10s] [-deadline 2m]
+// [-chaos] [-chaos-seed 42] [-chaos-lock shfllock-b] [-chaos-deadlock]
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"math/rand"
 	"os"
+	"runtime"
 	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
 
+	"shfllock/internal/chaos"
 	"shfllock/internal/core"
 	"shfllock/internal/lockstat"
 	"shfllock/internal/shuffle"
@@ -40,17 +55,42 @@ type rwLocker interface {
 	RUnlock()
 }
 
+// abortLocker is the abortable-acquisition surface of the native ShflLock
+// family (SpinLock, Mutex, RWMutex).
+type abortLocker interface {
+	LockTimeout(d time.Duration) bool
+	LockContext(ctx context.Context) error
+}
+
 func main() {
 	var (
-		lockName = flag.String("lock", "mutex", "lock to torture: mutex|spinlock|rwmutex|tas|ticket|mcs")
-		threads  = flag.Int("threads", 16, "torture goroutines")
-		duration = flag.Duration("duration", 5*time.Second, "how long to run")
-		sockets  = flag.Int("sockets", 4, "sockets assumed by the shuffling policy")
-		policy   = flag.String("policy", "", "shuffling policy for the ShflLock family (default numa)")
-		stat     = flag.Bool("lockstat", false, "instrument the lock and print lock_stat-style reports")
+		lockName  = flag.String("lock", "mutex", "lock to torture: mutex|spinlock|rwmutex|tas|ticket|mcs")
+		threads   = flag.Int("threads", 16, "torture goroutines")
+		duration  = flag.Duration("duration", 5*time.Second, "how long to run")
+		sockets   = flag.Int("sockets", 4, "sockets assumed by the shuffling policy")
+		policy    = flag.String("policy", "", "shuffling policy for the ShflLock family (default numa)")
+		stat      = flag.Bool("lockstat", false, "instrument the lock and print lock_stat-style reports")
+		abortFrac = flag.Float64("abort-frac", 0, "fraction of acquisitions run via LockTimeout/LockContext (ShflLock family only)")
+		watchdog  = flag.Duration("watchdog", 0, "dump goroutine stacks and exit 2 if no acquisition completes for this long")
+		deadline  = flag.Duration("deadline", 0, "dump goroutine stacks and exit 2 if the whole run exceeds this")
+
+		chaosMode     = flag.Bool("chaos", false, "run the deterministic simulated chaos torture instead")
+		chaosSeed     = flag.Int64("chaos-seed", 42, "fault-schedule seed for -chaos (same seed => byte-identical output)")
+		chaosLock     = flag.String("chaos-lock", "shfllock-b", "simulated lock to torture under -chaos")
+		chaosDeadlock = flag.Bool("chaos-deadlock", false, "inject a permanent holder stall; the run passes only if the watchdog fires")
 	)
 	flag.Parse()
 	core.SetSockets(*sockets)
+
+	if *chaosMode {
+		runChaos(*chaosSeed, *chaosLock, *chaosDeadlock)
+		return
+	}
+	if *deadline > 0 {
+		time.AfterFunc(*deadline, func() {
+			dumpStacks(fmt.Sprintf("DEADLINE EXCEEDED: run did not finish within %v", *deadline))
+		})
+	}
 
 	var pol shuffle.Policy
 	if *policy != "" {
@@ -71,20 +111,21 @@ func main() {
 			stopLive := liveReports(*duration)
 			defer stopLive()
 		}
-		tortureRW(l, *threads, *duration)
+		tortureRW(l, &mu, *threads, *duration, *abortFrac, *watchdog)
 		return
 	}
 
 	var l locker
+	var al abortLocker
 	switch *lockName {
 	case "mutex":
 		m := &core.Mutex{}
 		m.SetPolicy(pol)
-		l = m
+		l, al = m, m
 	case "spinlock":
 		s := &core.SpinLock{}
 		s.SetPolicy(pol)
-		l = s
+		l, al = s, s
 	case "tas":
 		l = &core.TASLock{}
 	case "ticket":
@@ -102,7 +143,14 @@ func main() {
 			os.Exit(2)
 		}
 	}
+	if *abortFrac > 0 && al == nil {
+		fmt.Fprintf(os.Stderr, "-abort-frac applies only to the ShflLock family, not %q\n", *lockName)
+		os.Exit(2)
+	}
 	if *stat {
+		// The site probe is installed on the underlying lock, so abortable
+		// acquisitions made directly on it still feed the abort/reclaim
+		// counters; the wrapper adds wait/hold sampling on the plain path.
 		l = lockstat.Instrument(l, "torture/"+*lockName)
 		defer finalReport()
 		stopLive := liveReports(*duration)
@@ -112,6 +160,9 @@ func main() {
 	var stop atomic.Bool
 	var inCS atomic.Int32
 	var acquires, tries, violations atomic.Int64
+	var timeouts, abortOK atomic.Int64
+	stopWD := startWatchdog(*watchdog, func() int64 { return acquires.Load() })
+	defer stopWD()
 	var wg sync.WaitGroup
 	for g := 0; g < *threads; g++ {
 		wg.Add(1)
@@ -120,10 +171,18 @@ func main() {
 			rng := rand.New(rand.NewSource(seed))
 			for !stop.Load() {
 				got := false
-				if rng.Intn(8) == 0 {
+				switch {
+				case al != nil && rng.Float64() < *abortFrac:
+					got = abortableAcquire(al, rng)
+					if got {
+						abortOK.Add(1)
+					} else {
+						timeouts.Add(1)
+					}
+				case rng.Intn(8) == 0:
 					got = l.TryLock()
 					tries.Add(1)
-				} else {
+				default:
 					l.Lock()
 					got = true
 				}
@@ -148,11 +207,102 @@ func main() {
 
 	fmt.Printf("lock=%s threads=%d duration=%v\n", *lockName, *threads, *duration)
 	fmt.Printf("acquires=%d trylocks=%d violations=%d\n", acquires.Load(), tries.Load(), violations.Load())
+	if *abortFrac > 0 {
+		fmt.Printf("abortable: acquired=%d timeouts=%d\n", abortOK.Load(), timeouts.Load())
+	}
 	if violations.Load() > 0 {
 		fmt.Println("TORTURE FAILED: mutual exclusion violated")
 		os.Exit(1)
 	}
 	fmt.Println("torture passed")
+}
+
+// abortableAcquire alternates the two abort surfaces with tight budgets so
+// both the timeout and the context cancellation paths abandon for real.
+func abortableAcquire(al abortLocker, rng *rand.Rand) bool {
+	d := time.Duration(rng.Intn(200)) * time.Microsecond
+	if rng.Intn(2) == 0 {
+		return al.LockTimeout(d)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), d)
+	defer cancel()
+	return al.LockContext(ctx) == nil
+}
+
+// runChaos executes the simulated chaos torture: deterministic for a seed,
+// so two invocations with the same flags print byte-identical output.
+func runChaos(seed int64, lock string, deadlock bool) {
+	cfg := chaos.Defaults(seed)
+	cfg.Lock = lock
+	if deadlock {
+		cfg.Deadlock = true
+		cfg.WatchdogInterval = 1_000_000
+		cfg.WatchdogThreshold = 20_000_000
+	}
+	r, err := chaos.Run(cfg)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	fmt.Printf("chaos lock=%s seed=%d workers=%d iters=%d deadlock=%v\n",
+		cfg.Lock, cfg.Seed, cfg.Workers, cfg.Iters, cfg.Deadlock)
+	fmt.Print(r.Log.String())
+	fmt.Print(r.Summary())
+	if r.MutualExclusionViolations > 0 {
+		fmt.Println("CHAOS FAILED: mutual exclusion violated")
+		os.Exit(1)
+	}
+	if deadlock {
+		if !r.WatchdogFired {
+			fmt.Println("CHAOS FAILED: deadlock injected but watchdog never fired")
+			os.Exit(1)
+		}
+		fmt.Println("--- watchdog post-mortem ---")
+		fmt.Print(r.Report)
+		fmt.Println("chaos deadlock detected as expected")
+		return
+	}
+	if r.WatchdogFired {
+		fmt.Printf("CHAOS FAILED: watchdog fired without an injected deadlock: %s\n", r.WatchdogReason)
+		os.Exit(1)
+	}
+	fmt.Println("chaos torture passed")
+}
+
+// dumpStacks prints every goroutine's stack and exits 2 — the torture's
+// answer to a hang: diagnose, don't dangle.
+func dumpStacks(why string) {
+	buf := make([]byte, 1<<20)
+	n := runtime.Stack(buf, true)
+	fmt.Fprintf(os.Stderr, "%s\ngoroutine dump:\n%s\n", why, buf[:n])
+	os.Exit(2)
+}
+
+// startWatchdog dumps stacks and exits if the progress counter stops
+// moving for a whole interval. Returns a stop func; no-op when d is 0.
+func startWatchdog(d time.Duration, progress func() int64) func() {
+	if d <= 0 {
+		return func() {}
+	}
+	done := make(chan struct{})
+	go func() {
+		tick := time.NewTicker(d)
+		defer tick.Stop()
+		last := int64(-1)
+		for {
+			select {
+			case <-done:
+				return
+			case <-tick.C:
+				cur := progress()
+				if cur == last {
+					dumpStacks(fmt.Sprintf("WATCHDOG: no lock acquired for %v (stuck at %d)", d, cur))
+				}
+				last = cur
+			}
+		}
+	}()
+	return func() { close(done) }
 }
 
 // liveReports prints the lockstat report once a second while the torture
@@ -194,10 +344,12 @@ func finalReport() {
 	fmt.Println("lockstat counters consistent")
 }
 
-func tortureRW(l rwLocker, threads int, duration time.Duration) {
+func tortureRW(l rwLocker, al abortLocker, threads int, duration time.Duration, abortFrac float64, watchdog time.Duration) {
 	var stop atomic.Bool
 	var readers, writers atomic.Int32
-	var rops, wops, violations atomic.Int64
+	var rops, wops, violations, timeouts atomic.Int64
+	stopWD := startWatchdog(watchdog, func() int64 { return rops.Load() + wops.Load() })
+	defer stopWD()
 	var wg sync.WaitGroup
 	for g := 0; g < threads; g++ {
 		wg.Add(1)
@@ -206,7 +358,14 @@ func tortureRW(l rwLocker, threads int, duration time.Duration) {
 			rng := rand.New(rand.NewSource(seed))
 			for !stop.Load() {
 				if rng.Intn(10) == 0 {
-					l.Lock()
+					if abortFrac > 0 && rng.Float64() < abortFrac {
+						if !abortableAcquire(al, rng) {
+							timeouts.Add(1)
+							continue
+						}
+					} else {
+						l.Lock()
+					}
 					if writers.Add(1) != 1 || readers.Load() != 0 {
 						violations.Add(1)
 					}
@@ -231,6 +390,9 @@ func tortureRW(l rwLocker, threads int, duration time.Duration) {
 	wg.Wait()
 	fmt.Printf("lock=rwmutex threads=%d duration=%v\n", threads, duration)
 	fmt.Printf("reads=%d writes=%d violations=%d\n", rops.Load(), wops.Load(), violations.Load())
+	if abortFrac > 0 {
+		fmt.Printf("abortable: timeouts=%d\n", timeouts.Load())
+	}
 	if violations.Load() > 0 {
 		fmt.Println("TORTURE FAILED")
 		os.Exit(1)

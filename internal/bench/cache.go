@@ -54,13 +54,13 @@ func openCache(dir string) (*diskCache, error) {
 
 func (d *diskCache) keyOf(exp string, k resKey, c Config) cacheKey {
 	return cacheKey{
-		Harness: harnessVersion,
-		Exp:     exp,
-		Lock:    k.lock,
-		Threads: k.threads,
-		Variant: k.variant,
-		Sockets: c.Topo.Sockets,
-		Cores:   c.Topo.CoresPerSocket,
+		Harness:    harnessVersion,
+		Exp:        exp,
+		Lock:       k.lock,
+		Threads:    k.threads,
+		Variant:    k.variant,
+		Sockets:    c.Topo.Sockets,
+		Cores:      c.Topo.CoresPerSocket,
 		Seed:       c.Seed,
 		Quick:      c.Quick,
 		NoFastPath: c.NoFastPath,
@@ -74,8 +74,10 @@ func (d *diskCache) path(k cacheKey) string {
 }
 
 // load returns the cached result for a point, if present. Unreadable,
-// malformed, or key-mismatched entries count as misses — the point reruns
-// and the entry is rewritten.
+// truncated, malformed, or key-mismatched entries count as misses — the
+// point reruns and the entry is rewritten. Corrupt files (disk damage,
+// manual edits, entries written before the tmp+rename scheme) are removed
+// on detection so they cannot shadow the slot forever.
 func (d *diskCache) load(exp string, rk resKey, c Config) (workloads.Result, bool) {
 	k := d.keyOf(exp, rk, c)
 	b, err := os.ReadFile(d.path(k))
@@ -83,7 +85,13 @@ func (d *diskCache) load(exp string, rk resKey, c Config) (workloads.Result, boo
 		return workloads.Result{}, false
 	}
 	var e cacheEntry
-	if err := json.Unmarshal(b, &e); err != nil || e.Key != k {
+	if len(b) == 0 || json.Unmarshal(b, &e) != nil {
+		_ = os.Remove(d.path(k))
+		return workloads.Result{}, false
+	}
+	if e.Key != k {
+		// Self-describing key disagrees with the slot (hash collision or a
+		// foreign file): leave the file alone, just don't replay it.
 		return workloads.Result{}, false
 	}
 	return e.Result, true

@@ -4,7 +4,9 @@ import (
 	"bytes"
 	"fmt"
 	"io"
+	"os"
 	"path/filepath"
+	"sort"
 	"strings"
 	"sync/atomic"
 	"testing"
@@ -106,6 +108,69 @@ func TestRunAllCacheWarmRunSkipsPoints(t *testing.T) {
 	files, err := filepath.Glob(filepath.Join(dir, "shflbench-*.json"))
 	if err != nil || len(files) != 8 {
 		t.Errorf("cache holds %d entries (err=%v), want 8", len(files), err)
+	}
+}
+
+// Truncated, empty, or garbage cache entries must count as misses: the
+// affected points re-run, the bad files are replaced with fresh entries,
+// and the output stays byte-identical to a cold run.
+func TestCacheSurvivesCorruptEntries(t *testing.T) {
+	dir := t.TempDir()
+	c := Config{Topo: topology.Laptop(), Seed: 3, Quick: true}
+	opt := Options{Parallel: 2, CacheDir: dir}
+
+	var ranCold atomic.Int64
+	var cold bytes.Buffer
+	if err := RunAll(fakeExperiments(&ranCold), c, opt, &cold); err != nil {
+		t.Fatal(err)
+	}
+	if ranCold.Load() != 8 {
+		t.Fatalf("cold run executed %d points, want 8", ranCold.Load())
+	}
+	files, err := filepath.Glob(filepath.Join(dir, "shflbench-*.json"))
+	if err != nil || len(files) != 8 {
+		t.Fatalf("cache holds %d entries (err=%v), want 8", len(files), err)
+	}
+	sort.Strings(files)
+
+	// Damage three entries three different ways.
+	b, err := os.ReadFile(files[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(files[0], b[:len(b)/2], 0o644); err != nil { // truncated JSON
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(files[1], nil, 0o644); err != nil { // empty file
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(files[2], []byte("not json at all\x00\x01"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	var ranRepair atomic.Int64
+	var repaired bytes.Buffer
+	if err := RunAll(fakeExperiments(&ranRepair), c, opt, &repaired); err != nil {
+		t.Fatal(err)
+	}
+	if ranRepair.Load() != 3 {
+		t.Errorf("repair run executed %d points, want exactly the 3 corrupted ones", ranRepair.Load())
+	}
+	if cold.String() != repaired.String() {
+		t.Errorf("repaired output differs from cold:\n--- cold ---\n%s--- repaired ---\n%s", cold.String(), repaired.String())
+	}
+
+	// The bad entries were rewritten: a third run is fully cache-served.
+	var ranWarm atomic.Int64
+	var warm bytes.Buffer
+	if err := RunAll(fakeExperiments(&ranWarm), c, opt, &warm); err != nil {
+		t.Fatal(err)
+	}
+	if ranWarm.Load() != 0 {
+		t.Errorf("post-repair run executed %d points, want 0 (corrupt entries not rewritten)", ranWarm.Load())
+	}
+	if cold.String() != warm.String() {
+		t.Errorf("post-repair output differs from cold run")
 	}
 }
 

@@ -1,0 +1,187 @@
+// Package chaos is a deterministic fault-injection layer for the simulated
+// ShflLock family. A seeded Plan decides — in the engine's lockstep
+// execution order, so every decision is replayable from the seed — when to
+// preempt a shuffler at its most load-bearing moment, stall a lock holder
+// inside the critical section, make a waiter acquire with a timeout budget
+// (exercising the abandonment protocol end to end), and wake parked waiters
+// spuriously. Every injected fault is appended to a Log whose rendering is
+// byte-identical across runs with the same Config, which is what the
+// verify.sh chaos gate diffs.
+//
+// A Watchdog rides along: instead of letting an injected (or real)
+// deadlock hang the simulation, it aborts the run and captures the frozen
+// scheduler state for post-mortem.
+package chaos
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+
+	"shfllock/internal/sim"
+)
+
+// EventKind classifies an injected fault or fault-layer observation.
+type EventKind uint8
+
+const (
+	// EvShufflerPreempt: a shuffler was forced off-CPU right after taking
+	// the role.
+	EvShufflerPreempt EventKind = iota
+	// EvSpuriousWake: a parked waiter was armed with a spurious wakeup.
+	EvSpuriousWake
+	// EvHolderStall: the lock holder was stalled inside the critical
+	// section for Arg cycles.
+	EvHolderStall
+	// EvAbortAttempt: an acquisition was made abortable with a budget of
+	// Arg cycles.
+	EvAbortAttempt
+	// EvTimeout: an abortable acquisition gave up (node abandoned).
+	EvTimeout
+	// EvDeadlockStall: the deadlock scenario parked a holder forever.
+	EvDeadlockStall
+	// EvWatchdog: the watchdog fired; Arg is the stalled worker's id.
+	EvWatchdog
+)
+
+func (k EventKind) String() string {
+	switch k {
+	case EvShufflerPreempt:
+		return "shuffler-preempt"
+	case EvSpuriousWake:
+		return "spurious-wake"
+	case EvHolderStall:
+		return "holder-stall"
+	case EvAbortAttempt:
+		return "abort-attempt"
+	case EvTimeout:
+		return "timeout"
+	case EvDeadlockStall:
+		return "deadlock-stall"
+	case EvWatchdog:
+		return "watchdog"
+	}
+	return "?"
+}
+
+// Event is one injected fault, stamped with virtual time and the thread it
+// hit.
+type Event struct {
+	At     uint64
+	Thread int
+	Kind   EventKind
+	Arg    uint64
+}
+
+// Log accumulates events in execution order. The engine runs one thread at
+// a time, so appends are ordered and the log is deterministic for a seed.
+type Log struct {
+	Events []Event
+}
+
+func (lg *Log) add(at uint64, thread int, kind EventKind, arg uint64) {
+	lg.Events = append(lg.Events, Event{At: at, Thread: thread, Kind: kind, Arg: arg})
+}
+
+// String renders the log one event per line, byte-stable for a given run.
+func (lg *Log) String() string {
+	var b strings.Builder
+	for _, ev := range lg.Events {
+		fmt.Fprintf(&b, "t=%-12d T%-3d %-16s %d\n", ev.At, ev.Thread, ev.Kind, ev.Arg)
+	}
+	return b.String()
+}
+
+// Count returns how many events of the given kind were injected.
+func (lg *Log) Count(kind EventKind) int {
+	n := 0
+	for _, ev := range lg.Events {
+		if ev.Kind == kind {
+			n++
+		}
+	}
+	return n
+}
+
+// Plan is the seeded fault schedule. It implements sim.Injector for the
+// hooks that live inside the engine (shuffler preemption, spurious
+// wakeups) and is consulted directly by the torture harness for the
+// decisions that live above the lock API (abort budgets, holder stalls).
+// All draws come from one seeded source consulted in lockstep order.
+type Plan struct {
+	cfg Config
+	rng *rand.Rand
+	log *Log
+}
+
+// NewPlan builds a fault schedule from the config's seed.
+func NewPlan(cfg Config, log *Log) *Plan {
+	return &Plan{cfg: cfg, rng: rand.New(rand.NewSource(cfg.Seed)), log: log}
+}
+
+// Log returns the plan's event log.
+func (p *Plan) Log() *Log { return p.log }
+
+func (p *Plan) hit(frac float64) bool {
+	return frac > 0 && p.rng.Float64() < frac
+}
+
+func (p *Plan) span(min, max uint64) uint64 {
+	if max <= min {
+		return min
+	}
+	return min + uint64(p.rng.Int63n(int64(max-min)))
+}
+
+// ShufflerPreempt implements sim.Injector: descheduling the shuffler right
+// after it consumes the role is the adversarial schedule the paper's
+// lock-holder-preemption discussion worries about.
+func (p *Plan) ShufflerPreempt(t *sim.Thread) bool {
+	if !p.hit(p.cfg.ShufflerPreemptFrac) {
+		return false
+	}
+	p.log.add(t.Now(), t.ID(), EvShufflerPreempt, 0)
+	return true
+}
+
+// SpuriousWakeDelay implements sim.Injector: parked waiters may wake
+// without a grant, forcing the status re-check loops to earn their keep.
+func (p *Plan) SpuriousWakeDelay(t *sim.Thread) uint64 {
+	if !p.hit(p.cfg.SpuriousWakeFrac) {
+		return 0
+	}
+	d := p.span(p.cfg.SpuriousWakeMin, p.cfg.SpuriousWakeMax)
+	if d == 0 {
+		d = 1
+	}
+	p.log.add(t.Now(), t.ID(), EvSpuriousWake, d)
+	return d
+}
+
+// AbortBudget decides whether this acquisition should run abortable; a
+// non-zero return is the cycle budget to pass to LockAbort.
+func (p *Plan) AbortBudget(t *sim.Thread) uint64 {
+	if !p.hit(p.cfg.AbortFrac) {
+		return 0
+	}
+	b := p.span(p.cfg.AbortBudgetMin, p.cfg.AbortBudgetMax)
+	if b == 0 {
+		b = 1
+	}
+	p.log.add(t.Now(), t.ID(), EvAbortAttempt, b)
+	return b
+}
+
+// HolderStall decides whether the holder should stall inside the critical
+// section, returning the stall length in cycles.
+func (p *Plan) HolderStall(t *sim.Thread) uint64 {
+	if !p.hit(p.cfg.HolderStallFrac) {
+		return 0
+	}
+	d := p.span(p.cfg.HolderStallMin, p.cfg.HolderStallMax)
+	if d == 0 {
+		d = 1
+	}
+	p.log.add(t.Now(), t.ID(), EvHolderStall, d)
+	return d
+}

@@ -1,0 +1,157 @@
+package core
+
+import (
+	"context"
+	"runtime"
+	"time"
+)
+
+// aborter carries an acquisition's give-up condition: a deadline
+// (LockTimeout), a cancellation channel (LockContext), or both. A nil
+// *aborter means the acquisition blocks forever.
+type aborter struct {
+	deadline time.Time
+	done     <-chan struct{}
+}
+
+// expired reports whether the acquisition should give up. Callers
+// rate-limit it on their spin paths; the clock read is the dominant cost.
+func (a *aborter) expired() bool {
+	if a.done != nil {
+		select {
+		case <-a.done:
+			return true
+		default:
+		}
+	}
+	return !a.deadline.IsZero() && !time.Now().Before(a.deadline)
+}
+
+// parkAbortable parks like parkSelf but also wakes on the aborter's
+// deadline or cancellation. A wake for any reason returns to the caller's
+// status loop, which distinguishes grant from expiry.
+func (n *qnode) parkAbortable(a *aborter) {
+	if a == nil {
+		n.parkSelf()
+		return
+	}
+	var timeC <-chan time.Time
+	var timer *time.Timer
+	if !a.deadline.IsZero() {
+		d := time.Until(a.deadline)
+		if d <= 0 {
+			return
+		}
+		timer = time.NewTimer(d)
+		timeC = timer.C
+	}
+	select {
+	case <-n.park:
+	case <-timeC:
+	case <-a.done: // nil when deadline-only: never ready
+	}
+	if timer != nil {
+		timer.Stop()
+	}
+}
+
+// lockTimeout acquires with a relative deadline. A non-positive duration
+// degenerates to a single-CAS TryLock.
+func (l *shflState) lockTimeout(blocking bool, d time.Duration) bool {
+	if d <= 0 {
+		return l.tryLock()
+	}
+	return l.lockAbort(blocking, 0, &aborter{deadline: time.Now().Add(d)})
+}
+
+// lockContext acquires unless ctx is cancelled first.
+func (l *shflState) lockContext(blocking bool, ctx context.Context) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	if l.lockAbort(blocking, 0, &aborter{done: ctx.Done()}) {
+		return nil
+	}
+	return context.Cause(ctx)
+}
+
+// LockTimeout acquires the spinlock unless d elapses first; it reports
+// whether the lock was acquired. On expiry the waiter abandons its queue
+// node in place (MCSTP-style) and a shuffler or a later grant walk reclaims
+// it; the queue stays intact throughout.
+func (l *SpinLock) LockTimeout(d time.Duration) bool { return l.s.lockTimeout(false, d) }
+
+// LockContext acquires the spinlock unless ctx is cancelled first. It
+// returns nil once the lock is held, or the context's cancellation cause.
+func (l *SpinLock) LockContext(ctx context.Context) error { return l.s.lockContext(false, ctx) }
+
+// LockTimeout acquires the mutex unless d elapses first; it reports whether
+// the lock was acquired. See SpinLock.LockTimeout for the abandonment
+// semantics; a parked waiter wakes on its own deadline.
+func (m *Mutex) LockTimeout(d time.Duration) bool { return m.s.lockTimeout(true, d) }
+
+// LockContext acquires the mutex unless ctx is cancelled first. It returns
+// nil once the lock is held, or the context's cancellation cause.
+func (m *Mutex) LockContext(ctx context.Context) error { return m.s.lockContext(true, ctx) }
+
+// LockTimeout acquires the write side unless d elapses first; it reports
+// whether the lock was acquired. The budget covers both phases: the queue
+// wait on the internal ordering mutex and the reader drain. A drain-phase
+// expiry backs out completely (writer-waiting bit cleared, ordering mutex
+// released), letting blocked readers proceed.
+func (l *RWMutex) LockTimeout(d time.Duration) bool {
+	if l.count.CompareAndSwap(0, rwWB) {
+		return true
+	}
+	if d <= 0 {
+		return false
+	}
+	return l.lockAbortable(&aborter{deadline: time.Now().Add(d)})
+}
+
+// LockContext acquires the write side unless ctx is cancelled first. It
+// returns nil once the lock is held, or the context's cancellation cause.
+func (l *RWMutex) LockContext(ctx context.Context) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	if l.count.CompareAndSwap(0, rwWB) {
+		return nil
+	}
+	if l.lockAbortable(&aborter{done: ctx.Done()}) {
+		return nil
+	}
+	return context.Cause(ctx)
+}
+
+func (l *RWMutex) lockAbortable(a *aborter) bool {
+	if !l.wlock.s.lockAbort(true, 0, a) {
+		return false
+	}
+	l.count.Or(rwWWb) // stop new readers
+	for i := 0; ; i++ {
+		v := l.count.Load()
+		if v>>16 == 0 && v&rwWB == 0 {
+			if l.count.CompareAndSwap(v, (v&^rwWWb)|rwWB) {
+				l.wlock.Unlock()
+				return true
+			}
+			continue
+		}
+		if i&31 == 31 {
+			if a.expired() {
+				// Back out: let the readers we stalled move again. Another
+				// queued writer may have re-set rwWWb expectations, but the
+				// bit is re-asserted by whoever acquires wlock next, so a
+				// plain clear is safe while we still hold wlock.
+				l.count.And(^rwWWb)
+				l.wlock.Unlock()
+				if p := l.wlock.s.probe; p != nil {
+					p.Abort()
+				}
+				return false
+			}
+			runtime.Gosched()
+		}
+	}
+}

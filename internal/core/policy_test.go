@@ -59,7 +59,48 @@ func TestPolicyQueueIntegrity(t *testing.T) {
 			m.SetPolicy(pol)
 			hammerPolicy(t, m.LockWithPriority, m.Unlock)
 		})
+		t.Run(name+"/rwmutex", func(t *testing.T) {
+			var rw RWMutex
+			rw.SetPolicy(pol)
+			hammerPolicy(t, rw.LockWithPriority, rw.Unlock)
+		})
 	}
+}
+
+// TestRWMutexPolicyWithReaders drives the RWMutex policy path while reader
+// goroutines churn the count word, so writer priorities exercise the
+// ordering mutex's queue with the reader-drain phase active (under -race
+// via verify.sh).
+func TestRWMutexPolicyWithReaders(t *testing.T) {
+	defer SetSockets(Sockets())
+	SetSockets(2)
+	var rw RWMutex
+	rw.SetPolicy(shuffle.Priority())
+	stop := make(chan struct{})
+	var readers sync.WaitGroup
+	shared := 0
+	for r := 0; r < 4; r++ {
+		readers.Add(1)
+		go func() {
+			defer readers.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				rw.RLock()
+				_ = shared
+				rw.RUnlock()
+			}
+		}()
+	}
+	hammerPolicy(t, func(prio uint64) {
+		rw.LockWithPriority(prio)
+		shared++
+	}, rw.Unlock)
+	close(stop)
+	readers.Wait()
 }
 
 // policyProbe records which policy each shuffling round is attributed to.
@@ -73,6 +114,8 @@ func (p *policyProbe) Contended()  {}
 func (p *policyProbe) Handoff()    {}
 func (p *policyProbe) Park()       {}
 func (p *policyProbe) Unpark(bool) {}
+func (p *policyProbe) Abort()      {}
+func (p *policyProbe) Reclaim()    {}
 func (p *policyProbe) Shuffle(policy string, scanned, moved int) {
 	p.mu.Lock()
 	p.rounds[policy]++

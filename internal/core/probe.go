@@ -37,6 +37,13 @@ type Probe interface {
 	// Shuffle reports one completed shuffling round: which policy drove it,
 	// how many queue nodes the shuffler examined and how many it relocated.
 	Shuffle(policy string, scanned, moved int)
+	// Abort reports an abortable acquisition (LockTimeout/LockContext)
+	// giving up: the waiter abandoned its queue node, or the queue head
+	// abdicated without taking the lock.
+	Abort()
+	// Reclaim reports an abandoned queue node being unlinked, by a
+	// shuffling round or by the grant walk.
+	Reclaim()
 }
 
 // SetProbe attaches a probe to the spinlock. Attach before the lock is

@@ -19,12 +19,16 @@ import (
 	"sync/atomic"
 )
 
-// Queue-node status values (Figure 4 and Figure 6 of the paper).
+// Queue-node status values (Figure 4 and Figure 6 of the paper), plus the
+// two abandonment states of the MCSTP-style abort protocol. The numeric
+// values match the shuffle.Status* constants shared with the simulator.
 const (
-	sWaiting  = iota // spinning on the node; may park
-	sReady           // head of the queue: go take the TAS lock
-	sParked          // descheduled; wake via the park channel
-	sSpinning        // marked by a shuffler: keep spinning
+	sWaiting   = iota // spinning on the node; may park
+	sReady            // head of the queue: go take the TAS lock
+	sParked           // descheduled; wake via the park channel
+	sSpinning         // marked by a shuffler: keep spinning
+	sAbandoned        // waiter timed out / was cancelled and left the queue
+	sReclaimed        // an abandoned node was unlinked by shuffler or grant walk
 )
 
 // spinBudget is how many local spin iterations a blocking waiter performs

@@ -53,6 +53,24 @@ func (l *RWMutex) Lock() {
 		return
 	}
 	l.wlock.Lock()
+	l.drainAndClaim()
+}
+
+// LockWithPriority acquires the write side with a scheduling priority for
+// the internal ordering mutex's queue (higher is more urgent). Only
+// meaningful under a priority policy (see SetPolicy and shuffle.Priority);
+// other policies ignore it.
+func (l *RWMutex) LockWithPriority(prio uint64) {
+	if l.count.CompareAndSwap(0, rwWB) {
+		return
+	}
+	l.wlock.LockWithPriority(prio)
+	l.drainAndClaim()
+}
+
+// drainAndClaim runs with the ordering mutex held: stop new readers, wait
+// out the active ones, claim the writer byte, release the ordering mutex.
+func (l *RWMutex) drainAndClaim() {
 	l.count.Or(rwWWb) // stop new readers
 	for i := 0; ; i++ {
 		v := l.count.Load()

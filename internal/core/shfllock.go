@@ -27,6 +27,10 @@ type shflState struct {
 	// policy, when non-nil, overrides the default NUMA shuffling policy.
 	// Written by SetPolicy before the lock is shared, like probe.
 	policy shuffle.Policy
+	// mayAbort latches to true on the first abortable acquisition and gates
+	// the abandoned-node handling in shuffling rounds (shuffle.Substrate
+	// MayAbort): locks that never see LockTimeout/LockContext pay nothing.
+	mayAbort atomic.Bool
 }
 
 func (l *shflState) pol() shuffle.Policy {
@@ -66,18 +70,42 @@ func (l *shflState) unlock() {
 
 // lock acquires via fast path or the shuffled waiter queue (Figure 4 / 6).
 func (l *shflState) lock(blocking bool, prio uint64) {
+	l.lockAbort(blocking, prio, nil)
+}
+
+// lockAbort is the full acquisition path: the plain lock with a == nil, the
+// abortable one (LockTimeout/LockContext) otherwise. It returns false only
+// when the aborter expired before the lock was acquired; the caller's queue
+// node is then either abandoned in place (mid-queue — a shuffler or a later
+// grant walk reclaims it) or already retired (at the head, which cannot
+// abandon and instead abdicates by running the grant walk lockless).
+func (l *shflState) lockAbort(blocking bool, prio uint64, a *aborter) bool {
 	if l.trySteal() {
 		if p := l.probe; p != nil && l.tail.Load() != nil {
 			p.Steal(false)
 		}
-		return
+		return true
+	}
+	if a != nil {
+		// Arm the abandoned-node handling in shuffling rounds before this
+		// acquisition can possibly leave a corpse in the queue.
+		l.mayAbort.Store(true)
 	}
 	pol := l.pol()
 	n := getNode()
 	n.prio = prio
 	prev := l.tail.Swap(n)
 	if prev != nil {
-		l.spinUntilVeryNextWaiter(pol, blocking, prev, n)
+		if !l.spinUntilVeryNextWaiter(pol, blocking, prev, n, a) {
+			// Abandoned mid-queue. The node must never return to the pool:
+			// predecessors and shufflers may still hold references, and only
+			// the reclaimer's sReclaimed store ends its queue life. The
+			// garbage collector picks it up after that.
+			if p := l.probe; p != nil {
+				p.Abort()
+			}
+			return false
+		}
 	} else if !blocking {
 		// Preserve FIFO while a queue exists; the blocking variant keeps
 		// stealing enabled so the lock stays live across wakeup latency.
@@ -112,6 +140,19 @@ func (l *shflState) lock(blocking bool, prio uint64) {
 			}
 			continue
 		}
+		if a != nil && spins&7 == 0 && a.expired() {
+			// The head owns the MCS unlock obligation (and, non-blocking,
+			// the no-steal bit), so it cannot abandon in place: abdicate by
+			// performing the unlock phase without ever taking the TAS lock.
+			if o := shflOracle.Load(); o != nil && o.headExit != nil {
+				o.headExit(n)
+			}
+			l.passHead(pol, blocking, roleMine, n)
+			if p := l.probe; p != nil {
+				p.Abort()
+			}
+			return false
+		}
 		if !roleMine && (n.batch.Load() == 0 || n.shuffler.Load() != 0) {
 			fromRole := n.shuffler.Load() != 0
 			roleMine = shuffle.Run(coreSub{l: l, self: n, pol: pol}, pol, n,
@@ -129,50 +170,101 @@ func (l *shflState) lock(blocking bool, prio uint64) {
 		o.headExit(n)
 	}
 
-	// MCS unlock phase, moved to the acquire side: hand head status to the
-	// successor and release our node before entering the critical section.
-	next := n.next.Load()
-	if next == nil {
-		if l.tail.CompareAndSwap(n, nil) {
-			if !blocking {
-				l.clearNoSteal()
-			}
-			putNode(n)
-			if p := l.probe; p != nil {
-				p.Contended()
-			}
-			return
-		}
-		for next = n.next.Load(); next == nil; next = n.next.Load() {
-			runtime.Gosched()
-		}
-	}
-	// Relay a still-held shuffler role (and scan frontier) to the successor.
-	if pol.PassRole() && (roleMine || n.shuffler.Load() != 0) {
-		if pol.UseHint() {
-			if h := n.lastHint.Load(); h != nil && h != next && h != n {
-				next.lastHint.Store(h)
-			}
-		}
-		if o := shflOracle.Load(); o != nil && o.handoff != nil {
-			o.handoff(n, next, true)
-		}
-		next.shuffler.Store(1)
-	}
-	if blocking {
-		if old := next.status.Swap(sReady); old == sParked {
-			next.wakeNode()
-			if p := l.probe; p != nil {
-				p.Unpark(true)
-			}
-		}
-	} else {
-		next.status.Store(sReady)
-	}
-	putNode(n)
+	granted := l.passHead(pol, blocking, roleMine, n)
 	if p := l.probe; p != nil {
 		p.Contended()
-		p.Handoff()
+		if granted {
+			p.Handoff()
+		}
+	}
+	return true
+}
+
+// passHead is the MCS unlock phase, moved to the acquire side: hand head
+// status to the first live successor — skipping and reclaiming abandoned
+// nodes — or empty the queue. It returns true when a successor was granted.
+// The caller's node n goes back to the pool; abandoned nodes never do (see
+// lockAbort).
+//
+// The grant is a status CAS, not a blind swap: it races against the
+// successor's own abandonment CAS on the same word, so exactly one of
+// {grant, abandon} wins. An abandoned successor's next link is read before
+// its sReclaimed store is published — the protocol is shared with the
+// simulator substrate, where the owner thread reuses its node the moment it
+// observes the reclaimed store, and a reused node's link would point into a
+// different part of the queue.
+func (l *shflState) passHead(pol shuffle.Policy, blocking, roleMine bool, n *qnode) bool {
+	cur := n
+	var relayed *qnode
+	for {
+		next := cur.next.Load()
+		if next == nil {
+			if l.tail.CompareAndSwap(cur, nil) {
+				if !blocking {
+					l.clearNoSteal()
+				}
+				putNode(n)
+				return false
+			}
+			for next = cur.next.Load(); next == nil; next = cur.next.Load() {
+				runtime.Gosched()
+			}
+		}
+		st := next.status.Load()
+		if st == sAbandoned {
+			nn := next.next.Load()
+			if nn == nil {
+				// Abandoned tail: retire it with the same tail CAS an empty
+				// queue gets; on failure a joiner is mid-link — wait it out.
+				if l.tail.CompareAndSwap(next, nil) {
+					next.status.Store(sReclaimed)
+					if p := l.probe; p != nil {
+						p.Reclaim()
+					}
+					if !blocking {
+						l.clearNoSteal()
+					}
+					putNode(n)
+					return false
+				}
+				for nn = next.next.Load(); nn == nil; nn = next.next.Load() {
+					runtime.Gosched()
+				}
+			}
+			next.status.Store(sReclaimed)
+			if p := l.probe; p != nil {
+				p.Reclaim()
+			}
+			cur = next
+			continue
+		}
+		// Relay a still-held shuffler role (and scan frontier) to the
+		// successor — once per candidate, before the grant: after it the
+		// successor may leave the queue at any moment.
+		if next != relayed && pol.PassRole() && (roleMine || n.shuffler.Load() != 0) {
+			if pol.UseHint() {
+				if h := n.lastHint.Load(); h != nil && h != next && h != n {
+					next.lastHint.Store(h)
+				}
+			}
+			if o := shflOracle.Load(); o != nil && o.handoff != nil {
+				o.handoff(n, next, true)
+			}
+			next.shuffler.Store(1)
+			relayed = next
+		}
+		if next.status.CompareAndSwap(st, sReady) {
+			if blocking && st == sParked {
+				next.wakeNode()
+				if p := l.probe; p != nil {
+					p.Unpark(true)
+				}
+			}
+			putNode(n)
+			return true
+		}
+		// The successor's status moved under the grant (a shuffler's
+		// spinning mark, a park, or an abandonment): reload and redecide.
 	}
 }
 
@@ -207,14 +299,23 @@ func (l *shflState) clearNoSteal() {
 
 // spinUntilVeryNextWaiter links behind prev and waits for head status,
 // shuffling when handed the role and parking after the spin budget in the
-// blocking variant.
-func (l *shflState) spinUntilVeryNextWaiter(pol shuffle.Policy, blocking bool, prev, n *qnode) {
+// blocking variant. With a non-nil aborter it returns false if the wait
+// expired first; the node is then marked sAbandoned and stays in the queue
+// for a reclaimer.
+func (l *shflState) spinUntilVeryNextWaiter(pol shuffle.Policy, blocking bool, prev, n *qnode, a *aborter) bool {
 	prev.next.Store(n)
 	spins := 0
 	for {
 		v := n.status.Load()
 		if v == sReady {
-			return
+			return true
+		}
+		if a != nil && spins&7 == 0 && a.expired() {
+			if l.abandon(n) {
+				return false
+			}
+			// Lost the race to a concurrent grant: we are the head now.
+			continue
 		}
 		if n.shuffler.Load() != 0 {
 			shuffle.Run(coreSub{l: l, self: n, pol: pol}, pol, n,
@@ -230,9 +331,24 @@ func (l *shflState) spinUntilVeryNextWaiter(pol shuffle.Policy, blocking bool, p
 				if p := l.probe; p != nil {
 					p.Park()
 				}
-				n.parkSelf()
+				n.parkAbortable(a)
 			}
 			spins = 0
+		}
+	}
+}
+
+// abandon CASes the waiter's status from any waiting state to sAbandoned.
+// It fails (returns false) only when a granter won the race and the node is
+// already the queue head — the caller must then proceed as head.
+func (l *shflState) abandon(n *qnode) bool {
+	for {
+		v := n.status.Load()
+		if v == sReady {
+			return false
+		}
+		if n.status.CompareAndSwap(v, sAbandoned) {
+			return true
 		}
 	}
 }

@@ -38,6 +38,17 @@ func (s coreSub) Prio(n *qnode) uint64   { return n.prio }
 func (s coreSub) LockByteFree() bool     { return s.l.glock.Load()&0xff == 0 }
 func (s coreSub) SetSpinning(n *qnode)   { s.l.setSpinning(n) }
 
+func (s coreSub) MayAbort() bool { return s.l.mayAbort.Load() }
+
+func (s coreSub) Reclaim(n *qnode) {
+	// The node is left to the garbage collector — stale references (a
+	// predecessor's next link, a forwarded hint) may still name it, so it
+	// can never re-enter the pool.
+	if p := s.l.probe; p != nil {
+		p.Reclaim()
+	}
+}
+
 func (s coreSub) RoundStart(*qnode) {}
 func (s coreSub) RoleTaken(*qnode)  {}
 func (s coreSub) RoundAbort(*qnode) {}

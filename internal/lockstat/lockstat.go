@@ -148,6 +148,8 @@ type Site struct {
 	shufScan   atomic.Uint64 // queue nodes examined by shufflers
 	shufMoves  atomic.Uint64 // queue nodes relocated by shufflers
 	reads      atomic.Uint64 // read-side acquisitions (RW locks)
+	aborts     atomic.Uint64 // abortable acquisitions that gave up
+	reclaims   atomic.Uint64 // abandoned queue nodes unlinked
 	holdTick   atomic.Uint64 // hold-sampling counter
 
 	// pmu guards the policy map structure; the per-policy counters inside
@@ -225,6 +227,8 @@ func (s *Site) reset() {
 	s.shufScan.Store(0)
 	s.shufMoves.Store(0)
 	s.reads.Store(0)
+	s.aborts.Store(0)
+	s.reclaims.Store(0)
 	s.holdTick.Store(0)
 	s.pmu.Lock()
 	s.policies = nil
@@ -268,6 +272,8 @@ func (s *Site) Report() Report {
 		Shuffles:       s.shuffles.Load(),
 		ShuffleScanned: s.shufScan.Load(),
 		ShuffleMoves:   s.shufMoves.Load(),
+		Aborts:         s.aborts.Load(),
+		Reclaims:       s.reclaims.Load(),
 		Policies:       pols,
 		Wait:           s.wait.Snapshot(),
 		Hold:           s.hold.Snapshot(),
@@ -311,6 +317,18 @@ func (p siteProbe) Unpark(inCS bool) {
 	p.s.unparks.Add(1)
 	if inCS {
 		p.s.unparksCS.Add(1)
+	}
+}
+
+func (p siteProbe) Abort() {
+	if p.on() {
+		p.s.aborts.Add(1)
+	}
+}
+
+func (p siteProbe) Reclaim() {
+	if p.on() {
+		p.s.reclaims.Add(1)
 	}
 }
 

@@ -33,6 +33,12 @@ type Report struct {
 	ShuffleScanned uint64 `json:"shuffle_scanned,omitempty"`
 	ShuffleMoves   uint64 `json:"shuffle_moves,omitempty"`
 
+	// Aborts counts abortable acquisitions (LockTimeout/LockContext or the
+	// simulator's budgeted acquisitions) that gave up; Reclaims counts
+	// abandoned queue nodes unlinked by shufflers or grant walks.
+	Aborts   uint64 `json:"aborts,omitempty"`
+	Reclaims uint64 `json:"reclaims,omitempty"`
+
 	// Policies breaks the shuffle counters down by the shuffling policy
 	// that drove each round (native substrate only; the simulator's
 	// counters are per-lock, and a simulated lock runs a single policy).
@@ -97,6 +103,8 @@ func FromSimCounters(name string, c *simlocks.Counters) Report {
 		Shuffles:       c.Shuffles,
 		ShuffleScanned: c.ShuffleScanned,
 		ShuffleMoves:   c.ShuffleMoves,
+		Aborts:         c.Aborts,
+		Reclaims:       c.Reclaims,
 		DynamicAllocs:  c.DynamicAllocs,
 	}
 }
@@ -118,6 +126,8 @@ func FromExtra(name string, extra map[string]float64) Report {
 		Shuffles:       u("shuffles"),
 		ShuffleScanned: u("shuffle_scanned"),
 		ShuffleMoves:   u("shuffle_moves"),
+		Aborts:         u("aborts"),
+		Reclaims:       u("reclaims"),
 		DynamicAllocs:  u("dynamic_allocs"),
 	}
 }
@@ -147,6 +157,9 @@ func WriteText(w io.Writer, reps []Report) {
 		}
 		if r.Shuffles > 0 {
 			fmt.Fprintf(w, "    shuffle: scanned=%d moved=%d\n", r.ShuffleScanned, r.ShuffleMoves)
+		}
+		if r.Aborts > 0 || r.Reclaims > 0 {
+			fmt.Fprintf(w, "    aborts=%d reclaims=%d\n", r.Aborts, r.Reclaims)
 		}
 		if len(r.Policies) > 0 {
 			names := make([]string, 0, len(r.Policies))

@@ -26,6 +26,18 @@ const (
 	StatusReady    uint64 = 1 // head of the queue: go take the TAS lock
 	StatusParked   uint64 = 2 // descheduled; must be woken
 	StatusSpinning uint64 = 3 // marked by a shuffler: keep spinning
+
+	// StatusAbandoned marks a node whose waiter gave up the acquisition
+	// (timeout or context cancellation, the MCSTP idea). The waiter CASes
+	// its own status to this value and leaves; the node stays linked until
+	// a shuffling round or the queue head's grant walk unlinks it.
+	StatusAbandoned uint64 = 4
+	// StatusReclaimed is the terminal state of an abandoned node: whoever
+	// unlinked it stores this value, after which no queue participant holds
+	// a reference. On the simulator this is the owner's signal that its
+	// per-thread node may be reused; on the native substrate the node is
+	// simply left to the garbage collector.
+	StatusReclaimed uint64 = 5
 )
 
 // MaxShuffles caps how many waiters one policy group may batch before the
@@ -92,6 +104,16 @@ type Substrate[N comparable] interface {
 	// it if parked (the Figure 6 wakeup policy, off the critical path).
 	SetSpinning(n N)
 
+	// MayAbort reports whether any waiter on this lock has ever started an
+	// abortable acquisition. It gates the abandoned-node handling in the
+	// scan: while false, Run issues exactly the charged accesses of the
+	// original pseudocode, so abort-free simulated runs stay byte-identical
+	// to builds without the abort protocol. Never a charged access.
+	MayAbort() bool
+	// Reclaim reports an abandoned node being unlinked by the scan, after
+	// its status was set to StatusReclaimed. Bookkeeping only.
+	Reclaim(n N)
+
 	// RoundStart reports a shuffling round being attempted (counted even
 	// if the batch budget then aborts it).
 	RoundStart(n N)
@@ -152,6 +174,8 @@ type Result struct {
 	// Scanned, Marked and Moved count examined nodes, nodes marked into a
 	// contiguous chain, and nodes relocated behind the chain.
 	Scanned, Marked, Moved int
+	// Reclaimed counts abandoned nodes the scan unlinked from the queue.
+	Reclaimed int
 }
 
 // Run executes one shuffling round for shuffler node n: walk the waiter
@@ -207,8 +231,9 @@ func Run[N comparable, S Substrate[N]](s S, p Policy, n N, in Input) Result {
 		}
 	}
 
-	scanned, marked, moved := 0, 0, 0
+	scanned, marked, moved, reclaimed := 0, 0, 0, 0
 	wake := p.WakeGrouped(in.Blocking)
+	mayAbort := s.MayAbort()
 	ctx := matchCtx[N, S]{sub: s, shuffler: n}
 	for {
 		qcurr := s.LoadNext(qprev)
@@ -232,7 +257,26 @@ func Run[N comparable, S Substrate[N]](s S, p Policy, n N, in Input) Result {
 		}
 		scanned++
 		ctx.candidate = qcurr
-		if p.Match(&ctx) {
+		if mayAbort && s.LoadStatus(qcurr) == StatusAbandoned {
+			// Unlink the corpse so later scans and the grant walk get a
+			// shorter queue. A nil successor means qcurr is the tail — leave
+			// it alone, a joiner may be mid-link behind it; the grant walk
+			// will retire it with a tail CAS. The successor link must be
+			// read before StatusReclaimed is published: the reclaimed store
+			// frees the owner to reuse the node, and a reused node's link
+			// points into a different part of the queue.
+			qnext := s.LoadNext(qcurr)
+			if qnext == nilN {
+				in.Trace.add("tail-stop abandoned %d", s.DebugID(qcurr))
+				break
+			}
+			s.StoreNext(qprev, qnext)
+			s.StoreStatus(qcurr, StatusReclaimed)
+			s.Reclaim(qcurr)
+			reclaimed++
+			in.Trace.add("reclaim %d", s.DebugID(qcurr))
+			// qprev is unchanged: the spliced-in successor is examined next.
+		} else if p.Match(&ctx) {
 			// The contiguous case applies only when qcurr directly follows
 			// the shuffled chain; with +qlast scan resumption it must be
 			// the chain end itself, or the marked chain would fragment and
@@ -291,7 +335,7 @@ func Run[N comparable, S Substrate[N]](s S, p Policy, n N, in Input) Result {
 	// The round is over before the role moves on: report it first, so
 	// rounds observably never overlap (invariant 2).
 	s.RoundEnd(n, scanned, moved, marked)
-	res := Result{Scanned: scanned, Marked: marked, Moved: moved}
+	res := Result{Scanned: scanned, Marked: marked, Moved: moved, Reclaimed: reclaimed}
 	if qlast == n {
 		// No group member found yet: the role stays with the shuffler,
 		// resuming the scan where it stopped. A waiting (non-head)

@@ -19,11 +19,14 @@ type tnode struct {
 
 // tsub backs the engine with plain field accesses. lockFree mirrors the TAS
 // byte (true lets a VNext round exit early); selfScans counts stale-hint
-// events.
+// events; mayAbort arms the abandoned-node scan handling and reclaimed
+// collects the nodes it unlinks.
 type tsub struct {
 	self      *tnode
 	lockFree  bool
 	selfScans int
+	mayAbort  bool
+	reclaimed []*tnode
 }
 
 func (s *tsub) LoadNext(n *tnode) *tnode       { return n.next }
@@ -50,6 +53,9 @@ func (s *tsub) SetSpinning(n *tnode) {
 		n.status = StatusSpinning
 	}
 }
+
+func (s *tsub) MayAbort() bool   { return s.mayAbort }
+func (s *tsub) Reclaim(n *tnode) { s.reclaimed = append(s.reclaimed, n) }
 
 func (s *tsub) RoundStart(*tnode)                {}
 func (s *tsub) RoleTaken(*tnode)                 {}
@@ -109,6 +115,15 @@ func TestRunPreservesQueueIntegrity(t *testing.T) {
 				nodes[i-1].next = nodes[i]
 			}
 		}
+		mayAbort := rng.Intn(3) == 0
+		if mayAbort {
+			// Waiters (never the shuffler) may have abandoned already.
+			for _, n := range nodes[1:] {
+				if rng.Intn(3) == 0 {
+					n.status = StatusAbandoned
+				}
+			}
+		}
 		var pol Policy
 		if rng.Intn(3) == 0 {
 			pol = &chaosPolicy{
@@ -124,15 +139,35 @@ func TestRunPreservesQueueIntegrity(t *testing.T) {
 		if pol.UseHint() && k >= 2 && rng.Intn(2) == 0 {
 			nodes[0].hint = nodes[1+rng.Intn(k)]
 		}
-		sub := &tsub{self: nodes[0], lockFree: rng.Intn(8) == 0}
+		sub := &tsub{self: nodes[0], lockFree: rng.Intn(8) == 0, mayAbort: mayAbort}
 		in := Input{Blocking: rng.Intn(2) == 0, VNext: rng.Intn(2) == 0, FromRole: true}
 		res := Run[*tnode, *tsub](sub, pol, nodes[0], in)
 
+		// A reclaimed node legitimately leaves the queue; everything else
+		// must remain reachable exactly once.
+		gone := make(map[*tnode]bool, len(sub.reclaimed))
+		for _, n := range sub.reclaimed {
+			if gone[n] {
+				t.Fatalf("iter %d: node %d reclaimed twice", iter, n.id)
+			}
+			if n.status != StatusReclaimed {
+				t.Fatalf("iter %d: reclaimed node %d left in status %d", iter, n.id, n.status)
+			}
+			gone[n] = true
+		}
+		if len(sub.reclaimed) != res.Reclaimed {
+			t.Fatalf("iter %d: Reclaim hook fired %d times, Result says %d",
+				iter, len(sub.reclaimed), res.Reclaimed)
+		}
+		want := len(nodes) - len(gone)
 		seen := make(map[*tnode]bool, len(nodes))
 		count := 0
 		for n := nodes[0]; n != nil; n = n.next {
 			if seen[n] {
 				t.Fatalf("iter %d: node %d reached twice (queue cycle)", iter, n.id)
+			}
+			if gone[n] {
+				t.Fatalf("iter %d: reclaimed node %d still linked", iter, n.id)
 			}
 			seen[n] = true
 			count++
@@ -140,11 +175,11 @@ func TestRunPreservesQueueIntegrity(t *testing.T) {
 				t.Fatalf("iter %d: queue longer than its %d nodes", iter, len(nodes))
 			}
 		}
-		if count != len(nodes) {
-			t.Fatalf("iter %d: queue has %d nodes, want %d (waiter dropped)", iter, count, len(nodes))
+		if count != want {
+			t.Fatalf("iter %d: queue has %d nodes, want %d (waiter dropped)", iter, count, want)
 		}
 		for _, n := range nodes {
-			if !seen[n] {
+			if !seen[n] && !gone[n] {
 				t.Fatalf("iter %d: node %d no longer reachable", iter, n.id)
 			}
 		}
@@ -182,6 +217,43 @@ func TestStaleHintSelfScan(t *testing.T) {
 	}
 	if res.Scanned != 0 || res.Moved != 0 || res.Marked != 0 {
 		t.Fatalf("stale-hint round claims work: %+v", res)
+	}
+}
+
+// TestScanReclaimsAbandoned: with abort handling armed, a round unlinks an
+// abandoned interior node (publishing StatusReclaimed) but must leave an
+// abandoned tail alone — a joiner may still be linking behind it.
+func TestScanReclaimsAbandoned(t *testing.T) {
+	n := &tnode{id: 1}
+	dead := &tnode{id: 2, status: StatusAbandoned}
+	live := &tnode{id: 3, socket: 0}
+	tailDead := &tnode{id: 4, status: StatusAbandoned}
+	n.next, dead.next, live.next = dead, live, tailDead
+
+	sub := &tsub{self: n, mayAbort: true}
+	res := Run[*tnode, *tsub](sub, NUMA(), n, Input{FromRole: true})
+	if res.Reclaimed != 1 || len(sub.reclaimed) != 1 || sub.reclaimed[0] != dead {
+		t.Fatalf("interior abandoned node not reclaimed: %+v %v", res, sub.reclaimed)
+	}
+	if dead.status != StatusReclaimed {
+		t.Fatalf("reclaimed node left in status %d", dead.status)
+	}
+	if n.next != live {
+		t.Fatalf("queue not relinked past the corpse")
+	}
+	if live.next != tailDead || tailDead.status != StatusAbandoned {
+		t.Fatalf("abandoned tail was touched (status %d)", tailDead.status)
+	}
+
+	// The same queue without abort handling armed: the corpse is scanned
+	// like any waiter and the charged-access sequence is unchanged.
+	n2 := &tnode{id: 1}
+	d2 := &tnode{id: 2, status: StatusAbandoned}
+	n2.next = d2
+	sub2 := &tsub{self: n2}
+	res2 := Run[*tnode, *tsub](sub2, NUMA(), n2, Input{FromRole: true})
+	if res2.Reclaimed != 0 || n2.next != d2 {
+		t.Fatalf("abort handling ran while disarmed: %+v", res2)
 	}
 }
 

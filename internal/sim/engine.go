@@ -105,6 +105,11 @@ type Engine struct {
 	fast     bool // direct time advance + direct handoff enabled
 	rng      *rand.Rand
 
+	// injector, when non-nil, receives fault-injection queries (chaos runs).
+	injector Injector
+	// abortReason is set by Abort when a watchdog ends the run early.
+	abortReason string
+
 	// Counters of scheduler activity, reported by experiments.
 	Preemptions uint64
 	CtxSwitches uint64
@@ -275,6 +280,17 @@ func (e *Engine) schedule(self *Thread) *Thread {
 		case evWake:
 			t := ev.t
 			if t.epoch != ev.epoch || t.state != tsWaking {
+				continue
+			}
+			if next := e.makeRunnable(t, self); next != nil {
+				return next
+			}
+		case evTimerWake:
+			// A park timeout or injected spurious wakeup: wake the thread
+			// without an unpark permit. Stale once the thread was properly
+			// unparked (epoch moved) or is no longer parked.
+			t := ev.t
+			if t.epoch != ev.epoch || t.state != tsParked {
 				continue
 			}
 			if next := e.makeRunnable(t, self); next != nil {

@@ -15,6 +15,10 @@ const (
 	evWake
 	// evStop sets the engine's stop flag; workloads poll Thread.Stopped.
 	evStop
+	// evTimerWake wakes a parked thread without an unpark permit: a park
+	// timeout (ParkTimeout) or an injected spurious wakeup. Stale if the
+	// thread's epoch moved or it is no longer parked.
+	evTimerWake
 )
 
 func (k eventKind) String() string {
@@ -27,6 +31,8 @@ func (k eventKind) String() string {
 		return "wake"
 	case evStop:
 		return "stop"
+	case evTimerWake:
+		return "timer-wake"
 	}
 	return "?"
 }

@@ -1,0 +1,50 @@
+package sim
+
+// Injector receives fault-injection queries from inside the engine's
+// primitives and the lock substrates. The queries run in thread context —
+// exactly one thread executes at a time — so an implementation drawing from
+// a seeded random source stays deterministic: the same seed replays the
+// same fault schedule. A nil injector (the default) turns every hook into a
+// single branch.
+//
+// Injector decisions are engine metadata: they must not touch simulated
+// memory. Their observable effect is only through the scheduling they force
+// (a yield, a timer wake), which the cost model charges normally.
+type Injector interface {
+	// SpuriousWakeDelay is consulted when t commits to park. A non-zero
+	// return arms a timer wake that many cycles later without an unpark
+	// permit — the simulator's futex spurious wakeup. Park's callers
+	// re-check their condition, so the wake costs one loop iteration.
+	SpuriousWakeDelay(t *Thread) uint64
+	// ShufflerPreempt is consulted by lock substrates at the point a
+	// shuffling round consumes the shuffler role; true forces the thread to
+	// yield the CPU first, modelling the shuffler being descheduled at its
+	// most load-bearing moment.
+	ShufflerPreempt(t *Thread) bool
+}
+
+// SetInjector installs a fault injector. Install before Run.
+func (e *Engine) SetInjector(i Injector) { e.injector = i }
+
+// Injector returns the installed fault injector, or nil.
+func (e *Engine) Injector() Injector { return e.injector }
+
+// Abort ends the run from inside a thread: Run returns immediately with the
+// given reason recorded, leaving every other thread frozen where it stands.
+// This is the escape hatch for watchdogs that detect a deadlock or
+// starvation the simulation would otherwise hang on — the frozen state is
+// exactly what Dump then reports. The calling thread must not execute any
+// further engine operations; it should block forever (select{}).
+func (e *Engine) Abort(reason string) {
+	e.abortReason = reason
+	e.stopped = true
+	e.done <- struct{}{}
+}
+
+// AbortReason returns the reason passed to Abort, or "" for a normal run.
+func (e *Engine) AbortReason() string { return e.abortReason }
+
+// Dump renders the scheduler state — live threads, per-core run queues,
+// pending events — for watchdog reports and tooling. Deterministic for a
+// given schedule.
+func (e *Engine) Dump() string { return e.dump() }

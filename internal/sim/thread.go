@@ -263,6 +263,43 @@ func (t *Thread) Park() {
 	t.state = tsParked
 	t.epoch++
 	t.needResched = false
+	if inj := e.injector; inj != nil {
+		if d := inj.SpuriousWakeDelay(t); d > 0 {
+			e.push(event{at: e.now + d, kind: evTimerWake, t: t, epoch: t.epoch})
+		}
+	}
+	e.CtxSwitches++
+	if t.tryHandoff() == nil {
+		t.cpu.dispatchNext(e)
+		t.block()
+	}
+}
+
+// ParkTimeout parks like Park but additionally wakes after at most the
+// given number of cycles (futex wait with a timeout). The caller cannot
+// distinguish a timeout from a wakeup — like Park, returns may be spurious
+// and the surrounding loop must re-check its condition.
+func (t *Thread) ParkTimeout(cycles uint64) {
+	e := t.eng
+	e.ParkCount++
+	if t.permit {
+		t.permit = false
+		return
+	}
+	t.charge(e.costs.ParkCost)
+	if t.permit { // an Unpark arrived while we were descheduling
+		t.permit = false
+		return
+	}
+	t.state = tsParked
+	t.epoch++
+	t.needResched = false
+	e.push(event{at: e.now + cycles, kind: evTimerWake, t: t, epoch: t.epoch})
+	if inj := e.injector; inj != nil {
+		if d := inj.SpuriousWakeDelay(t); d > 0 && d < cycles {
+			e.push(event{at: e.now + d, kind: evTimerWake, t: t, epoch: t.epoch})
+		}
+	}
 	e.CtxSwitches++
 	if t.tryHandoff() == nil {
 		t.cpu.dispatchNext(e)

@@ -83,6 +83,8 @@ type Counters struct {
 	WakeupsInCS           uint64 // wakeups issued by a lock holder inside the critical path
 	WakeupsOffCS          uint64 // wakeups issued off the critical path (by shufflers/waiters)
 	Parks                 uint64 // waiters that parked
+	Aborts                uint64 // abortable acquisitions that gave up (LockAbort)
+	Reclaims              uint64 // abandoned queue nodes unlinked by shufflers or grant walks
 	DynamicAllocs         uint64 // runtime allocations (CST snode, heap queue nodes)
 	DynamicAllocatedBytes uint64
 }

@@ -10,10 +10,12 @@ import (
 // ShflLock queue-node status values are shuffle.Status*; these aliases keep
 // the lock code close to the paper's pseudocode (Figures 4 and 6).
 const (
-	sWaiting  = shuffle.StatusWaiting
-	sReady    = shuffle.StatusReady
-	sParked   = shuffle.StatusParked
-	sSpinning = shuffle.StatusSpinning
+	sWaiting   = shuffle.StatusWaiting
+	sReady     = shuffle.StatusReady
+	sParked    = shuffle.StatusParked
+	sSpinning  = shuffle.StatusSpinning
+	sAbandoned = shuffle.StatusAbandoned
+	sReclaimed = shuffle.StatusReclaimed
 )
 
 // ShflLock queue-node field offsets.
@@ -37,6 +39,11 @@ const (
 // shufflePoll paces a shuffler's retry loop while it has not yet found a
 // group-member successor (the real implementation busy-polls the queue).
 const shufflePoll = 300
+
+// abortPoll paces an abortable waiter's deadline checks: bounded Delay
+// slices instead of open-ended watch-waits, so a waiter never sleeps
+// through its own deadline.
+const abortPoll = 300
 
 // ShflLock is the paper's lock: a TAS lock guarding the critical section
 // plus an MCS-style waiter queue whose *waiters* reorder it (shuffling)
@@ -79,6 +86,15 @@ type ShflLock struct {
 	roleOracle bool
 	roleHolder uint64
 	cnt        Counters
+
+	// mayAbort latches on the first LockAbort and switches the grant and
+	// scan paths to the abandonment-aware protocol. Engine metadata, never
+	// charged: abort-free runs keep their exact memory-access sequence.
+	mayAbort bool
+	// limbo records threads whose abandoned node is still linked in the
+	// queue; their next acquisition must wait for the sReclaimed handshake
+	// before reusing it (the MCS-TP timeout protocol's reclamation rule).
+	limbo map[int]bool
 }
 
 // NewShflLockNB creates the non-blocking ShflLock with all optimizations.
@@ -115,7 +131,10 @@ func (l *ShflLock) Stats() *Counters { return &l.cnt }
 // giveRole is the single point where the shuffler flag is set; the oracle
 // asserts role uniqueness.
 func (l *ShflLock) giveRole(t *sim.Thread, to uint64) {
-	if l.roleOracle {
+	// The uniqueness assertion only holds abort-free: an abandoning waiter
+	// can leave the role stranded on its corpse, where it dies at
+	// reclamation, so a fresh round can legitimately start alongside it.
+	if l.roleOracle && !l.mayAbort {
 		if l.roleHolder != 0 && l.roleHolder != to && l.roleHolder != handle(t) {
 			panic(fmt.Sprintf("shfllock: duplicate role: T%d gives role to T%d while T%d holds it",
 				t.ID(), to-1, l.roleHolder-1))
@@ -127,7 +146,7 @@ func (l *ShflLock) giveRole(t *sim.Thread, to uint64) {
 
 // takeRole is called at shuffle start when the flag is consumed.
 func (l *ShflLock) takeRole(t *sim.Thread) {
-	if l.roleOracle {
+	if l.roleOracle && !l.mayAbort {
 		if l.roleHolder != 0 && l.roleHolder != handle(t) {
 			panic(fmt.Sprintf("shfllock: T%d shuffles but role is at T%d", t.ID(), l.roleHolder-1))
 		}
@@ -166,6 +185,14 @@ func (l *ShflLock) Lock(t *sim.Thread) {
 	if l.trySteal(t) {
 		l.cnt.Acquires++
 		return
+	}
+	if l.mayAbort && l.limbo[t.ID()] {
+		// Our abandoned node from an earlier timed-out attempt is still
+		// queued; wait for a reclaimer to publish sReclaimed before reusing
+		// it. (Stealing above needs no node, so it works even in limbo.)
+		st := l.nodes.get(t)[shStatus]
+		t.SpinUntil(st, func(v uint64) bool { return v == sReclaimed })
+		delete(l.limbo, t.ID())
 	}
 
 	// Join the waiter queue; the qnode lives on the waiter's stack.
@@ -224,66 +251,312 @@ func (l *ShflLock) Lock(t *sim.Thread) {
 		t.Store(l.lastSocket, uint64(t.Socket())+1)
 	}
 
-	// MCS unlock phase, moved to the acquire side (lock-state decoupling):
-	// release the queue node before entering the critical section.
+	l.passHead(t, n, roleMine)
+	l.cnt.Acquires++
+}
+
+// passHead is the MCS unlock phase, moved to the acquire side (lock-state
+// decoupling): release the queue node before entering the critical section.
+// It is also the abdication path — an abortable head that runs out of
+// budget calls it without ever taking the TAS lock.
+//
+// While no LockAbort has ever run, this is the exact original epilogue —
+// same simulated accesses in the same order, so abort-free runs are
+// byte-identical. Once mayAbort latches, the successor walk skips and
+// reclaims abandoned nodes and grants by CAS, so a grant cannot race an
+// abandonment: for each candidate exactly one of {grant, abandon} wins.
+func (l *ShflLock) passHead(t *sim.Thread, n []sim.Word, roleMine bool) {
+	if !l.mayAbort {
+		next := t.Load(n[shNext])
+		if next == 0 {
+			if t.CAS(l.tail, handle(t), 0) {
+				// The queue is empty: if we still held the shuffler role it
+				// dies with the queue.
+				if l.roleOracle && l.roleHolder == handle(t) {
+					l.roleHolder = 0
+				}
+				if !l.Blocking {
+					// Re-enable stealing now that the queue is empty.
+					x := t.Load(l.glock)
+					if x&shNoSteal != 0 {
+						t.CAS(l.glock, x, x&^uint64(shNoSteal))
+					}
+				}
+				return
+			}
+			next = t.SpinUntil(n[shNext], func(v uint64) bool { return v != 0 })
+		}
+		if next == handle(t) {
+			panic(fmt.Sprintf("shfllock: T%d granting itself", t.ID()))
+		}
+		// If we still hold the shuffler role (our scan never found a group
+		// member), relay it — with the scan frontier — to our successor, so
+		// traversal resumes near where it stopped instead of restarting
+		// (invariant 4: a shuffler may pass the role to one of its
+		// successors; this is what makes +qlast "traverse mostly from the
+		// near end of the tail"). These stores happen while we hold the TAS
+		// lock, off the handoff path.
+		if l.Policy.PassRole() && (roleMine || l.e.Mem().Peek(n[shShuffler]) != 0) {
+			if l.Policy.UseHint() {
+				// Forward the frontier only if it names a node that is still
+				// queued behind the recipient: not the recipient, and not
+				// ourselves (we are about to leave the queue).
+				if h := t.Load(n[shLastHint]); h != 0 && h != next && h != handle(t) {
+					t.Store(l.node(next)[shLastHint], h)
+				}
+			}
+			l.giveRole(t, next)
+		} else if l.roleOracle && l.roleHolder == handle(t) {
+			// Leaving the queue while holding the role without relaying it
+			// (PassRole disabled, or the role was never ours): it dies here.
+			l.roleHolder = 0
+		}
+		// Notify the very next waiter that it is now the queue head.
+		if l.Blocking {
+			old := t.Swap(l.node(next)[shStatus], sReady)
+			if old == sParked {
+				// Rare thanks to the Figure 7 optimization; this is the
+				// wakeup-inside-the-critical-path that Figure 11(f) counts.
+				l.cnt.WakeupsInCS++
+				t.Unpark(threadOf(l.e, next))
+			}
+		} else {
+			t.Store(l.node(next)[shStatus], sReady)
+		}
+		return
+	}
+
+	// Abandonment-aware walk. The successor handle is carried in `next`
+	// rather than re-read through reclaimed nodes: a corpse's outgoing link
+	// is read exactly once, BEFORE publishing sReclaimed, because the owner
+	// reuses (re-initializes) the node the moment it observes reclamation.
 	next := t.Load(n[shNext])
 	if next == 0 {
 		if t.CAS(l.tail, handle(t), 0) {
-			// The queue is empty: if we still held the shuffler role it
-			// dies with the queue.
-			if l.roleOracle && l.roleHolder == handle(t) {
-				l.roleHolder = 0
-			}
 			if !l.Blocking {
-				// Re-enable stealing now that the queue is empty.
 				x := t.Load(l.glock)
 				if x&shNoSteal != 0 {
 					t.CAS(l.glock, x, x&^uint64(shNoSteal))
 				}
 			}
-			l.cnt.Acquires++
 			return
 		}
+		// A joiner swapped the tail but has not linked in yet.
 		next = t.SpinUntil(n[shNext], func(v uint64) bool { return v != 0 })
 	}
-	if next == handle(t) {
-		panic(fmt.Sprintf("shfllock: T%d granting itself", t.ID()))
-	}
-	// If we still hold the shuffler role (our scan never found a group
-	// member), relay it — with the scan frontier — to our successor, so
-	// traversal resumes near where it stopped instead of restarting
-	// (invariant 4: a shuffler may pass the role to one of its
-	// successors; this is what makes +qlast "traverse mostly from the
-	// near end of the tail"). These stores happen while we hold the TAS
-	// lock, off the handoff path.
-	if l.Policy.PassRole() && (roleMine || l.e.Mem().Peek(n[shShuffler]) != 0) {
-		if l.Policy.UseHint() {
-			// Forward the frontier only if it names a node that is still
-			// queued behind the recipient: not the recipient, and not
-			// ourselves (we are about to leave the queue).
-			if h := t.Load(n[shLastHint]); h != 0 && h != next && h != handle(t) {
-				t.Store(l.node(next)[shLastHint], h)
+	roleDone := false
+	for {
+		if next == handle(t) {
+			panic(fmt.Sprintf("shfllock: T%d granting itself", t.ID()))
+		}
+		st := t.Load(l.node(next)[shStatus])
+		if st == sAbandoned {
+			nn := t.Load(l.node(next)[shNext])
+			if nn == 0 {
+				// The corpse is the queue tail: retire the whole queue, or
+				// wait for the joiner that just swapped the tail to link in.
+				if t.CAS(l.tail, next, 0) {
+					t.Store(l.node(next)[shStatus], sReclaimed)
+					l.cnt.Reclaims++
+					if !l.Blocking {
+						x := t.Load(l.glock)
+						if x&shNoSteal != 0 {
+							t.CAS(l.glock, x, x&^uint64(shNoSteal))
+						}
+					}
+					return
+				}
+				nn = t.SpinUntil(l.node(next)[shNext], func(v uint64) bool { return v != 0 })
 			}
+			t.Store(l.node(next)[shStatus], sReclaimed)
+			l.cnt.Reclaims++
+			next = nn
+			continue
 		}
-		l.giveRole(t, next)
-	} else if l.roleOracle && l.roleHolder == handle(t) {
-		// Leaving the queue while holding the role without relaying it
-		// (PassRole disabled, or the role was never ours): it dies here.
-		l.roleHolder = 0
+		if !roleDone && l.Policy.PassRole() && (roleMine || l.e.Mem().Peek(n[shShuffler]) != 0) {
+			if l.Policy.UseHint() {
+				if h := t.Load(n[shLastHint]); h != 0 && h != next && h != handle(t) {
+					t.Store(l.node(next)[shLastHint], h)
+				}
+			}
+			l.giveRole(t, next)
+			// If this candidate abandons before our grant lands, the role
+			// dies on its corpse — the cost of an abort, not a protocol
+			// violation (a fresh round starts from the next head).
+			roleDone = true
+		}
+		if t.CAS(l.node(next)[shStatus], st, sReady) {
+			if l.Blocking && st == sParked {
+				l.cnt.WakeupsInCS++
+				t.Unpark(threadOf(l.e, next))
+			}
+			return
+		}
+		// The candidate's status moved underneath us — it abandoned (or a
+		// shuffler changed its state); re-examine it.
 	}
-	// Notify the very next waiter that it is now the queue head.
+}
+
+// LockAbort attempts the acquisition with a budget of virtual cycles — the
+// simulator's mirror of the native LockTimeout, so the cost model covers
+// the abandonment protocol too. It reports whether the lock was acquired;
+// on failure the waiter's node has been abandoned in place (a reclaimer
+// unlinks it later) and the thread enters limbo until then.
+func (l *ShflLock) LockAbort(t *sim.Thread, budget uint64) bool {
+	l.mayAbort = true
+	if l.limbo == nil {
+		l.limbo = make(map[int]bool)
+	}
+	deadline := t.Now() + budget
+	if l.trySteal(t) {
+		l.cnt.Acquires++
+		return true
+	}
+	if l.limbo[t.ID()] && !l.waitReclaimUntil(t, deadline) {
+		// The corpse from a previous attempt is still queued and the budget
+		// ran out before anyone reclaimed it; the node cannot be reused.
+		l.cnt.Aborts++
+		return false
+	}
+
+	n := l.nodes.get(t)
+	t.Store(n[shStatus], sWaiting)
+	t.Store(n[shNext], 0)
+	t.Store(n[shSocket], uint64(t.Socket()))
+	t.Store(n[shBatch], 0)
+	t.Store(n[shShuffler], 0)
+	t.Store(n[shLastHint], 0)
+	if l.prios != nil {
+		t.Store(n[shPrio], l.prios[t.ID()])
+	}
+
+	prev := t.Swap(l.tail, handle(t))
+	if prev != 0 {
+		if !l.spinUntilAbortable(t, prev, n, deadline) {
+			l.limbo[t.ID()] = true
+			l.cnt.Aborts++
+			return false
+		}
+	} else if !l.Blocking {
+		t.FetchOr(l.glock, shNoSteal)
+	}
+
 	if l.Blocking {
-		old := t.Swap(l.node(next)[shStatus], sReady)
-		if old == sParked {
-			// Rare thanks to the Figure 7 optimization; this is the
-			// wakeup-inside-the-critical-path that Figure 11(f) counts.
-			l.cnt.WakeupsInCS++
-			t.Unpark(threadOf(l.e, next))
+		if qnext := t.Load(n[shNext]); qnext != 0 {
+			l.setSpinning(t, qnext, false)
 		}
-	} else {
-		t.Store(l.node(next)[shStatus], sReady)
 	}
+
+	roleMine := false
+	for {
+		if !roleMine && (t.Load(n[shBatch]) == 0 || t.Load(n[shShuffler]) != 0) {
+			roleMine = shuffle.Run(simSub{l, t}, l.Policy, handle(t),
+				shuffle.Input{Blocking: l.Blocking, VNext: true}).Retained
+		}
+		x := t.Load(l.glock)
+		if x&0xff == 0 {
+			if t.CAS(l.glock, x, x|shLocked) {
+				break
+			}
+			continue
+		}
+		now := t.Now()
+		if now >= deadline {
+			// Head abdication: the head cannot abandon its node (nobody is
+			// ahead to reclaim it), so it performs the MCS unlock phase
+			// without ever taking the TAS lock and leaves cleanly.
+			l.passHead(t, n, roleMine)
+			l.cnt.Aborts++
+			return false
+		}
+		// Bounded spin slice instead of WatchWait: an open-ended watch
+		// could sleep through the deadline.
+		step := deadline - now
+		if step > abortPoll {
+			step = abortPoll
+		}
+		t.Delay(step)
+	}
+	if l.StealLocalOnly && l.lastSocket != 0 {
+		t.Store(l.lastSocket, uint64(t.Socket())+1)
+	}
+
+	l.passHead(t, n, roleMine)
 	l.cnt.Acquires++
+	return true
+}
+
+// waitReclaimUntil waits (bounded by deadline) for this thread's abandoned
+// node to be reclaimed, clearing limbo on success.
+func (l *ShflLock) waitReclaimUntil(t *sim.Thread, deadline uint64) bool {
+	st := l.nodes.get(t)[shStatus]
+	for {
+		if t.Load(st) == sReclaimed {
+			delete(l.limbo, t.ID())
+			return true
+		}
+		now := t.Now()
+		if now >= deadline {
+			return false
+		}
+		step := deadline - now
+		if step > abortPoll {
+			step = abortPoll
+		}
+		t.Delay(step)
+	}
+}
+
+// spinUntilAbortable is spinUntilVeryNextWaiter with a deadline: on expiry
+// the waiter abandons its node with a status CAS — exactly one of {grant,
+// abandon} can win — and reports failure. Parking uses ParkTimeout so a
+// sleeping waiter still honours its deadline.
+func (l *ShflLock) spinUntilAbortable(t *sim.Thread, prev uint64, n []sim.Word, deadline uint64) bool {
+	t.Store(l.node(prev)[shNext], handle(t))
+	for {
+		v := t.Load(n[shStatus])
+		if v == sReady {
+			return true
+		}
+		if t.Now() >= deadline {
+			if t.CAS(n[shStatus], v, sAbandoned) {
+				return false
+			}
+			// The status moved underneath the CAS: a grant may have won the
+			// race — re-read and honour it.
+			continue
+		}
+		if t.Load(n[shShuffler]) != 0 {
+			shuffle.Run(simSub{l, t}, l.Policy, handle(t),
+				shuffle.Input{Blocking: l.Blocking, VNext: false, FromRole: true})
+			if t.Load(n[shShuffler]) != 0 {
+				t.Delay(shufflePoll)
+			}
+			continue
+		}
+		if l.Blocking && v == sWaiting && t.NeedResched() {
+			if t.NrRunning() > 1 {
+				if t.CAS(n[shStatus], sWaiting, sParked) {
+					l.cnt.Parks++
+					rem := uint64(1)
+					if now := t.Now(); now < deadline {
+						rem = deadline - now
+					}
+					t.ParkTimeout(rem)
+				}
+				continue
+			}
+			t.Yield()
+			continue
+		}
+		step := deadline - t.Now()
+		if step > abortPoll {
+			step = abortPoll
+		}
+		if step > 0 {
+			t.Delay(step)
+		}
+	}
 }
 
 // Unlock releases the TAS lock with a byte store (Figure 4 spin_unlock).

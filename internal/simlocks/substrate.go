@@ -34,8 +34,24 @@ func (s simSub) Prio(h uint64) uint64   { return s.t.Load(s.l.node(h)[shPrio]) }
 func (s simSub) LockByteFree() bool     { return s.t.Load(s.l.glock)&0xff == 0 }
 func (s simSub) SetSpinning(h uint64)   { s.l.setSpinning(s.t, h, true) }
 
+// MayAbort gates the scan's abandoned-node checks; it is engine metadata
+// (uncharged), so abort-free runs keep their exact memory-access sequence.
+func (s simSub) MayAbort() bool { return s.l.mayAbort }
+
+// Reclaim records an abandoned node unlinked by a shuffling scan. The node
+// itself is left to its owner, which reuses it after observing sReclaimed.
+func (s simSub) Reclaim(uint64) { s.l.cnt.Reclaims++ }
+
 func (s simSub) RoundStart(uint64) { s.l.cnt.Shuffles++ }
-func (s simSub) RoleTaken(uint64)  { s.l.takeRole(s.t) }
+
+func (s simSub) RoleTaken(uint64) {
+	s.l.takeRole(s.t)
+	// Chaos hook: model the shuffler being descheduled at its most
+	// load-bearing moment — right after consuming the role.
+	if inj := s.t.Engine().Injector(); inj != nil && inj.ShufflerPreempt(s.t) {
+		s.t.Yield()
+	}
+}
 
 func (s simSub) RoundAbort(uint64) {
 	if s.l.roleOracle {

@@ -16,6 +16,12 @@
 # results_quick.txt: the harness guarantees identical results whatever the
 # execution order, and the engine guarantees identical results whichever
 # path advances virtual time. This is where both guarantees are enforced.
+#
+# The chaos gates pin the fault-injection layer: a fixed-seed run must be
+# byte-identical across invocations and to the committed golden (with the
+# watchdog quiet), and an injected holder-stall deadlock must fire the
+# watchdog and produce a post-mortem instead of hanging. A short native
+# abort torture closes the loop on the real locks.
 set -eu
 
 cd "$(dirname "$0")"
@@ -63,5 +69,21 @@ echo "slow-path output byte-identical to fast-path"
 echo "== shape gate: diff against committed results_quick.txt"
 diff results_quick.txt /tmp/shflbench-serial.txt
 echo "output byte-identical to committed results_quick.txt"
+
+echo "== chaos gate: fixed-seed fault injection, byte-reproducible"
+go run ./cmd/locktorture -chaos -chaos-seed 42 >/tmp/chaos-a.txt
+go run ./cmd/locktorture -chaos -chaos-seed 42 >/tmp/chaos-b.txt
+diff /tmp/chaos-a.txt /tmp/chaos-b.txt
+diff cmd/locktorture/testdata/chaos_seed42.golden /tmp/chaos-a.txt
+grep -q "watchdog quiet" /tmp/chaos-a.txt
+echo "chaos run byte-identical across invocations and to committed golden"
+
+echo "== chaos gate: watchdog fires on injected holder-stall deadlock"
+go run ./cmd/locktorture -chaos -chaos-seed 42 -chaos-deadlock >/tmp/chaos-deadlock.txt
+grep -q "chaos deadlock detected as expected" /tmp/chaos-deadlock.txt
+echo "watchdog caught the deadlock and produced a post-mortem"
+
+echo "== native abort torture: mutex with timeouts under oversubscription"
+go run ./cmd/locktorture -lock mutex -threads 8 -duration 1s -abort-frac 0.3 -deadline 120s
 
 echo "verify.sh: ALL PASS"
