@@ -1,0 +1,113 @@
+// Command kvserver runs the sharded in-memory KV service
+// (internal/kvserver) over HTTP: every request acquires its shard's lock
+// with a per-request deadline via LockContext, so overload degrades to
+// fast 503s, and /debug/lockstat exposes the per-shard lockstat interval
+// report live. With -lock adaptive (the default) a controller switches
+// each shard between the RW-biased and plain-mutex ShflLocks as its
+// traffic shifts.
+//
+// Usage:
+//
+//	kvserver [-addr 127.0.0.1:8080] [-lock adaptive|shfl-rw|shfl-mutex|sync-rw|sync-mutex]
+//	         [-shards 8] [-req-timeout 25ms] [-preload 100000] [-scan-pace 100us]
+//	         [-ctl-interval 100ms] [-ctl-min-ops 0] [-ctl-home auto] [-port-file path] [-max-runtime 0]
+//
+// The server shuts down cleanly on SIGINT/SIGTERM or after -max-runtime
+// (0 = run forever). -port-file, written after the listener is bound,
+// holds the actual host:port — pass -addr 127.0.0.1:0 and read the file to
+// coordinate with a scripted client (verify.sh does).
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"shfllock/internal/kvserver"
+)
+
+func main() {
+	addr := flag.String("addr", "127.0.0.1:8080", "listen address (host:port, port 0 picks a free one)")
+	lock := flag.String("lock", kvserver.ImplAdaptive, "shard lock: adaptive, shfl-rw, shfl-mutex, sync-rw, sync-mutex")
+	shards := flag.Int("shards", 8, "number of shards")
+	reqTimeout := flag.Duration("req-timeout", 25*time.Millisecond, "per-request lock deadline")
+	preload := flag.Int("preload", 100_000, "keys preloaded at startup (k00000000..)")
+	scanPace := flag.Duration("scan-pace", 100*time.Microsecond, "default inter-entry scan pacing")
+	ctlInterval := flag.Duration("ctl-interval", 100*time.Millisecond, "adaptive controller poll interval")
+	ctlMinOps := flag.Uint64("ctl-min-ops", 0, "min ops per shard per interval before the controller judges (0 = package default)")
+	ctlHome := flag.String("ctl-home", "", "adaptive home lock family: shfl, sync, or empty for auto (sync on a single-P runtime)")
+	portFile := flag.String("port-file", "", "write the bound host:port to this file once listening")
+	maxRuntime := flag.Duration("max-runtime", 0, "exit cleanly after this long (0 = run until signalled)")
+	flag.Parse()
+
+	srv, err := kvserver.New(kvserver.Config{
+		Shards:      *shards,
+		Lock:        *lock,
+		ReqTimeout:  *reqTimeout,
+		PreloadKeys: *preload,
+		ScanPace:    *scanPace,
+		CtlInterval: *ctlInterval,
+		CtlMinOps:   *ctlMinOps,
+		CtlHome:     *ctlHome,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "kvserver:", err)
+		os.Exit(2)
+	}
+	defer srv.Close()
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "kvserver:", err)
+		os.Exit(2)
+	}
+	if *portFile != "" {
+		if err := os.WriteFile(*portFile, []byte(ln.Addr().String()), 0o644); err != nil {
+			fmt.Fprintln(os.Stderr, "kvserver:", err)
+			os.Exit(2)
+		}
+	}
+	fmt.Printf("kvserver: listening on %s (lock=%s shards=%d preload=%d)\n",
+		ln.Addr(), *lock, *shards, *preload)
+
+	hs := &http.Server{Handler: srv.Handler()}
+	errc := make(chan error, 1)
+	go func() { errc <- hs.Serve(ln) }()
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	var timeC <-chan time.Time
+	if *maxRuntime > 0 {
+		timeC = time.After(*maxRuntime)
+	}
+	select {
+	case s := <-sig:
+		fmt.Printf("kvserver: %v, shutting down\n", s)
+	case <-timeC:
+		fmt.Println("kvserver: max runtime reached, shutting down")
+	case err := <-errc:
+		if !errors.Is(err, http.ErrServerClosed) {
+			fmt.Fprintln(os.Stderr, "kvserver:", err)
+			os.Exit(1)
+		}
+		return
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := hs.Shutdown(ctx); err != nil {
+		fmt.Fprintln(os.Stderr, "kvserver: shutdown:", err)
+		os.Exit(1)
+	}
+	if v := srv.Violations(); v != 0 {
+		fmt.Fprintf(os.Stderr, "kvserver: %d mutual-exclusion violations\n", v)
+		os.Exit(1)
+	}
+	fmt.Println("kvserver: bye")
+}

@@ -1,6 +1,12 @@
-// KVStore example: the Figure 12 scenario. A LevelDB-style database whose
-// Get operations contend on the global database mutex, compared across
-// userspace lock algorithms at increasing thread counts.
+// KVStore example: the Figure 12 scenario, reproduced on the *simulated*
+// substrate (internal/kvstore + the deterministic engine). A LevelDB-style
+// database whose Get operations contend on the global database mutex,
+// compared across userspace lock algorithms at increasing simulated thread
+// counts — no real concurrency, no wall-clock time, fully reproducible.
+//
+// For the *networked* sibling — a real HTTP KV service with native locks,
+// per-request deadlines, and adaptive lock switching — see
+// examples/kvserver and internal/kvserver.
 package main
 
 import (

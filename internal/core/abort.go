@@ -2,7 +2,6 @@ package core
 
 import (
 	"context"
-	"runtime"
 	"time"
 )
 
@@ -124,12 +123,82 @@ func (l *RWMutex) LockContext(ctx context.Context) error {
 	return context.Cause(ctx)
 }
 
+// RLockTimeout acquires a read share unless d elapses first; it reports
+// whether the share was acquired. The contended path queues on the internal
+// ordering mutex with the same MCSTP-style abandonment as LockTimeout; an
+// expiry while waiting out an active writer backs the announced read share
+// out completely.
+func (l *RWMutex) RLockTimeout(d time.Duration) bool {
+	if l.tryRFast() {
+		return true
+	}
+	if d <= 0 {
+		return false
+	}
+	return l.rlockAbortable(&aborter{deadline: time.Now().Add(d)})
+}
+
+// RLockContext acquires a read share unless ctx is cancelled first. It
+// returns nil once the share is held, or the context's cancellation cause.
+// This is the read side of the per-request deadline path: a service thread
+// doing a read-mostly operation under a request deadline leaves the reader
+// queue cleanly instead of piling onto a stalled writer.
+func (l *RWMutex) RLockContext(ctx context.Context) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	if l.tryRFast() {
+		return nil
+	}
+	if l.rlockAbortable(&aborter{done: ctx.Done()}) {
+		return nil
+	}
+	return context.Cause(ctx)
+}
+
+// tryRFast is the uncontended read acquisition: announce a share, keep it
+// if no writer is active or waiting.
+func (l *RWMutex) tryRFast() bool {
+	if l.count.Add(rwRUnit)&(rwWB|rwWWb) == 0 {
+		return true
+	}
+	l.count.Add(^(rwRUnit - 1)) // undo
+	return false
+}
+
+// rlockAbortable is RLock's contended path with a give-up condition. Like
+// RLock it orders behind writers via the internal mutex, announces its
+// share while holding it, and waits out only the active writer. An expiry
+// in the queue phase abandons the qnode (the mutex's own abort path); an
+// expiry in the writer-wait phase retracts the announced share and releases
+// the ordering mutex, so neither writers nor later readers see a ghost
+// reader.
+func (l *RWMutex) rlockAbortable(a *aborter) bool {
+	if !l.wlock.s.lockAbort(true, 0, a) {
+		return false
+	}
+	l.count.Add(rwRUnit)
+	for i := 1; l.count.Load()&rwWB != 0; i++ {
+		if i&31 == 0 && a.expired() {
+			l.count.Add(^(rwRUnit - 1))
+			l.wlock.Unlock()
+			if p := l.wlock.s.probe; p != nil {
+				p.Abort()
+			}
+			return false
+		}
+		spinWait(i)
+	}
+	l.wlock.Unlock()
+	return true
+}
+
 func (l *RWMutex) lockAbortable(a *aborter) bool {
 	if !l.wlock.s.lockAbort(true, 0, a) {
 		return false
 	}
 	l.count.Or(rwWWb) // stop new readers
-	for i := 0; ; i++ {
+	for i := 1; ; i++ {
 		v := l.count.Load()
 		if v>>16 == 0 && v&rwWB == 0 {
 			if l.count.CompareAndSwap(v, (v&^rwWWb)|rwWB) {
@@ -138,20 +207,18 @@ func (l *RWMutex) lockAbortable(a *aborter) bool {
 			}
 			continue
 		}
-		if i&31 == 31 {
-			if a.expired() {
-				// Back out: let the readers we stalled move again. Another
-				// queued writer may have re-set rwWWb expectations, but the
-				// bit is re-asserted by whoever acquires wlock next, so a
-				// plain clear is safe while we still hold wlock.
-				l.count.And(^rwWWb)
-				l.wlock.Unlock()
-				if p := l.wlock.s.probe; p != nil {
-					p.Abort()
-				}
-				return false
+		if i&31 == 0 && a.expired() {
+			// Back out: let the readers we stalled move again. Another
+			// queued writer may have re-set rwWWb expectations, but the
+			// bit is re-asserted by whoever acquires wlock next, so a
+			// plain clear is safe while we still hold wlock.
+			l.count.And(^rwWWb)
+			l.wlock.Unlock()
+			if p := l.wlock.s.probe; p != nil {
+				p.Abort()
 			}
-			runtime.Gosched()
+			return false
 		}
+		spinWait(i)
 	}
 }

@@ -1,0 +1,62 @@
+package core
+
+import (
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// TestBlockingHeadNotStarvedBySteal: a blocking Lock queued behind a storm
+// of TryLock stealers must acquire in bounded time. Without the head's
+// no-steal fence this livelocks on small GOMAXPROCS — every release is
+// re-stolen before the queue head observes a free lock, because the free
+// windows and the head's timeslices anti-correlate.
+func TestBlockingHeadNotStarvedBySteal(t *testing.T) {
+	var m Mutex
+	stop := make(chan struct{})
+	var stealers atomic.Int64
+	for g := 0; g < 8; g++ {
+		go func() {
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				if m.TryLock() {
+					stealers.Add(1)
+					m.Unlock()
+				}
+			}
+		}()
+	}
+	defer close(stop)
+
+	// Let the steal storm establish itself before queueing.
+	for stealers.Load() < 100 {
+		time.Sleep(time.Millisecond)
+	}
+
+	done := make(chan struct{})
+	go func() {
+		m.Lock()
+		m.Unlock()
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(30 * time.Second):
+		t.Fatalf("blocking Lock starved by TryLock stealers (%d steals)", stealers.Load())
+	}
+
+	// The fence must not outlive the head: once the queue is gone, the TAS
+	// fast path has to work again.
+	deadline := time.Now().Add(5 * time.Second)
+	for !m.TryLock() {
+		if time.Now().After(deadline) {
+			t.Fatal("TryLock never succeeds after the fenced head left: no-steal bit leaked")
+		}
+		time.Sleep(100 * time.Microsecond)
+	}
+	m.Unlock()
+}

@@ -17,6 +17,7 @@ import (
 	"runtime"
 	"sync"
 	"sync/atomic"
+	"time"
 )
 
 // Queue-node status values (Figure 4 and Figure 6 of the paper), plus the
@@ -35,6 +36,59 @@ const (
 // before parking (the userspace ShflLock^B parks after a constant spin,
 // paper footnote 3).
 const spinBudget = 128
+
+// singleP records whether the runtime has exactly one P. Spinning on a
+// condition another goroutine must make true is then a losing bet past
+// the first yield — the spinner's timeslices are the very thing the
+// holder is waiting for. This is the userspace analog of the kernel
+// patch's "NrRunning > #cores → park immediately" oversubscription guard
+// (paper §4.3), and of the Go runtime disabling sync.Mutex spinning when
+// GOMAXPROCS == 1. It deliberately does NOT shorten the queue waiter's
+// pre-park spin (spinBudget): those waits are one short critical section
+// long, the spin is Gosched-paced anyway, and replacing 16 yields with a
+// park/wake channel round trip measurably hurts handoff latency. Only
+// the unparkable condition-spins (spinWait) change behavior. Computed
+// once at init; tests may override via SetSingleP.
+var singleP = runtime.GOMAXPROCS(0) == 1
+
+// SetSingleP overrides the single-P heuristic (e.g. after the caller
+// changes GOMAXPROCS). Not synchronized with in-flight acquisitions: a
+// stale read only mis-paces one waiter's spin loop.
+func SetSingleP(on bool) { singleP = on }
+
+// SingleP reports the current single-P heuristic, so policy layers above
+// the locks (e.g. an adaptive controller choosing a lock family) can
+// share the same judgment instead of re-deriving it.
+func SingleP() bool { return singleP }
+
+// spinWait paces iteration i (counting from 1) of a condition-spin loop
+// that cannot park — the queue head polling the TAS word, a writer
+// draining the reader count. Mostly it busy-spins, with a Gosched every
+// 16th pass; on a single-P runtime, once the condition has survived a
+// couple of full yield rounds it switches to short sleeps instead. At
+// that point the goroutine that will make the condition true (a holder
+// streaming a paced scan, a parked releaser) needs this CPU far more
+// than the spinner, and each further Gosched is a full round trip
+// through a saturated run queue — the sleep hands over the timeslice at
+// a bounded ~100µs cost to handoff latency.
+func spinWait(i int) {
+	if i%16 != 0 {
+		return
+	}
+	if singleP && i > 32 {
+		time.Sleep(100 * time.Microsecond)
+		return
+	}
+	runtime.Gosched()
+}
+
+// headFenceBudget is how many fruitless head spins the blocking variant
+// tolerates before it raises the no-steal fence against TAS stealers
+// (bounded starvation; see the head loop in lockAbort). Large enough that
+// the fence never triggers under healthy handoff latencies — stealing
+// keeps its throughput role — but bounded, so a saturated steal storm
+// cannot park the head forever.
+const headFenceBudget = 1024
 
 // qnode is a waiter's queue node. It lives for the duration of one acquire
 // (lock-state decoupling: the holder releases it before the critical

@@ -1,7 +1,6 @@
 package core
 
 import (
-	"runtime"
 	"sync/atomic"
 )
 
@@ -26,18 +25,14 @@ type RWMutex struct {
 
 // RLock acquires a read share.
 func (l *RWMutex) RLock() {
-	v := l.count.Add(rwRUnit)
-	if v&(rwWB|rwWWb) == 0 {
+	if l.tryRFast() {
 		return
 	}
-	l.count.Add(^(rwRUnit - 1)) // undo
 	l.wlock.Lock()
 	// Holding wlock: announce, then wait only for the active writer.
 	l.count.Add(rwRUnit)
-	for i := 0; l.count.Load()&rwWB != 0; i++ {
-		if i%32 == 31 {
-			runtime.Gosched()
-		}
+	for i := 1; l.count.Load()&rwWB != 0; i++ {
+		spinWait(i)
 	}
 	l.wlock.Unlock()
 }
@@ -72,7 +67,7 @@ func (l *RWMutex) LockWithPriority(prio uint64) {
 // out the active ones, claim the writer byte, release the ordering mutex.
 func (l *RWMutex) drainAndClaim() {
 	l.count.Or(rwWWb) // stop new readers
-	for i := 0; ; i++ {
+	for i := 1; ; i++ {
 		v := l.count.Load()
 		if v>>16 == 0 && v&rwWB == 0 {
 			if l.count.CompareAndSwap(v, (v&^rwWWb)|rwWB) {
@@ -80,9 +75,7 @@ func (l *RWMutex) drainAndClaim() {
 			}
 			continue
 		}
-		if i%32 == 31 {
-			runtime.Gosched()
-		}
+		spinWait(i)
 	}
 	l.wlock.Unlock()
 }

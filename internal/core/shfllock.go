@@ -126,24 +126,43 @@ func (l *shflState) lockAbort(blocking bool, prio uint64, a *aborter) bool {
 	// while it is held. An unproductive round retains the role (roleMine)
 	// without rescanning per iteration; the head relays role and frontier
 	// to its successor when it acquires.
+	//
+	// Starvation fence: the blocking variant keeps TAS stealing enabled so
+	// the lock stays live across wakeup latencies, but on a saturated
+	// machine (few cores, steal-heavy callers) the free windows and the
+	// head's timeslices can anti-correlate indefinitely — every release is
+	// re-stolen before the head ever observes it. After headFenceBudget
+	// fruitless spins the head raises glkNoSteal, which fails trySteal and
+	// tryLock outright (they require the whole word to be zero), so the very
+	// next release can only go to the queue. The fence is strictly
+	// head-local for the blocking variant: cleared atomically by the
+	// acquisition CAS, or explicitly on abdication. The non-blocking variant
+	// manages the same bit with queue lifetime (set at 112, cleared by
+	// passHead when the queue empties) and never takes this path.
 	roleMine := false
 	spins := 0
+	fenced := false
 	for {
 		v := l.glock.Load()
 		if v&0xff == 0 {
-			if l.glock.CompareAndSwap(v, v|glkLocked) {
+			nv := v | glkLocked
+			if fenced {
+				nv &^= glkNoSteal
+			}
+			if l.glock.CompareAndSwap(v, nv) {
 				break
 			}
 			spins++
-			if spins%16 == 0 {
-				runtime.Gosched()
-			}
+			spinWait(spins)
 			continue
 		}
 		if a != nil && spins&7 == 0 && a.expired() {
 			// The head owns the MCS unlock obligation (and, non-blocking,
 			// the no-steal bit), so it cannot abandon in place: abdicate by
 			// performing the unlock phase without ever taking the TAS lock.
+			if fenced {
+				l.clearNoSteal()
+			}
 			if o := shflOracle.Load(); o != nil && o.headExit != nil {
 				o.headExit(n)
 			}
@@ -162,8 +181,10 @@ func (l *shflState) lockAbort(blocking bool, prio uint64, a *aborter) bool {
 			}
 		}
 		spins++
-		if spins%16 == 0 {
-			runtime.Gosched()
+		spinWait(spins)
+		if blocking && !fenced && spins > headFenceBudget {
+			l.glock.Or(glkNoSteal)
+			fenced = true
 		}
 	}
 	if o := shflOracle.Load(); o != nil && o.headExit != nil {

@@ -1,0 +1,191 @@
+package kvserver
+
+import (
+	"context"
+	"time"
+
+	"shfllock/internal/lockstat"
+)
+
+// controller is the adaptive layer: lockstat as a live control signal. It
+// polls every shard's site on an interval, diffs against the previous
+// snapshot (the lockstat interval API), and decides per shard — from the
+// traffic it actually served, not a global average — along two
+// independent axes:
+//
+// Shape (RW vs plain mutex), from the read fraction:
+//
+//   - read fraction >= hiRead: readers dominate; shared acquisitions keep
+//     point reads out of the writer queue and long scans stop blocking
+//     them → an RW lock.
+//   - read fraction <= loRead: writers dominate; the RW write path (queue
+//     on the ordering mutex, stop readers, drain, claim) is pure overhead
+//     when there is nobody to share with → a plain mutex.
+//
+// Family (shfl vs sync), from the abort fraction: the ShflLocks abort a
+// timed-out acquisition by abandoning the qnode in place, and every
+// corpse lengthens the grant walks of the waiters behind it. Under light
+// abort traffic the shuffled queue earns its keep, but when deadline
+// pressure is the workload — aborts a sizable fraction of attempts, each
+// failure re-offered immediately — the reclaim machinery itself becomes
+// the contended path and feeds back into more aborts. The abort fraction
+// is exactly the lockstat signal for that regime:
+//
+//   - aborts/attempts >= hiAbort: abort storm; flee to the sync family's
+//     detached futex waiters.
+//   - aborts/attempts <= loAbort: pressure gone; return to the home
+//     family (Config.CtlHome).
+//
+// The home family is where the calm branch points. It defaults to shfl
+// only when the runtime has real parallelism: shuffling's payoffs — NUMA
+// batching, waking a spinning waiter instead of a parked one — need
+// concurrent spinners to exist, and on a single-P runtime a userspace
+// queue lock cannot beat the futex-backed sync primitives (every handoff
+// is a scheduler round trip either way, and the queue adds bookkeeping).
+// There the home is sync and the family axis engages only as the
+// abort-storm escape hatch.
+//
+// Two stabilizers keep it from thrashing: a shard must see at least minOps
+// acquisition attempts in an interval to be judged at all (idle shards
+// keep their lock), and the same verdict must repeat settle times in a
+// row before the handover runs (hysteresis — the band between the lo and
+// hi thresholds of each axis also always votes "stay"). A handover drains
+// the shard (shard.swapLock), so at most one switch per shard per
+// interval and the switch itself is the only write the shard sees from
+// the controller.
+type controller struct {
+	srv      *Server
+	interval time.Duration
+	hiRead   float64
+	loRead   float64
+	hiAbort  float64
+	loAbort  float64
+	homeSync bool // calm-branch family: true means sync is home
+	settle   int
+	minOps   uint64
+
+	prev []lockstat.Report
+	lean []leaning
+}
+
+// ctlMinAborts is the absolute per-interval abort floor below which the
+// family axis never votes "storm", whatever the fraction says.
+const ctlMinAborts = 8
+
+// leaning tracks hysteresis state for one shard.
+type leaning struct {
+	want  string // impl the recent intervals point at ("" = none)
+	count int    // consecutive intervals agreeing on want
+}
+
+func newController(s *Server) *controller {
+	return &controller{
+		srv:      s,
+		interval: s.cfg.CtlInterval,
+		hiRead:   s.cfg.CtlHiRead,
+		loRead:   s.cfg.CtlLoRead,
+		hiAbort:  s.cfg.CtlHiAbort,
+		loAbort:  s.cfg.CtlLoAbort,
+		homeSync: s.cfg.CtlHome == "sync",
+		settle:   s.cfg.CtlSettle,
+		minOps:   s.cfg.CtlMinOps,
+		prev:     make([]lockstat.Report, len(s.shards)),
+		lean:     make([]leaning, len(s.shards)),
+	}
+}
+
+// run polls until ctx is cancelled.
+func (c *controller) run(ctx context.Context) {
+	ticker := time.NewTicker(c.interval)
+	defer ticker.Stop()
+	for i, sh := range c.srv.shards {
+		c.prev[i] = sh.site.Report()
+	}
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case <-ticker.C:
+			c.tick()
+		}
+	}
+}
+
+// tick evaluates every shard once.
+func (c *controller) tick() {
+	for i, sh := range c.srv.shards {
+		cur := sh.site.Report()
+		d := lockstat.Diff(c.prev[i], cur)
+		c.prev[i] = cur
+		c.decide(i, sh, d)
+	}
+}
+
+// decide applies the two-axis threshold + hysteresis policy to one
+// shard's interval.
+func (c *controller) decide(i int, sh *shard, d lockstat.Report) {
+	attempts := d.Acquires + d.Aborts
+	if attempts < c.minOps {
+		c.lean[i] = leaning{} // too quiet to judge; reset the streak
+		return
+	}
+	cur := sh.box.Load().impl
+	isSync, isRW := implAxes(cur)
+
+	// The storm verdict needs an absolute floor as well as a fraction: on
+	// a quiet shard one unlucky timeout in a ten-attempt interval is a 10%
+	// "storm", and the resulting drain stall manufactures the next
+	// interval's aborts — a self-sustaining flap. A real abort storm has
+	// no trouble clearing both bars.
+	abortFrac := float64(d.Aborts) / float64(attempts)
+	switch {
+	case d.Aborts >= ctlMinAborts && abortFrac >= c.hiAbort:
+		isSync = true
+	case abortFrac <= c.loAbort:
+		isSync = c.homeSync
+	}
+	if d.Acquires > 0 {
+		readFrac := float64(d.ReadAcquires) / float64(d.Acquires)
+		switch {
+		case readFrac >= c.hiRead:
+			isRW = true
+		case readFrac <= c.loRead:
+			isRW = false
+		}
+	}
+	want := implFor(isSync, isRW)
+
+	if want == cur {
+		c.lean[i] = leaning{}
+		return
+	}
+	if c.lean[i].want != want {
+		c.lean[i] = leaning{want: want}
+	}
+	c.lean[i].count++
+	if c.lean[i].count < c.settle {
+		return
+	}
+	c.lean[i] = leaning{}
+	sh.swapLock(want)
+}
+
+// implAxes decomposes a lock impl name into the controller's two axes.
+func implAxes(impl string) (isSync, isRW bool) {
+	return impl == ImplSyncRW || impl == ImplSyncMutex,
+		impl == ImplShflRW || impl == ImplSyncRW
+}
+
+// implFor composes the two axes back into a lock impl name.
+func implFor(isSync, isRW bool) string {
+	switch {
+	case isSync && isRW:
+		return ImplSyncRW
+	case isSync:
+		return ImplSyncMutex
+	case isRW:
+		return ImplShflRW
+	default:
+		return ImplShflMutex
+	}
+}

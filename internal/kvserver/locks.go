@@ -1,0 +1,245 @@
+package kvserver
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"shfllock/internal/core"
+	"shfllock/internal/lockstat"
+)
+
+// ShardLock is the small lock surface a shard needs. Exclusive and shared
+// acquisitions carry the request's context so overload degrades to fast
+// 503s at the lock instead of queue collapse behind it; Lock is the plain
+// blocking exclusive acquisition the adaptive controller's drain step uses
+// (the controller has no deadline — a handover must complete).
+//
+// Mutex-shaped implementations satisfy the read-side methods with their
+// exclusive ones, so callers never branch on capability.
+type ShardLock interface {
+	LockContext(ctx context.Context) error
+	Unlock()
+	RLockContext(ctx context.Context) error
+	RUnlock()
+	Lock()
+	Impl() string
+}
+
+// Lock implementation names accepted by NewLock and the -lock flag.
+const (
+	ImplShflRW    = "shfl-rw"
+	ImplShflMutex = "shfl-mutex"
+	ImplSyncRW    = "sync-rw"
+	ImplSyncMutex = "sync-mutex"
+	// ImplAdaptive is a server mode, not a lock: shards start on shfl-rw
+	// and the lockstat-driven controller reshapes them at runtime.
+	ImplAdaptive = "adaptive"
+)
+
+// Impls lists the static lock choices (everything NewLock accepts).
+var Impls = []string{ImplShflRW, ImplShflMutex, ImplSyncRW, ImplSyncMutex}
+
+// NewLock builds a shard lock by name, feeding the given lockstat site.
+// Every generation of a shard's lock attaches the same site, so per-shard
+// statistics survive adaptive handovers.
+func NewLock(impl string, site *lockstat.Site) (ShardLock, error) {
+	switch impl {
+	case ImplShflRW:
+		l := &shflRW{site: site}
+		l.mu.SetProbe(site.CoreProbe())
+		return l, nil
+	case ImplShflMutex:
+		l := &shflMutex{site: site}
+		l.mu.SetProbe(site.CoreProbe())
+		return l, nil
+	case ImplSyncRW:
+		return &syncRW{site: site}, nil
+	case ImplSyncMutex:
+		return &syncMutex{site: site}, nil
+	}
+	return nil, fmt.Errorf("unknown lock impl %q (have %v)", impl, Impls)
+}
+
+// shflRW wraps the native readers-writer ShflLock. Contention, parks,
+// handoffs, aborts and shuffle activity flow through the attached probe;
+// the wrapper records only what the probe cannot see — acquisition counts
+// and wait times, one wait sample per successful acquisition.
+type shflRW struct {
+	mu   core.RWMutex
+	site *lockstat.Site
+}
+
+func (l *shflRW) Impl() string { return ImplShflRW }
+func (l *shflRW) Lock()        { l.mu.Lock(); l.site.RecordAcquire(0, false) }
+func (l *shflRW) Unlock()      { l.mu.Unlock() }
+func (l *shflRW) RUnlock()     { l.mu.RUnlock() }
+
+func (l *shflRW) LockContext(ctx context.Context) error {
+	if l.mu.TryLock() {
+		l.site.RecordAcquire(0, false)
+		return nil
+	}
+	start := time.Now()
+	if err := l.mu.LockContext(ctx); err != nil {
+		return err
+	}
+	l.site.RecordAcquire(time.Since(start).Nanoseconds(), false)
+	return nil
+}
+
+func (l *shflRW) RLockContext(ctx context.Context) error {
+	if l.mu.TryRLock() {
+		l.site.RecordAcquire(0, true)
+		return nil
+	}
+	start := time.Now()
+	if err := l.mu.RLockContext(ctx); err != nil {
+		return err
+	}
+	l.site.RecordAcquire(time.Since(start).Nanoseconds(), true)
+	return nil
+}
+
+// shflMutex wraps the native blocking ShflLock; read acquisitions are
+// exclusive.
+type shflMutex struct {
+	mu   core.Mutex
+	site *lockstat.Site
+}
+
+func (l *shflMutex) Impl() string { return ImplShflMutex }
+func (l *shflMutex) Lock()        { l.mu.Lock(); l.site.RecordAcquire(0, false) }
+func (l *shflMutex) Unlock()      { l.mu.Unlock() }
+func (l *shflMutex) RUnlock()     { l.mu.Unlock() }
+
+func (l *shflMutex) LockContext(ctx context.Context) error {
+	return l.lockCtx(ctx, false)
+}
+
+func (l *shflMutex) RLockContext(ctx context.Context) error {
+	return l.lockCtx(ctx, true)
+}
+
+func (l *shflMutex) lockCtx(ctx context.Context, read bool) error {
+	if l.mu.TryLock() {
+		l.site.RecordAcquire(0, read)
+		return nil
+	}
+	start := time.Now()
+	if err := l.mu.LockContext(ctx); err != nil {
+		return err
+	}
+	l.site.RecordAcquire(time.Since(start).Nanoseconds(), read)
+	return nil
+}
+
+// ctxAcquire adapts a blocking acquisition to context cancellation for the
+// sync baselines, which have no abortable path: the wait happens in a
+// helper goroutine, and an abandoned wait stays in the lock's queue until
+// granted, then releases immediately. This is not an emulation artifact —
+// it IS the semantic difference under test: a sync.Mutex waiter cannot
+// leave the queue, so a timed-out request still occupies a queue slot and
+// costs a scheduler round trip, where the ShflLocks abandon their qnode in
+// place.
+func ctxAcquire(ctx context.Context, lock, unlock func()) error {
+	var state atomic.Int32 // 0 pending, 1 taken by caller, 2 abandoned
+	done := make(chan struct{})
+	go func() {
+		lock()
+		if !state.CompareAndSwap(0, 1) {
+			unlock()
+			return
+		}
+		close(done)
+	}()
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+		if state.CompareAndSwap(0, 2) {
+			return context.Cause(ctx)
+		}
+		<-done // the grant won the race: we own the lock after all
+		return nil
+	}
+}
+
+// syncRW is the sync.RWMutex baseline. It has no probe, so the wrapper
+// classifies contention itself from the failed fast-path attempt and
+// counts aborts directly.
+type syncRW struct {
+	mu   sync.RWMutex
+	site *lockstat.Site
+}
+
+func (l *syncRW) Impl() string { return ImplSyncRW }
+func (l *syncRW) Lock()        { l.mu.Lock(); l.site.RecordAcquire(0, false) }
+func (l *syncRW) Unlock()      { l.mu.Unlock() }
+func (l *syncRW) RUnlock()     { l.mu.RUnlock() }
+
+func (l *syncRW) LockContext(ctx context.Context) error {
+	if l.mu.TryLock() {
+		l.site.RecordAcquire(0, false)
+		return nil
+	}
+	l.site.RecordContended()
+	start := time.Now()
+	if err := ctxAcquire(ctx, l.mu.Lock, l.mu.Unlock); err != nil {
+		l.site.RecordAbort()
+		return err
+	}
+	l.site.RecordAcquire(time.Since(start).Nanoseconds(), false)
+	return nil
+}
+
+func (l *syncRW) RLockContext(ctx context.Context) error {
+	if l.mu.TryRLock() {
+		l.site.RecordAcquire(0, true)
+		return nil
+	}
+	l.site.RecordContended()
+	start := time.Now()
+	if err := ctxAcquire(ctx, l.mu.RLock, l.mu.RUnlock); err != nil {
+		l.site.RecordAbort()
+		return err
+	}
+	l.site.RecordAcquire(time.Since(start).Nanoseconds(), true)
+	return nil
+}
+
+// syncMutex is the sync.Mutex baseline; read acquisitions are exclusive.
+type syncMutex struct {
+	mu   sync.Mutex
+	site *lockstat.Site
+}
+
+func (l *syncMutex) Impl() string { return ImplSyncMutex }
+func (l *syncMutex) Lock()        { l.mu.Lock(); l.site.RecordAcquire(0, false) }
+func (l *syncMutex) Unlock()      { l.mu.Unlock() }
+func (l *syncMutex) RUnlock()     { l.mu.Unlock() }
+
+func (l *syncMutex) LockContext(ctx context.Context) error {
+	return l.lockCtx(ctx, false)
+}
+
+func (l *syncMutex) RLockContext(ctx context.Context) error {
+	return l.lockCtx(ctx, true)
+}
+
+func (l *syncMutex) lockCtx(ctx context.Context, read bool) error {
+	if l.mu.TryLock() {
+		l.site.RecordAcquire(0, read)
+		return nil
+	}
+	l.site.RecordContended()
+	start := time.Now()
+	if err := ctxAcquire(ctx, l.mu.Lock, l.mu.Unlock); err != nil {
+		l.site.RecordAbort()
+		return err
+	}
+	l.site.RecordAcquire(time.Since(start).Nanoseconds(), read)
+	return nil
+}

@@ -1,0 +1,5 @@
+//go:build !race
+
+package kvserver
+
+const raceEnabled = false

@@ -1,0 +1,8 @@
+//go:build race
+
+package kvserver
+
+// raceEnabled lets the torture tests scale their duration and handover
+// expectations to the race detector's slowdown (a drain that takes tens of
+// microseconds natively takes tens of milliseconds instrumented).
+const raceEnabled = true

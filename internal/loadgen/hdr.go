@@ -1,0 +1,139 @@
+package loadgen
+
+import "math/bits"
+
+// HDR is an HdrHistogram-style log-linear latency histogram: values below
+// 64ns land in exact 1ns buckets; above that, each power-of-two range is
+// split into 32 linear sub-buckets, bounding relative error at ~3%. That
+// resolution matters here in a way lockstat's plain log2 histogram does
+// not: the deliverable compares p99s *between lock choices*, and a
+// factor-of-two bucket would flatten real differences into ties. Recording
+// is a plain array increment — recorders are per-worker and merged, never
+// shared — so the hot path stays allocation- and atomics-free.
+type HDR struct {
+	counts [hdrBuckets]uint64
+	total  uint64
+	sum    uint64
+}
+
+const (
+	hdrSubBits = 5
+	hdrSubs    = 1 << hdrSubBits // 32 linear sub-buckets per power of two
+	hdrLinear  = 64              // values < 64 are their own bucket
+	hdrBuckets = hdrLinear + (63-hdrSubBits)*hdrSubs
+)
+
+// hdrIndex maps a non-negative duration in ns to its bucket.
+func hdrIndex(v int64) int {
+	if v < hdrLinear {
+		if v < 0 {
+			return 0
+		}
+		return int(v)
+	}
+	u := uint64(v)
+	exp := bits.Len64(u) - hdrSubBits - 2 // v in [64<<exp, 128<<exp)
+	sub := int(u>>(exp+1)) - hdrSubs
+	return hdrLinear + exp*hdrSubs + sub
+}
+
+// hdrMid returns a representative value (ns) for a bucket: the bucket's
+// midpoint.
+func hdrMid(i int) float64 {
+	if i < hdrLinear {
+		return float64(i)
+	}
+	i -= hdrLinear
+	exp := i / hdrSubs
+	sub := i % hdrSubs
+	low := uint64(hdrSubs+sub) << (exp + 1)
+	width := uint64(1) << (exp + 1)
+	return float64(low) + float64(width)/2
+}
+
+// Record adds one sample of v nanoseconds.
+func (h *HDR) Record(v int64) {
+	h.counts[hdrIndex(v)]++
+	h.total++
+	if v > 0 {
+		h.sum += uint64(v)
+	}
+}
+
+// Merge adds o's samples into h.
+func (h *HDR) Merge(o *HDR) {
+	for i, c := range o.counts {
+		h.counts[i] += c
+	}
+	h.total += o.total
+	h.sum += o.sum
+}
+
+// Count returns the number of recorded samples.
+func (h *HDR) Count() uint64 { return h.total }
+
+// Mean returns the average sample in ns, or 0 when empty.
+func (h *HDR) Mean() float64 {
+	if h.total == 0 {
+		return 0
+	}
+	return float64(h.sum) / float64(h.total)
+}
+
+// Quantile returns an estimate (ns) of the q-th quantile, 0 < q <= 1.
+func (h *HDR) Quantile(q float64) float64 {
+	if h.total == 0 {
+		return 0
+	}
+	target := q * float64(h.total)
+	var cum float64
+	for i, c := range h.counts {
+		if c == 0 {
+			continue
+		}
+		cum += float64(c)
+		if cum >= target {
+			return hdrMid(i)
+		}
+	}
+	return hdrMid(hdrBuckets - 1)
+}
+
+// Sparse returns the non-empty buckets as {index, count} pairs, the
+// portable form embedded in run JSON so a merge step can pool samples
+// across repetitions — a pooled p99 over every rep's steady state is a far
+// tighter estimator than any summary-of-summaries of per-rep p99 points.
+func (h *HDR) Sparse() [][2]uint64 {
+	var s [][2]uint64
+	for i, c := range h.counts {
+		if c != 0 {
+			s = append(s, [2]uint64{uint64(i), c})
+		}
+	}
+	return s
+}
+
+// MergeSparse adds samples exported by Sparse into h. The per-sample sum is
+// reconstructed from bucket midpoints, so Mean becomes approximate (within
+// bucket resolution) after a sparse merge; quantiles are exact.
+func (h *HDR) MergeSparse(s [][2]uint64) {
+	for _, bc := range s {
+		i := int(bc[0])
+		if i < 0 || i >= hdrBuckets {
+			continue
+		}
+		h.counts[i] += bc[1]
+		h.total += bc[1]
+		h.sum += uint64(hdrMid(i)) * bc[1]
+	}
+}
+
+// Max returns the representative value of the highest non-empty bucket.
+func (h *HDR) Max() float64 {
+	for i := hdrBuckets - 1; i >= 0; i-- {
+		if h.counts[i] != 0 {
+			return hdrMid(i)
+		}
+	}
+	return 0
+}

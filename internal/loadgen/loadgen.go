@@ -1,0 +1,368 @@
+// Package loadgen is a seeded, open-loop load generator for the KV service
+// (internal/kvserver): it models traffic from a large population of
+// independent users, so arrivals happen at a fixed offered rate regardless
+// of how fast the service responds. A slow server does not slow the
+// generator down — requests queue and their measured latency grows — which
+// is exactly the regime where lock choice shows up in tail latency and
+// where a closed-loop ("back-to-back requests") generator would hide the
+// problem by coordinated omission.
+//
+// Latency is therefore measured from each operation's *scheduled* arrival
+// time, not from when a worker got around to sending it, and every
+// operation's deadline is anchored to the same scheduled time: an op that
+// sat in the dispatch queue has already spent part of its budget.
+//
+// The op stream (kinds, keys, values) is a pure function of the seed; only
+// completion timing varies between runs. Phases script the mix: read-mostly,
+// write-storm, churn (fresh keys, deletes, connection churn) — each with
+// its own rate, and each recording point-op (GET/PUT/DELETE) and SCAN
+// latencies into separate HDR histograms, because scans are deliberately
+// long streaming operations with a different SLO.
+package loadgen
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync"
+	"time"
+)
+
+// OpKind enumerates the request types the generator issues.
+type OpKind uint8
+
+const (
+	Get OpKind = iota
+	Put
+	Delete
+	Scan
+)
+
+func (k OpKind) String() string {
+	switch k {
+	case Get:
+		return "GET"
+	case Put:
+		return "PUT"
+	case Delete:
+		return "DELETE"
+	case Scan:
+		return "SCAN"
+	}
+	return fmt.Sprintf("OpKind(%d)", int(k))
+}
+
+// Op is one scheduled operation.
+type Op struct {
+	Kind        OpKind
+	Key         string
+	Val         string // PUT payload
+	Limit       int    // SCAN result cap
+	Phase       int    // index into Config.Phases
+	ScheduledAt time.Time
+}
+
+// ErrOverload classifies a service-side load-shed response (HTTP 503). The
+// generator counts it as a timeout, not an error: shedding under deadline
+// pressure is the behavior under test. Targets wrap their rejection errors
+// so errors.Is(err, ErrOverload) holds.
+var ErrOverload = errors.New("overloaded: request shed by server")
+
+// Target executes operations. Implementations must honor ctx's deadline.
+type Target interface {
+	Do(ctx context.Context, op *Op) error
+}
+
+// Churner is optionally implemented by targets that can drop and re-dial
+// connections; churn phases invoke it periodically to model connection
+// turnover from a rotating user population.
+type Churner interface {
+	Churn()
+}
+
+// Phase scripts one traffic regime.
+type Phase struct {
+	Name       string        `json:"name"`
+	Duration   time.Duration `json:"-"`
+	Rate       float64       `json:"rate"`        // offered ops/sec
+	ReadFrac   float64       `json:"read_frac"`   // fraction of ops that are GETs
+	ScanFrac   float64       `json:"scan_frac"`   // fraction of ops that are SCANs
+	DeleteFrac float64       `json:"delete_frac"` // fraction of *writes* that are DELETEs
+	Churn      bool          `json:"churn"`       // fresh keys + connection churn
+	// WarmupFrac is the leading fraction of the phase excluded from the
+	// latency histograms (counters still accumulate). It gives adaptive
+	// policies their advertised convergence window and keeps phase
+	// percentiles about the phase's steady state. Zero means none.
+	WarmupFrac float64 `json:"warmup_frac"`
+}
+
+// Config parameterizes a run.
+type Config struct {
+	Seed    int64
+	Keys    int           // initial key-space size (keys are "k%08d")
+	ZipfS   float64       // zipf skew (>1); 0 means the default 1.1
+	Workers int           // concurrent request slots
+	Timeout time.Duration // per-op deadline, measured from scheduled arrival
+	Phases  []Phase
+	// QueueCap bounds the dispatch queue (scheduled-but-unsent ops). An
+	// arrival that finds the queue full is shed client-side and counted;
+	// 0 means 4096.
+	QueueCap int
+	// ScanLimit caps SCAN result sizes; 0 means 64.
+	ScanLimit int
+	// ChurnEvery closes idle connections every n dispatched ops in churn
+	// phases; 0 means 256.
+	ChurnEvery int
+	// OnDispatch, when non-nil, observes every generated op in schedule
+	// order before it is handed to a worker (tests use it to pin down
+	// stream determinism).
+	OnDispatch func(*Op)
+}
+
+// PhaseResult summarizes one phase of a run.
+type PhaseResult struct {
+	Name     string  `json:"name"`
+	Offered  float64 `json:"offered_ops_per_sec"`
+	Ops      uint64  `json:"ops"`      // completed successfully
+	Timeouts uint64  `json:"timeouts"` // deadline exceeded or server 503
+	Errors   uint64  `json:"errors"`   // anything else
+	Shed     uint64  `json:"shed"`     // dropped client-side: queue full
+	Achieved float64 `json:"achieved_ops_per_sec"`
+
+	// Point-op (GET/PUT/DELETE) latency percentiles in milliseconds,
+	// measured from scheduled arrival, steady state only (post-warmup).
+	P50  float64 `json:"p50_ms"`
+	P90  float64 `json:"p90_ms"`
+	P99  float64 `json:"p99_ms"`
+	P999 float64 `json:"p999_ms"`
+	Mean float64 `json:"mean_ms"`
+	Max  float64 `json:"max_ms"`
+
+	// Scan latency percentiles (ms), reported separately: scans are
+	// streaming reads holding a read share for their whole transfer.
+	ScanOps uint64  `json:"scan_ops"`
+	ScanP50 float64 `json:"scan_p50_ms,omitempty"`
+	ScanP99 float64 `json:"scan_p99_ms,omitempty"`
+
+	// PointHist is the point-op latency histogram in sparse {bucket, count}
+	// form (see HDR.Sparse), so downstream tooling can pool repetitions of
+	// the same cell and take percentiles over all samples at once instead
+	// of summarizing summaries.
+	PointHist [][2]uint64 `json:"point_hist,omitempty"`
+}
+
+// Result is a full run summary.
+type Result struct {
+	Seed   int64         `json:"seed"`
+	Phases []PhaseResult `json:"phases"`
+}
+
+// workerState accumulates per-worker so the hot path shares nothing.
+type workerState struct {
+	point, scan         []HDR // per phase
+	ops, timeouts, errs []uint64
+}
+
+// Run drives the target through cfg's phase script and returns the
+// per-phase results. It blocks until the last scheduled op completes or
+// times out.
+func Run(cfg Config, target Target) Result {
+	if cfg.Workers <= 0 {
+		cfg.Workers = 64
+	}
+	if cfg.Keys <= 0 {
+		cfg.Keys = 100_000
+	}
+	if cfg.ZipfS <= 1 {
+		cfg.ZipfS = 1.1
+	}
+	if cfg.Timeout <= 0 {
+		cfg.Timeout = 50 * time.Millisecond
+	}
+	if cfg.QueueCap <= 0 {
+		cfg.QueueCap = 4096
+	}
+	if cfg.ScanLimit <= 0 {
+		cfg.ScanLimit = 64
+	}
+	if cfg.ChurnEvery <= 0 {
+		cfg.ChurnEvery = 256
+	}
+
+	nPhases := len(cfg.Phases)
+	workers := make([]*workerState, cfg.Workers)
+	for i := range workers {
+		workers[i] = &workerState{
+			point:    make([]HDR, nPhases),
+			scan:     make([]HDR, nPhases),
+			ops:      make([]uint64, nPhases),
+			timeouts: make([]uint64, nPhases),
+			errs:     make([]uint64, nPhases),
+		}
+	}
+
+	type job struct {
+		op     Op
+		warmup bool
+	}
+	ch := make(chan job, cfg.QueueCap)
+	var wg sync.WaitGroup
+	for w := 0; w < cfg.Workers; w++ {
+		wg.Add(1)
+		go func(st *workerState) {
+			defer wg.Done()
+			for j := range ch {
+				op := j.op
+				deadline := op.ScheduledAt.Add(cfg.Timeout)
+				now := time.Now()
+				ph := op.Phase
+				if !now.Before(deadline) {
+					// Budget exhausted in the dispatch queue: the user has
+					// already given up; don't waste server work.
+					st.timeouts[ph]++
+					continue
+				}
+				ctx, cancel := context.WithDeadline(context.Background(), deadline)
+				err := target.Do(ctx, &op)
+				cancel()
+				lat := time.Since(op.ScheduledAt)
+				switch {
+				case err == nil:
+					st.ops[ph]++
+					if !j.warmup {
+						if op.Kind == Scan {
+							st.scan[ph].Record(lat.Nanoseconds())
+						} else {
+							st.point[ph].Record(lat.Nanoseconds())
+						}
+					}
+				case errors.Is(err, context.DeadlineExceeded) || errors.Is(err, ErrOverload):
+					st.timeouts[ph]++
+				default:
+					st.errs[ph]++
+				}
+			}
+		}(workers[w])
+	}
+
+	// Dispatcher: one goroutine, one rng — the op stream is a pure function
+	// of the seed. Arrivals are paced on the wall clock; generation never
+	// waits on completions (open loop).
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	zipf := rand.NewZipf(rng, cfg.ZipfS, 1, uint64(cfg.Keys-1))
+	shed := make([]uint64, nPhases)
+	freshBase := cfg.Keys // churn phases create keys past the initial space
+	fresh := 0
+	churner, _ := target.(Churner)
+
+	start := time.Now()
+	phaseStart := start
+	for pi, ph := range cfg.Phases {
+		interval := time.Duration(float64(time.Second) / ph.Rate)
+		warmupEnd := phaseStart.Add(time.Duration(ph.WarmupFrac * float64(ph.Duration)))
+		phaseEnd := phaseStart.Add(ph.Duration)
+		n := 0
+		for at := phaseStart; at.Before(phaseEnd); at = at.Add(interval) {
+			op := Op{Phase: pi, ScheduledAt: at}
+			r := rng.Float64()
+			switch {
+			case r < ph.ScanFrac:
+				op.Kind = Scan
+				op.Key = keyName(int(zipf.Uint64()))
+				op.Limit = cfg.ScanLimit
+			case r < ph.ScanFrac+ph.ReadFrac:
+				op.Kind = Get
+				op.Key = keyName(int(zipf.Uint64()))
+			default:
+				if rng.Float64() < ph.DeleteFrac && fresh > 0 {
+					op.Kind = Delete
+					// Delete a recent fresh key: models short-lived state.
+					op.Key = keyName(freshBase + rng.Intn(fresh))
+				} else {
+					op.Kind = Put
+					if ph.Churn {
+						op.Key = keyName(freshBase + fresh)
+						fresh++
+					} else {
+						op.Key = keyName(int(zipf.Uint64()))
+					}
+					op.Val = fmt.Sprintf("v%016x", rng.Uint64())
+				}
+			}
+			if cfg.OnDispatch != nil {
+				cfg.OnDispatch(&op)
+			}
+			if d := time.Until(at); d > 0 {
+				time.Sleep(d)
+			}
+			select {
+			case ch <- job{op: op, warmup: at.Before(warmupEnd)}:
+			default:
+				shed[pi]++ // dispatch queue full: client-side shed
+			}
+			n++
+			if ph.Churn && churner != nil && n%cfg.ChurnEvery == 0 {
+				churner.Churn()
+			}
+		}
+		phaseStart = phaseEnd
+	}
+	close(ch)
+	wg.Wait()
+
+	// Merge workers into per-phase results.
+	res := Result{Seed: cfg.Seed}
+	for pi, ph := range cfg.Phases {
+		var point, scan HDR
+		pr := PhaseResult{Name: ph.Name, Offered: ph.Rate, Shed: shed[pi]}
+		for _, st := range workers {
+			point.Merge(&st.point[pi])
+			scan.Merge(&st.scan[pi])
+			pr.Ops += st.ops[pi]
+			pr.Timeouts += st.timeouts[pi]
+			pr.Errors += st.errs[pi]
+		}
+		pr.Achieved = float64(pr.Ops) / ph.Duration.Seconds()
+		ms := func(ns float64) float64 { return ns / 1e6 }
+		pr.P50, pr.P90 = ms(point.Quantile(0.50)), ms(point.Quantile(0.90))
+		pr.P99, pr.P999 = ms(point.Quantile(0.99)), ms(point.Quantile(0.999))
+		pr.Mean, pr.Max = ms(point.Mean()), ms(point.Max())
+		pr.ScanOps = scan.Count()
+		if pr.ScanOps > 0 {
+			pr.ScanP50, pr.ScanP99 = ms(scan.Quantile(0.50)), ms(scan.Quantile(0.99))
+		}
+		pr.PointHist = point.Sparse()
+		res.Phases = append(res.Phases, pr)
+	}
+	return res
+}
+
+// keyName formats key i; the fixed width keeps scans lexicographic by index.
+func keyName(i int) string { return fmt.Sprintf("k%08d", i) }
+
+// Script returns the canonical seeded phase script: read-mostly traffic,
+// then a write storm, then churn (fresh keys, deletes, connection
+// turnover). rate scales every phase's offered load; secs is the length of
+// each phase. The 25% warmup window is what gives an adaptive lock policy
+// its advertised convergence budget — percentiles describe the adapted
+// steady state, and a policy that never converges still pays for it in the
+// counters.
+func Script(rate float64, secs float64) []Phase {
+	d := time.Duration(secs * float64(time.Second))
+	return []Phase{
+		{Name: "read-mostly", Duration: d, Rate: rate, ReadFrac: 0.93, ScanFrac: 0.02, WarmupFrac: 0.25},
+		// The write storm is bulk-write traffic — a backfill or migration —
+		// with only stray point reads and no analytical scans. Scan-free
+		// matters: even a 1% scan share re-creates the long-reader pattern
+		// that favors an RW lock, and the phase exists to exercise the
+		// opposite regime, where shared-mode machinery is pure overhead.
+		{Name: "write-storm", Duration: d, Rate: rate, ReadFrac: 0.05, ScanFrac: 0, WarmupFrac: 0.25},
+		// Churn reads lean above the controller's hiRead threshold (0.60
+		// share vs 0.55): mixed-but-read-leaning traffic with heavy key
+		// turnover, decisive enough that an adaptive policy must swing
+		// *back* after the write storm rather than squat in its hysteresis
+		// band.
+		{Name: "churn", Duration: d, Rate: rate, ReadFrac: 0.58, ScanFrac: 0.02, DeleteFrac: 0.30, Churn: true, WarmupFrac: 0.25},
+	}
+}

@@ -1,0 +1,260 @@
+package loadgen
+
+import (
+	"context"
+	"fmt"
+	"math"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// TestHDRResolution: the histogram must resolve values ~3% apart, which is
+// what makes p99 comparisons between lock choices meaningful.
+func TestHDRResolution(t *testing.T) {
+	var h HDR
+	for i := 0; i < 1000; i++ {
+		h.Record(100_000) // 100µs
+	}
+	for i := 0; i < 10; i++ {
+		h.Record(1_000_000) // 1ms tail
+	}
+	p50 := h.Quantile(0.50)
+	if math.Abs(p50-100_000) > 0.04*100_000 {
+		t.Errorf("p50 = %.0f, want 100000 within 4%%", p50)
+	}
+	p999 := h.Quantile(0.999)
+	if math.Abs(p999-1_000_000) > 0.04*1_000_000 {
+		t.Errorf("p999 = %.0f, want 1000000 within 4%%", p999)
+	}
+	if got := h.Count(); got != 1010 {
+		t.Errorf("count = %d, want 1010", got)
+	}
+}
+
+// TestHDRSparseRoundTrip: the sparse export used to pool benchmark reps
+// must reproduce the original distribution's quantiles exactly, and
+// pooling two histograms through it must equal a direct Merge.
+func TestHDRSparseRoundTrip(t *testing.T) {
+	var a, b HDR
+	for i := 0; i < 500; i++ {
+		a.Record(int64(50_000 + i*1000))
+		b.Record(int64(2_000_000 + i*5000))
+	}
+	var back HDR
+	back.MergeSparse(a.Sparse())
+	back.MergeSparse(b.Sparse())
+	var direct HDR
+	direct.Merge(&a)
+	direct.Merge(&b)
+	if back.Count() != direct.Count() {
+		t.Fatalf("count = %d, want %d", back.Count(), direct.Count())
+	}
+	for _, q := range []float64{0.5, 0.9, 0.99, 0.999} {
+		if got, want := back.Quantile(q), direct.Quantile(q); got != want {
+			t.Errorf("q%.3f = %.0f via sparse, want %.0f", q, got, want)
+		}
+	}
+}
+
+// TestHDRIndexMonotone: bucket indexing must be monotone and in range over
+// the whole int64 span (a misplaced boundary silently corrupts quantiles).
+func TestHDRIndexMonotone(t *testing.T) {
+	prev := -1
+	for _, v := range []int64{0, 1, 63, 64, 65, 127, 128, 1 << 20, 1<<40 + 12345, 1<<62 + 999} {
+		i := hdrIndex(v)
+		if i < 0 || i >= hdrBuckets {
+			t.Fatalf("hdrIndex(%d) = %d out of range", v, i)
+		}
+		if i < prev {
+			t.Fatalf("hdrIndex not monotone at %d", v)
+		}
+		prev = i
+		if mid := hdrMid(i); v >= 64 && math.Abs(mid-float64(v)) > float64(v)*0.04 {
+			t.Errorf("hdrMid(%d)=%.0f not within 4%% of %d", i, mid, v)
+		}
+	}
+	// Dense sweep of the linear/log boundary.
+	for v := int64(1); v < 4096; v++ {
+		i := hdrIndex(v)
+		if i < prevIdx(v-1) {
+			t.Fatalf("index decreased at v=%d", v)
+		}
+	}
+}
+
+func prevIdx(v int64) int {
+	if v < 0 {
+		return 0
+	}
+	return hdrIndex(v)
+}
+
+type recordingTarget struct {
+	ops  atomic.Uint64
+	keys chan string
+}
+
+func (r *recordingTarget) Do(ctx context.Context, op *Op) error {
+	r.ops.Add(1)
+	select {
+	case r.keys <- fmt.Sprintf("%s %s", op.Kind, op.Key):
+	default:
+	}
+	return nil
+}
+
+// TestStreamDeterminism: the op stream is a pure function of the seed —
+// two runs with the same seed dispatch the identical op sequence, and a
+// different seed diverges.
+func TestStreamDeterminism(t *testing.T) {
+	stream := func(seed int64) []string {
+		var ops []string
+		cfg := Config{
+			Seed:    seed,
+			Keys:    1000,
+			Workers: 1,
+			Timeout: 100 * time.Millisecond,
+			Phases: []Phase{
+				{Name: "mix", Duration: 80 * time.Millisecond, Rate: 2000,
+					ReadFrac: 0.5, ScanFrac: 0.05, DeleteFrac: 0.3, Churn: true},
+			},
+			OnDispatch: func(op *Op) {
+				ops = append(ops, fmt.Sprintf("%s %s %s", op.Kind, op.Key, op.Val))
+			},
+		}
+		Run(cfg, &recordingTarget{keys: make(chan string, 1)})
+		return ops
+	}
+	a, b := stream(7), stream(7)
+	if len(a) == 0 {
+		t.Fatal("no ops dispatched")
+	}
+	if len(a) != len(b) {
+		t.Fatalf("same seed, different stream lengths: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("same seed diverged at op %d: %q vs %q", i, a[i], b[i])
+		}
+	}
+	c := stream(8)
+	same := len(a) == len(c)
+	if same {
+		for i := range a {
+			if a[i] != c[i] {
+				same = false
+				break
+			}
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced the identical stream")
+	}
+}
+
+// slowTarget stalls every request far past its deadline.
+type slowTarget struct{}
+
+func (slowTarget) Do(ctx context.Context, op *Op) error {
+	<-ctx.Done()
+	return ctx.Err()
+}
+
+// TestOpenLoopDoesNotThrottle: a stalled server must not slow arrivals
+// down. Every scheduled op is accounted as completed, timed out, or shed —
+// and with the server stalling everything, timeouts dominate instead of
+// the run lasting longer.
+func TestOpenLoopDoesNotThrottle(t *testing.T) {
+	const rate, secs = 2000.0, 0.25
+	cfg := Config{
+		Seed:    1,
+		Keys:    100,
+		Workers: 4,
+		Timeout: 5 * time.Millisecond,
+		Phases:  []Phase{{Name: "stall", Duration: time.Duration(secs * float64(time.Second)), Rate: rate, ReadFrac: 1}},
+	}
+	start := time.Now()
+	res := Run(cfg, slowTarget{})
+	elapsed := time.Since(start)
+	ph := res.Phases[0]
+	total := ph.Ops + ph.Timeouts + ph.Errors + ph.Shed
+	want := uint64(rate * secs)
+	if total < want*9/10 || total > want*11/10 {
+		t.Errorf("accounted ops = %d, want ~%d (open loop must not drop arrivals silently)", total, want)
+	}
+	if ph.Ops != 0 {
+		t.Errorf("stalled target completed %d ops", ph.Ops)
+	}
+	if ph.Timeouts == 0 {
+		t.Error("no timeouts against a stalled target")
+	}
+	// The run should end shortly after the phase does — within the op
+	// timeout plus scheduling slack — not after rate*stall-time.
+	if elapsed > time.Duration(secs*float64(time.Second))+cfg.Timeout+500*time.Millisecond {
+		t.Errorf("run took %v: generator was throttled by the target", elapsed)
+	}
+}
+
+// TestLatencyFromScheduledArrival: latency is measured against the
+// schedule, not the send time — queue delay counts (no coordinated
+// omission). A target with a fixed 2ms service time driven slightly over
+// its capacity must show p99 well above the bare service time.
+func TestLatencyFromScheduledArrival(t *testing.T) {
+	cfg := Config{
+		Seed:    3,
+		Keys:    100,
+		Workers: 1, // single slot: capacity 500 ops/s at 2ms each
+		Timeout: 400 * time.Millisecond,
+		Phases:  []Phase{{Name: "over", Duration: 300 * time.Millisecond, Rate: 1000, ReadFrac: 1}},
+	}
+	res := Run(cfg, fixedDelayTarget{2 * time.Millisecond})
+	ph := res.Phases[0]
+	if ph.Ops == 0 {
+		t.Fatal("no ops completed")
+	}
+	if ph.P99 < 4 { // ms; queueing at 2x overload must dominate service time
+		t.Errorf("p99 = %.2fms; scheduled-arrival accounting should show queue delay ≫ 2ms service time", ph.P99)
+	}
+}
+
+type fixedDelayTarget struct{ d time.Duration }
+
+func (f fixedDelayTarget) Do(ctx context.Context, op *Op) error {
+	timer := time.NewTimer(f.d)
+	defer timer.Stop()
+	select {
+	case <-timer.C:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// TestScriptShape sanity-checks the canonical script used by cmd/kvload
+// and the benchmark: three phases, every fraction in range, non-zero
+// warmup so adaptive convergence is excluded from steady-state tails.
+func TestScriptShape(t *testing.T) {
+	ph := Script(5000, 4)
+	if len(ph) != 3 {
+		t.Fatalf("script has %d phases, want 3", len(ph))
+	}
+	names := []string{"read-mostly", "write-storm", "churn"}
+	for i, p := range ph {
+		if p.Name != names[i] {
+			t.Errorf("phase %d = %q, want %q", i, p.Name, names[i])
+		}
+		if p.Rate != 5000 || p.Duration != 4*time.Second {
+			t.Errorf("phase %q rate/duration not applied", p.Name)
+		}
+		if p.ReadFrac+p.ScanFrac > 1 || p.WarmupFrac <= 0 || p.WarmupFrac >= 0.5 {
+			t.Errorf("phase %q fractions out of range: %+v", p.Name, p)
+		}
+	}
+	if ph[0].ReadFrac < 0.9 || ph[1].ReadFrac > 0.2 {
+		t.Error("read-mostly/write-storm phases are not differentiated")
+	}
+	if !ph[2].Churn || ph[2].DeleteFrac == 0 {
+		t.Error("churn phase missing churn behavior")
+	}
+}

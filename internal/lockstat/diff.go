@@ -1,0 +1,118 @@
+package lockstat
+
+// Interval snapshot/diff support: the adaptive layer in internal/kvserver
+// and the /debug/lockstat endpoint both want *rates* — what a lock site did
+// over the last polling interval — while Site.Report() accumulates lifetime
+// totals. Diff subtracts one report snapshot from a later one of the same
+// site, so a controller keeps the previous snapshot and works on deltas.
+
+// Diff returns the activity between two snapshots of the same site:
+// cur minus prev, counter by counter and histogram bucket by bucket. If any
+// counter in cur is smaller than in prev (the site was Reset between the
+// snapshots), the diff degenerates to cur itself — after a reset, cur *is*
+// the interval activity. Name and Substrate are taken from cur.
+func Diff(prev, cur Report) Report {
+	if resetBetween(prev, cur) {
+		return cur
+	}
+	d := Report{
+		Name:           cur.Name,
+		Substrate:      cur.Substrate,
+		Acquires:       cur.Acquires - prev.Acquires,
+		ReadAcquires:   cur.ReadAcquires - prev.ReadAcquires,
+		Contended:      cur.Contended - prev.Contended,
+		TrySuccess:     cur.TrySuccess - prev.TrySuccess,
+		TryFail:        cur.TryFail - prev.TryFail,
+		Steals:         cur.Steals - prev.Steals,
+		Handoffs:       cur.Handoffs - prev.Handoffs,
+		Parks:          cur.Parks - prev.Parks,
+		WakeupsInCS:    cur.WakeupsInCS - prev.WakeupsInCS,
+		WakeupsOffCS:   cur.WakeupsOffCS - prev.WakeupsOffCS,
+		Shuffles:       cur.Shuffles - prev.Shuffles,
+		ShuffleScanned: cur.ShuffleScanned - prev.ShuffleScanned,
+		ShuffleMoves:   cur.ShuffleMoves - prev.ShuffleMoves,
+		Aborts:         cur.Aborts - prev.Aborts,
+		Reclaims:       cur.Reclaims - prev.Reclaims,
+		DynamicAllocs:  cur.DynamicAllocs - prev.DynamicAllocs,
+		Wait:           diffHist(prev.Wait, cur.Wait),
+		Hold:           diffHist(prev.Hold, cur.Hold),
+	}
+	if len(cur.Policies) > 0 {
+		d.Policies = make(map[string]PolicyShuffleStats, len(cur.Policies))
+		for name, c := range cur.Policies {
+			p := prev.Policies[name]
+			d.Policies[name] = PolicyShuffleStats{
+				Rounds:  c.Rounds - p.Rounds,
+				Scanned: c.Scanned - p.Scanned,
+				Moved:   c.Moved - p.Moved,
+			}
+		}
+	}
+	return d
+}
+
+// resetBetween detects a Reset between the snapshots: any counter running
+// backwards. Counters are monotone on a live site, so one decrease is proof.
+func resetBetween(prev, cur Report) bool {
+	if cur.Acquires < prev.Acquires || cur.Contended < prev.Contended ||
+		cur.ReadAcquires < prev.ReadAcquires || cur.Parks < prev.Parks ||
+		cur.Aborts < prev.Aborts || cur.Shuffles < prev.Shuffles {
+		return true
+	}
+	if cur.Wait != nil && prev.Wait != nil && cur.Wait.Count < prev.Wait.Count {
+		return true
+	}
+	return false
+}
+
+// diffHist subtracts histogram snapshots bucket-wise; nil means empty.
+// Returns nil when nothing happened in the interval.
+func diffHist(prev, cur *HistSnapshot) *HistSnapshot {
+	if cur == nil {
+		return nil
+	}
+	if prev == nil {
+		out := &HistSnapshot{Count: cur.Count, SumNs: cur.SumNs, Buckets: append([]uint64(nil), cur.Buckets...)}
+		return out
+	}
+	d := &HistSnapshot{SumNs: cur.SumNs - prev.SumNs, Buckets: make([]uint64, len(cur.Buckets))}
+	for i, v := range cur.Buckets {
+		var p uint64
+		if i < len(prev.Buckets) {
+			p = prev.Buckets[i]
+		}
+		d.Buckets[i] = v - p
+		d.Count += d.Buckets[i]
+	}
+	if d.Count == 0 {
+		return nil
+	}
+	last := 0
+	for i, v := range d.Buckets {
+		if v != 0 {
+			last = i
+		}
+	}
+	d.Buckets = d.Buckets[:last+1]
+	return d
+}
+
+// DiffAll matches reports by (name, substrate) and diffs each pair. Sites
+// present only in cur (registered mid-interval) appear as their cur report;
+// sites present only in prev are dropped. Output order follows cur.
+func DiffAll(prev, cur []Report) []Report {
+	type key struct{ name, sub string }
+	idx := make(map[key]Report, len(prev))
+	for _, r := range prev {
+		idx[key{r.Name, r.Substrate}] = r
+	}
+	out := make([]Report, 0, len(cur))
+	for _, r := range cur {
+		if p, ok := idx[key{r.Name, r.Substrate}]; ok {
+			out = append(out, Diff(p, r))
+		} else {
+			out = append(out, r)
+		}
+	}
+	return out
+}

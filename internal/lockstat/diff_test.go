@@ -1,0 +1,127 @@
+package lockstat
+
+import (
+	"testing"
+	"time"
+)
+
+// TestDiffReportsIntervalActivity drives a site through two bursts and
+// checks that Diff over snapshots taken around the second burst reports
+// exactly that burst, counters and histogram mass alike.
+func TestDiffReportsIntervalActivity(t *testing.T) {
+	r := NewRegistry()
+	s := r.Site("kv/shard00")
+
+	burst := func(n int, waitNs int64, reads, contended, aborts int) {
+		for i := 0; i < n; i++ {
+			s.RecordAcquire(waitNs, i < reads)
+		}
+		for i := 0; i < contended; i++ {
+			s.RecordContended()
+		}
+		for i := 0; i < aborts; i++ {
+			s.RecordAbort()
+		}
+	}
+
+	burst(100, 0, 10, 5, 1)
+	prev := s.Report()
+	burst(40, 2048, 25, 7, 3)
+	cur := s.Report()
+
+	d := Diff(prev, cur)
+	if d.Acquires != 40 {
+		t.Errorf("interval acquires = %d, want 40", d.Acquires)
+	}
+	if d.ReadAcquires != 25 {
+		t.Errorf("interval reads = %d, want 25", d.ReadAcquires)
+	}
+	if d.Contended != 7 {
+		t.Errorf("interval contended = %d, want 7", d.Contended)
+	}
+	if d.Aborts != 3 {
+		t.Errorf("interval aborts = %d, want 3", d.Aborts)
+	}
+	if d.Wait == nil || d.Wait.Count != 40 {
+		t.Fatalf("interval wait mass = %v, want 40", d.Wait)
+	}
+	// All 40 interval samples were ~2µs, so the interval p50 must land in
+	// the 2048ns bucket even though the lifetime histogram is dominated by
+	// the zero-wait first burst.
+	if p := d.Wait.Percentile(0.50); p < 1024 || p > 4096 {
+		t.Errorf("interval wait p50 = %.0f ns, want ~2048 (lifetime p50 would be 0)", p)
+	}
+	if msg := d.Consistent(); msg != "" {
+		t.Errorf("interval report inconsistent: %s", msg)
+	}
+
+	// A second diff over a quiet interval is all zeros with no histograms.
+	d2 := Diff(cur, s.Report())
+	if d2.Acquires != 0 || d2.Wait != nil || d2.Hold != nil {
+		t.Errorf("quiet interval diff not empty: %+v", d2)
+	}
+}
+
+// TestDiffAfterReset: a Reset between snapshots must not produce underflowed
+// counters; the diff degenerates to the current (post-reset) report.
+func TestDiffAfterReset(t *testing.T) {
+	r := NewRegistry()
+	s := r.Site("x")
+	for i := 0; i < 50; i++ {
+		s.RecordAcquire(100, false)
+	}
+	prev := s.Report()
+	r.Reset()
+	for i := 0; i < 3; i++ {
+		s.RecordAcquire(100, false)
+	}
+	d := Diff(prev, s.Report())
+	if d.Acquires != 3 {
+		t.Errorf("post-reset diff acquires = %d, want 3", d.Acquires)
+	}
+}
+
+// TestDiffAll matches by name, passes through sites that appeared
+// mid-interval, and drops sites that vanished.
+func TestDiffAll(t *testing.T) {
+	r := NewRegistry()
+	a, b := r.Site("a"), r.Site("b")
+	a.RecordAcquire(0, false)
+	b.RecordAcquire(0, false)
+	prev := r.Reports()
+
+	a.RecordAcquire(500, false)
+	c := r.Site("c") // registered mid-interval
+	c.RecordAcquire(0, false)
+	cur := r.Reports()
+
+	out := DiffAll(prev, cur)
+	byName := map[string]Report{}
+	for _, rep := range out {
+		byName[rep.Name] = rep
+	}
+	if byName["a"].Acquires != 1 {
+		t.Errorf("a interval acquires = %d, want 1", byName["a"].Acquires)
+	}
+	if byName["b"].Acquires != 0 {
+		t.Errorf("b interval acquires = %d, want 0", byName["b"].Acquires)
+	}
+	if byName["c"].Acquires != 1 {
+		t.Errorf("c (new site) acquires = %d, want 1", byName["c"].Acquires)
+	}
+}
+
+// TestRecordAcquireDisabled: direct recording honors the registry switch.
+func TestRecordAcquireDisabled(t *testing.T) {
+	r := NewRegistry()
+	s := r.Site("off")
+	r.SetEnabled(false)
+	s.RecordAcquire(100, true)
+	s.RecordContended()
+	s.RecordAbort()
+	s.RecordHold(int64(time.Microsecond))
+	rep := s.Report()
+	if rep.Acquires != 0 || rep.ReadAcquires != 0 || rep.Contended != 0 || rep.Aborts != 0 || rep.Hold != nil {
+		t.Errorf("disabled registry still recorded: %+v", rep)
+	}
+}

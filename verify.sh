@@ -86,4 +86,40 @@ echo "watchdog caught the deadlock and produced a post-mortem"
 echo "== native abort torture: mutex with timeouts under oversubscription"
 go run ./cmd/locktorture -lock mutex -threads 8 -duration 1s -abort-frac 0.3 -deadline 120s
 
+echo "== kvserve smoke gate: live server + seeded open-loop load"
+# Build both binaries, start the server on a kernel-chosen loopback port,
+# drive it with a short seeded kvload run, and assert the service invariants
+# (ops completed, zero mutual-exclusion violations, parseable
+# /debug/lockstat) plus a clean shutdown within the runtime cap.
+KVDIR=$(mktemp -d /tmp/kvserve-verify.XXXXXX)
+trap 'rm -rf "$KVDIR"' EXIT
+go build -o "$KVDIR/" ./cmd/kvserver ./cmd/kvload
+"$KVDIR/kvserver" -addr 127.0.0.1:0 -preload 20000 -port-file "$KVDIR/port" \
+	-max-runtime 120s >"$KVDIR/server.log" 2>&1 &
+KVPID=$!
+i=0
+while [ ! -s "$KVDIR/port" ]; do
+	i=$((i + 1))
+	if [ $i -gt 100 ]; then
+		echo "FAIL: kvserver never wrote its port file" >&2
+		cat "$KVDIR/server.log" >&2
+		kill "$KVPID" 2>/dev/null || true
+		exit 1
+	fi
+	sleep 0.1
+done
+KVADDR=$(cat "$KVDIR/port")
+"$KVDIR/kvload" -url "http://$KVADDR" -keys 20000 -smoke -json "$KVDIR/smoke.json"
+kill -TERM "$KVPID"
+wait "$KVPID"
+grep -q "bye" "$KVDIR/server.log" || {
+	echo "FAIL: kvserver did not shut down cleanly" >&2
+	cat "$KVDIR/server.log" >&2
+	exit 1
+}
+echo "kvserve smoke: ops flowed, 0 violations, lockstat parsed, clean shutdown"
+
+echo "== kvserver handover torture under -race"
+go test -race -run 'TestHandoverTorture|TestSwapLockRace' ./internal/kvserver/
+
 echo "verify.sh: ALL PASS"
