@@ -18,7 +18,7 @@
 // permanent holder stall and expects the starvation watchdog to fire and
 // dump the frozen scheduler state instead of hanging.
 //
-// Usage: locktorture [-lock mutex|spinlock|rwmutex|tas|ticket|mcs]
+// Usage: locktorture [-lock mutex|spinlock|rwmutex|goro|goro-rw|tas|ticket|mcs]
 // [-policy numa|prio|...] [-threads 16] [-duration 5s] [-sockets 4]
 // [-lockstat] [-abort-frac 0.2] [-watchdog 10s] [-deadline 2m]
 // [-chaos] [-chaos-seed 42] [-chaos-lock shfllock-b] [-chaos-deadlock]
@@ -64,7 +64,7 @@ type abortLocker interface {
 
 func main() {
 	var (
-		lockName  = flag.String("lock", "mutex", "lock to torture: mutex|spinlock|rwmutex|tas|ticket|mcs")
+		lockName  = flag.String("lock", "mutex", "lock to torture: mutex|spinlock|rwmutex|goro|goro-rw|tas|ticket|mcs")
 		threads   = flag.Int("threads", 16, "torture goroutines")
 		duration  = flag.Duration("duration", 5*time.Second, "how long to run")
 		sockets   = flag.Int("sockets", 4, "sockets assumed by the shuffling policy")
@@ -101,17 +101,25 @@ func main() {
 		}
 	}
 
-	if *lockName == "rwmutex" {
-		var mu core.RWMutex
-		mu.SetPolicy(pol)
-		var l rwLocker = &mu
+	if *lockName == "rwmutex" || *lockName == "goro-rw" {
+		mu := &core.RWMutex{}
+		if *lockName == "goro-rw" {
+			mu = core.NewGoroRWMutex()
+		}
+		// Only override the policy when one was asked for: the goro
+		// constructor pre-installs its own, and SetPolicy(nil) would
+		// silently replace it with the NUMA default.
+		if pol != nil {
+			mu.SetPolicy(pol)
+		}
+		var l rwLocker = mu
 		if *stat {
-			l = lockstat.InstrumentRW(&mu, "torture/rwmutex")
+			l = lockstat.InstrumentRW(mu, "torture/"+*lockName)
 			defer finalReport()
 			stopLive := liveReports(*duration)
 			defer stopLive()
 		}
-		tortureRW(l, &mu, *threads, *duration, *abortFrac, *watchdog)
+		tortureRW(*lockName, l, mu, *threads, *duration, *abortFrac, *watchdog)
 		return
 	}
 
@@ -126,6 +134,12 @@ func main() {
 		s := &core.SpinLock{}
 		s.SetPolicy(pol)
 		l, al = s, s
+	case "goro":
+		m := core.NewGoroMutex()
+		if pol != nil {
+			m.SetPolicy(pol)
+		}
+		l, al = m, m
 	case "tas":
 		l = &core.TASLock{}
 	case "ticket":
@@ -344,7 +358,7 @@ func finalReport() {
 	fmt.Println("lockstat counters consistent")
 }
 
-func tortureRW(l rwLocker, al abortLocker, threads int, duration time.Duration, abortFrac float64, watchdog time.Duration) {
+func tortureRW(name string, l rwLocker, al abortLocker, threads int, duration time.Duration, abortFrac float64, watchdog time.Duration) {
 	var stop atomic.Bool
 	var readers, writers atomic.Int32
 	var rops, wops, violations, timeouts atomic.Int64
@@ -388,7 +402,7 @@ func tortureRW(l rwLocker, al abortLocker, threads int, duration time.Duration, 
 	time.Sleep(duration)
 	stop.Store(true)
 	wg.Wait()
-	fmt.Printf("lock=rwmutex threads=%d duration=%v\n", threads, duration)
+	fmt.Printf("lock=%s threads=%d duration=%v\n", name, threads, duration)
 	fmt.Printf("reads=%d writes=%d violations=%d\n", rops.Load(), wops.Load(), violations.Load())
 	if abortFrac > 0 {
 		fmt.Printf("abortable: timeouts=%d\n", timeouts.Load())

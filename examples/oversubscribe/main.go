@@ -52,6 +52,7 @@ func main() {
 	fmt.Printf("GOMAXPROCS=%d, %dx over-subscription\n\n", runtime.GOMAXPROCS(0), *factor)
 
 	run("shfllock-mutex", &core.Mutex{}, goroutines, *iters)
+	run("goro-mutex", core.NewGoroMutex(), goroutines, *iters)
 	run("shfllock-spin", &core.SpinLock{}, goroutines, *iters)
 	run("mcs", &core.MCSLock{}, goroutines, *iters)
 	run("tas", &core.TASLock{}, goroutines, *iters)

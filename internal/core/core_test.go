@@ -17,11 +17,13 @@ type locker interface {
 
 func allLockers() map[string]func() locker {
 	return map[string]func() locker{
-		"spinlock": func() locker { return &SpinLock{} },
-		"mutex":    func() locker { return &Mutex{} },
-		"tas":      func() locker { return &TASLock{} },
-		"ticket":   func() locker { return &TicketLock{} },
-		"mcs":      func() locker { return &MCSLock{} },
+		"spinlock":      func() locker { return &SpinLock{} },
+		"mutex":         func() locker { return &Mutex{} },
+		"goro-mutex":    func() locker { return NewGoroMutex() },
+		"goro-spinlock": func() locker { return NewGoroSpinLock() },
+		"tas":           func() locker { return &TASLock{} },
+		"ticket":        func() locker { return &TicketLock{} },
+		"mcs":           func() locker { return &MCSLock{} },
 	}
 }
 

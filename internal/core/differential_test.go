@@ -26,7 +26,8 @@ func replayOnCore(t *testing.T, snap shuffle.Snapshot) []string {
 	nodes := make([]*qnode, len(snap.Nodes))
 	ids := make(map[*qnode]uint64, len(snap.Nodes))
 	for i, nd := range snap.Nodes {
-		n := &qnode{socket: uint32(nd.Socket), prio: nd.Prio, park: make(chan struct{}, 1)}
+		n := &qnode{prio: nd.Prio, park: make(chan struct{}, 1)}
+		n.group.Store(uint32(nd.Socket))
 		n.status.Store(uint32(nd.Status))
 		n.batch.Store(uint32(nd.Batch))
 		nodes[i] = n

@@ -1,0 +1,60 @@
+package core
+
+import "shfllock/internal/shuffle"
+
+// The goroutine-native ShflLock variants. The algorithm is unchanged —
+// same TAS word, same shuffled MCS queue, same abortable acquisition via
+// LockTimeout/LockContext — but every scheduler-facing heuristic is
+// re-derived from the Go runtime instead of from pinned-OS-thread
+// assumptions:
+//
+//   - Grouping: waiters are grouped by an approximate current-P bucket
+//     (internal/runtimeq.PGroup), re-stamped on every acquisition, instead
+//     of the creation-time fake-socket stamp. On goroutines the paper's
+//     socket id does not exist, and a write-once stamp on a pooled node is
+//     not even stable — grouping needs stable identity more than it needs
+//     hardware truth (the CNA lesson). Same-P waiters really do share
+//     everything that matters here: cache residency and a timeslice.
+//   - Oversubscription: detected from runtime/metrics goroutine counts
+//     against GOMAXPROCS (runtimeq.Oversubscribed), the userspace analog
+//     of the kernel patch's NrRunning guard (§4.3). While oversubscribed,
+//     blocking waiters park after goroOversubSpinBudget spins instead of
+//     spinBudget, shufflers stop pre-waking grouped waiters (the wakeup
+//     would just add another spinner to a saturated run queue; the grant
+//     wake still happens), and unparkable spins donate their timeslice
+//     with short sleeps instead of Gosched round trips.
+//
+// Use these for Go services whose goroutine count is unbounded or bursty;
+// prefer the plain family when GOMAXPROCS OS threads are pinned and the
+// socket layout is meaningful.
+
+// NewGoroMutex returns a blocking ShflLock tuned for goroutine workloads:
+// P-bucket grouping and oversubscription-aware parking. The zero-value
+// Mutex remains the socket-grouped variant.
+func NewGoroMutex() *Mutex {
+	m := &Mutex{}
+	m.s.goro = true
+	m.s.policy = shuffle.Goro()
+	return m
+}
+
+// NewGoroSpinLock returns the non-blocking goroutine-native variant.
+// Waiters cannot park, but under oversubscription they donate their
+// timeslices with short sleeps once spinning has demonstrably not helped.
+// Prefer NewGoroMutex when critical sections can be preempted at all.
+func NewGoroSpinLock() *SpinLock {
+	l := &SpinLock{}
+	l.s.goro = true
+	l.s.policy = shuffle.Goro()
+	return l
+}
+
+// NewGoroRWMutex returns the goroutine-native readers-writer variant: the
+// internal ordering mutex runs in goro mode, so contended readers and
+// writers inherit P-bucket grouping and oversubscription-aware parking.
+func NewGoroRWMutex() *RWMutex {
+	l := &RWMutex{}
+	l.wlock.s.goro = true
+	l.wlock.s.policy = shuffle.Goro()
+	return l
+}

@@ -1,0 +1,250 @@
+package core
+
+import (
+	"context"
+	"runtime"
+	"sync"
+	"testing"
+	"time"
+
+	"shfllock/internal/runtimeq"
+	"shfllock/internal/shuffle"
+)
+
+// TestSinglePFollowsGOMAXPROCS is the regression test for the stale
+// single-P heuristic: it used to be computed once at package init, so a
+// program calling runtime.GOMAXPROCS(n) after import kept the wrong
+// spin/park pacing forever. Now the judgment must follow a GOMAXPROCS
+// change after at most one acquisition-count refresh epoch — no explicit
+// Refresh call here; contended acquisitions alone must carry the update.
+func TestSinglePFollowsGOMAXPROCS(t *testing.T) {
+	oldProcs := runtime.GOMAXPROCS(0)
+	AutoSingleP()
+	defer func() {
+		runtime.GOMAXPROCS(oldProcs)
+		runtimeq.Refresh()
+	}()
+
+	// Flip away from the init-time value so the test bites on any box:
+	// a 1-P binary goes to 2 Ps (SingleP must become false), a multi-P
+	// binary goes to 1 P (SingleP must become true).
+	target := 2
+	want := false
+	if oldProcs > 1 {
+		target = 1
+		want = true
+	}
+	runtime.GOMAXPROCS(target)
+
+	var m Mutex
+	deadline := time.Now().Add(10 * time.Second)
+	for SingleP() != want {
+		if time.Now().After(deadline) {
+			t.Fatalf("SingleP() stuck at %v after GOMAXPROCS(%d); epoch refresh never fired",
+				!want, target)
+		}
+		// A contended burst: goroutines yielding inside the critical
+		// section force queueing, and every queued acquisition ticks the
+		// refresh epoch.
+		invariantHammer(t, &m, 4, 100)
+	}
+}
+
+func TestSetSinglePOverrideWins(t *testing.T) {
+	defer AutoSingleP()
+	SetSingleP(true)
+	runtimeq.Refresh()
+	if !SingleP() {
+		t.Error("SetSingleP(true) lost to the measured value")
+	}
+	SetSingleP(false)
+	if SingleP() {
+		t.Error("SetSingleP(false) lost to the measured value")
+	}
+	AutoSingleP()
+	if got, wantAuto := SingleP(), runtimeq.Procs() == 1; got != wantAuto {
+		t.Errorf("AutoSingleP: SingleP() = %v, want measured %v", got, wantAuto)
+	}
+}
+
+// TestHostSocketInit pins the satellite fix for the NumCPU()/24 guess: the
+// configured socket count must be at least 1 and, since every Linux box
+// has sysfs, should equal the host's NUMA node count there.
+func TestHostSocketInit(t *testing.T) {
+	if Sockets() < 1 {
+		t.Fatalf("Sockets() = %d at init, want >= 1", Sockets())
+	}
+}
+
+func TestGoroMutualExclusion(t *testing.T) {
+	hammer(t, NewGoroMutex(), 8, 2000)
+	hammer(t, NewGoroSpinLock(), 8, 2000)
+}
+
+func TestGoroMutualExclusionOversubscribed(t *testing.T) {
+	// Force the oversubscribed verdict so the short-budget park path and
+	// the sleep-pacing paths are the ones exercised.
+	runtimeq.OverrideOversub(true)
+	defer runtimeq.ClearOversubOverride()
+	hammer(t, NewGoroMutex(), 32, 500)
+	hammer(t, NewGoroSpinLock(), 8, 500)
+}
+
+func TestGoroRWMutex(t *testing.T) {
+	l := NewGoroRWMutex()
+	stop := make(chan struct{})
+	var readers sync.WaitGroup
+	for g := 0; g < 3; g++ {
+		readers.Add(1)
+		go func() {
+			defer readers.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				l.RLock()
+				runtime.Gosched()
+				l.RUnlock()
+			}
+		}()
+	}
+	// Write-side mutual exclusion under reader turbulence; lost updates
+	// (or -race) catch any hole.
+	invariantHammer(t, rwWriteSide{l}, 4, 300)
+	close(stop)
+	readers.Wait()
+}
+
+func TestGoroAbortSurfaces(t *testing.T) {
+	m := NewGoroMutex()
+	if !m.LockTimeout(time.Second) {
+		t.Fatal("uncontended LockTimeout failed")
+	}
+	// Held: a tight timeout must expire, a cancelled context must abort.
+	if m.LockTimeout(time.Millisecond) {
+		t.Fatal("LockTimeout acquired a held lock")
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if err := m.LockContext(ctx); err == nil {
+		t.Fatal("LockContext acquired with a cancelled context")
+	}
+	m.Unlock()
+	if err := m.LockContext(context.Background()); err != nil {
+		t.Fatalf("uncontended LockContext: %v", err)
+	}
+	m.Unlock()
+
+	rw := NewGoroRWMutex()
+	if !rw.LockTimeout(time.Second) {
+		t.Fatal("rw LockTimeout failed")
+	}
+	if rw.RLockTimeout(time.Millisecond) {
+		t.Fatal("RLockTimeout acquired against a held writer")
+	}
+	rw.Unlock()
+}
+
+// recordingGoroPolicy wraps the goro policy and records every group id a
+// shuffling round observes, through either side of a Match decision.
+type recordingGoroPolicy struct {
+	shuffle.Policy
+	mu   sync.Mutex
+	seen map[uint64]int
+}
+
+func (p *recordingGoroPolicy) Match(c shuffle.Ctx) bool {
+	g, s := c.CandidateSocket(), c.ShufflerSocket()
+	p.mu.Lock()
+	p.seen[g]++
+	p.seen[s]++
+	p.mu.Unlock()
+	return g == s
+}
+
+// TestGoroGroupRetagUnderPoolRecycling is the property test for
+// per-acquisition group stamping: group identity observed by shuffling
+// rounds must always reflect the acquirer's current P bucket, never a
+// stale stamp left on a pooled node by an earlier user. We deterministically
+// poison pooled nodes with an impossible group id and then assert no
+// shuffling round ever sees it. Run under -race in verify.sh's core pass.
+func TestGoroGroupRetagUnderPoolRecycling(t *testing.T) {
+	const poison = 9999 // far outside any plausible bucket count
+
+	// Poison the pool: these nodes go back with a group id no live
+	// runtime could produce. Before the fix (write-once stamping at node
+	// creation) a recycled node would carry its old id into the queue.
+	for i := 0; i < 64; i++ {
+		nodes := make([]*qnode, 8)
+		for j := range nodes {
+			nodes[j] = getNode()
+			nodes[j].group.Store(poison)
+		}
+		for _, n := range nodes {
+			putNode(n)
+		}
+	}
+
+	rec := &recordingGoroPolicy{Policy: shuffle.Goro(), seen: make(map[uint64]int)}
+	m := NewGoroMutex()
+	m.SetPolicy(rec)
+
+	// Gosched inside the CS piles waiters up so rounds actually scan;
+	// retry until Match observed something.
+	for attempt := 0; attempt < 10; attempt++ {
+		invariantHammer(t, m, 6, 200)
+		rec.mu.Lock()
+		n := len(rec.seen)
+		rec.mu.Unlock()
+		if n > 0 {
+			break
+		}
+	}
+
+	rec.mu.Lock()
+	defer rec.mu.Unlock()
+	if len(rec.seen) == 0 {
+		t.Fatal("no shuffling round ran; property not exercised")
+	}
+	buckets := uint64(runtimeq.Buckets())
+	for g, count := range rec.seen {
+		if g == poison {
+			t.Fatalf("shuffling observed the poisoned creation-time group %d times: pooled nodes are not re-stamped per acquisition", count)
+		}
+		if g >= buckets {
+			t.Errorf("shuffling observed group %d outside [0,%d): stale stamp survived pool recycling", g, buckets)
+		}
+	}
+}
+
+// TestGoroPolicyRegistered pins the registry surface shflbench -list and
+// locktorture -policy rely on.
+func TestGoroPolicyRegistered(t *testing.T) {
+	p := shuffle.ByName("goro")
+	if p == nil {
+		t.Fatal(`shuffle.ByName("goro") = nil; policy not registered`)
+	}
+	if !p.Shuffles() || !p.PassRole() || !p.UseHint() {
+		t.Error("goro policy lost a shuffling mechanism stage")
+	}
+}
+
+// TestGoroWakeGroupedSuppressedUnderOversub pins the park-cheap behavior:
+// the policy stops pre-waking grouped waiters while oversubscribed.
+func TestGoroWakeGroupedSuppressedUnderOversub(t *testing.T) {
+	defer runtimeq.ClearOversubOverride()
+	p := shuffle.Goro()
+	runtimeq.OverrideOversub(false)
+	if !p.WakeGrouped(true) {
+		t.Error("WakeGrouped(blocking) = false on an idle runtime")
+	}
+	runtimeq.OverrideOversub(true)
+	if p.WakeGrouped(true) {
+		t.Error("WakeGrouped(blocking) = true while oversubscribed")
+	}
+	if p.WakeGrouped(false) {
+		t.Error("WakeGrouped(non-blocking) must always be false")
+	}
+}

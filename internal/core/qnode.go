@@ -4,13 +4,25 @@
 // sync.Locker replacements, plus simple TAS/ticket/MCS baselines for
 // comparison benchmarks.
 //
-// Shuffling needs to know which NUMA socket a waiter runs on. Go offers no
-// portable way to query the current CPU, so the package approximates: queue
-// nodes are recycled through a sync.Pool (which is per-P under the hood)
-// and each node is assigned a socket round-robin when first created. On a
-// real NUMA machine with GOMAXPROCS pinned OS threads this correlates well
-// enough for batching to help; callers with better knowledge can set the
-// socket explicitly via LockWithSocket.
+// Shuffling needs to know which group a waiter belongs to. The paper groups
+// by NUMA socket of a pinned OS thread; Go offers no portable way to query
+// the current CPU, so the package approximates, in one of two modes:
+//
+//   - Socket mode (the default family): queue nodes are recycled through a
+//     sync.Pool (which is per-P under the hood) and each node is assigned a
+//     socket round-robin when first created. On a real NUMA machine with
+//     GOMAXPROCS pinned OS threads this correlates well enough for batching
+//     to help. The socket count comes from the host's sysfs NUMA layout
+//     when available (internal/topology.DetectHostSockets), else a
+//     documented NumCPU-based fallback; SetSockets overrides.
+//   - Goroutine mode (NewGoroMutex / NewGoroRWMutex / NewGoroSpinLock):
+//     nodes are re-stamped on every acquisition with an approximate
+//     current-P bucket from internal/runtimeq, because on goroutines the
+//     creation-time stamp is a lie — the pool recycles nodes across Ps, so
+//     a write-once id gives a waiter whatever group the node's creator had.
+//     Grouping only pays when group identity is stable for the duration of
+//     one queue wait (the CNA lesson), which per-acquisition stamping
+//     restores.
 package core
 
 import (
@@ -18,6 +30,9 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"shfllock/internal/runtimeq"
+	"shfllock/internal/topology"
 )
 
 // Queue-node status values (Figure 4 and Figure 6 of the paper), plus the
@@ -37,9 +52,9 @@ const (
 // paper footnote 3).
 const spinBudget = 128
 
-// singleP records whether the runtime has exactly one P. Spinning on a
-// condition another goroutine must make true is then a losing bet past
-// the first yield — the spinner's timeslices are the very thing the
+// The single-P heuristic: whether the runtime has exactly one P. Spinning
+// on a condition another goroutine must make true is then a losing bet
+// past the first yield — the spinner's timeslices are the very thing the
 // holder is waiting for. This is the userspace analog of the kernel
 // patch's "NrRunning > #cores → park immediately" oversubscription guard
 // (paper §4.3), and of the Go runtime disabling sync.Mutex spinning when
@@ -47,19 +62,44 @@ const spinBudget = 128
 // pre-park spin (spinBudget): those waits are one short critical section
 // long, the spin is Gosched-paced anyway, and replacing 16 yields with a
 // park/wake channel round trip measurably hurts handoff latency. Only
-// the unparkable condition-spins (spinWait) change behavior. Computed
-// once at init; tests may override via SetSingleP.
-var singleP = runtime.GOMAXPROCS(0) == 1
+// the unparkable condition-spins (spinWait) change behavior.
+//
+// The value is derived from runtimeq's cached GOMAXPROCS, which getNode
+// refreshes on a coarse acquisition-count epoch — NOT computed once at
+// package init: a program that calls runtime.GOMAXPROCS(n) after
+// importing this package (common in servers that size themselves after
+// flag parsing) would otherwise keep stale spin/park pacing forever.
+// singlePForce is the SetSingleP override: it wins over the measured
+// value until SetSingleP is called again.
+var singlePForce atomic.Int32 // 0 = auto, 1 = forced true, 2 = forced false
 
-// SetSingleP overrides the single-P heuristic (e.g. after the caller
-// changes GOMAXPROCS). Not synchronized with in-flight acquisitions: a
-// stale read only mis-paces one waiter's spin loop.
-func SetSingleP(on bool) { singleP = on }
+// SetSingleP overrides the single-P heuristic (e.g. for tests, or for a
+// caller that knows better than the GOMAXPROCS census). The override
+// sticks: later GOMAXPROCS changes do not clear it.
+func SetSingleP(on bool) {
+	if on {
+		singlePForce.Store(1)
+	} else {
+		singlePForce.Store(2)
+	}
+}
+
+// AutoSingleP removes a SetSingleP override, returning SingleP to the
+// measured, epoch-refreshed GOMAXPROCS judgment.
+func AutoSingleP() { singlePForce.Store(0) }
 
 // SingleP reports the current single-P heuristic, so policy layers above
 // the locks (e.g. an adaptive controller choosing a lock family) can
 // share the same judgment instead of re-deriving it.
-func SingleP() bool { return singleP }
+func SingleP() bool {
+	switch singlePForce.Load() {
+	case 1:
+		return true
+	case 2:
+		return false
+	}
+	return runtimeq.Procs() == 1
+}
 
 // spinWait paces iteration i (counting from 1) of a condition-spin loop
 // that cannot park — the queue head polling the TAS word, a writer
@@ -75,7 +115,7 @@ func spinWait(i int) {
 	if i%16 != 0 {
 		return
 	}
-	if singleP && i > 32 {
+	if i > 32 && SingleP() {
 		time.Sleep(100 * time.Microsecond)
 		return
 	}
@@ -99,9 +139,15 @@ type qnode struct {
 	shuffler atomic.Uint32
 	lastHint atomic.Pointer[qnode]
 	batch    atomic.Uint32 // written by shufflers, read by the owner
-	socket   uint32        // write-once at node creation
-	prio     uint64        // stamped per acquisition, before tail publication
-	park     chan struct{}
+	// group is the waiter's policy-group id: a fake socket (round-robin at
+	// node creation, the default family) or an approximate P bucket
+	// (re-stamped every acquisition, the goro family). Atomic because a
+	// goro re-stamp can race a stale shuffler reading the group of a
+	// recycled hint node; the engine discards such hints, so the value
+	// read does not matter, but the access must be clean under -race.
+	group atomic.Uint32
+	prio  uint64 // stamped per acquisition, before tail publication
+	park  chan struct{}
 }
 
 // numSockets is the socket count used for round-robin node placement.
@@ -111,11 +157,12 @@ var numSockets atomic.Uint32
 var nextSocket atomic.Uint32
 
 func init() {
-	n := uint32(runtime.NumCPU() / 24)
-	if n < 1 {
-		n = 1
-	}
-	numSockets.Store(n)
+	// Host sysfs NUMA layout when available; otherwise the documented
+	// NumCPU/24 paper-box calibration (see topology.FallbackHostSockets).
+	// The old inline NumCPU()/24 heuristic silently reported 1 socket on
+	// any machine under 24 CPUs — including real 2-socket small boxes —
+	// which disabled NUMA grouping exactly where it was cheap to keep.
+	numSockets.Store(uint32(topology.HostSockets()))
 }
 
 // SetSockets overrides the number of NUMA sockets assumed by the shuffling
@@ -133,15 +180,18 @@ func Sockets() int { return int(numSockets.Load()) }
 
 var nodePool = sync.Pool{
 	New: func() any {
-		return &qnode{
-			socket: nextSocket.Add(1) % numSockets.Load(),
-			park:   make(chan struct{}, 1),
-		}
+		n := &qnode{park: make(chan struct{}, 1)}
+		n.group.Store(nextSocket.Add(1) % numSockets.Load())
+		return n
 	},
 }
 
-// getNode returns an initialized node for one acquisition.
+// getNode returns an initialized node for one acquisition. It also drives
+// the runtimeq refresh epoch: every contended acquisition ticks, so the
+// cached GOMAXPROCS / goroutine-count signals stay at most one epoch stale
+// whenever any lock in the process is busy.
 func getNode() *qnode {
+	runtimeq.Tick()
 	n := nodePool.Get().(*qnode)
 	n.status.Store(sWaiting)
 	n.next.Store(nil)

@@ -3,7 +3,9 @@ package core
 import (
 	"runtime"
 	"sync/atomic"
+	"time"
 
+	"shfllock/internal/runtimeq"
 	"shfllock/internal/shuffle"
 )
 
@@ -31,6 +33,14 @@ type shflState struct {
 	// the abandoned-node handling in shuffling rounds (shuffle.Substrate
 	// MayAbort): locks that never see LockTimeout/LockContext pay nothing.
 	mayAbort atomic.Bool
+	// goro marks the goroutine-native variant (NewGoroMutex & co.): queue
+	// nodes are re-stamped with an approximate P bucket on every
+	// acquisition, and waiting turns deferential under oversubscription —
+	// park after a few spins instead of spinBudget, and the unparkable
+	// spins (queue head on the TAS word) hand their timeslice back with a
+	// short sleep instead of a Gosched round trip through a saturated run
+	// queue. Written before the lock is shared, like probe and policy.
+	goro bool
 }
 
 func (l *shflState) pol() shuffle.Policy {
@@ -93,6 +103,13 @@ func (l *shflState) lockAbort(blocking bool, prio uint64, a *aborter) bool {
 	}
 	pol := l.pol()
 	n := getNode()
+	if l.goro {
+		// Re-stamp the recycled node with the acquirer's current P bucket
+		// before tail publication. The creation-time stamp is whatever the
+		// node's first user had — on goroutines that is noise, and grouping
+		// by noise is what broke group-identity stability.
+		n.group.Store(runtimeq.PGroup())
+	}
 	n.prio = prio
 	prev := l.tail.Swap(n)
 	if prev != nil {
@@ -153,7 +170,7 @@ func (l *shflState) lockAbort(blocking bool, prio uint64, a *aborter) bool {
 				break
 			}
 			spins++
-			spinWait(spins)
+			l.pace(spins)
 			continue
 		}
 		if a != nil && spins&7 == 0 && a.expired() {
@@ -181,7 +198,7 @@ func (l *shflState) lockAbort(blocking bool, prio uint64, a *aborter) bool {
 			}
 		}
 		spins++
-		spinWait(spins)
+		l.pace(spins)
 		if blocking && !fenced && spins > headFenceBudget {
 			l.glock.Or(glkNoSteal)
 			fenced = true
@@ -318,6 +335,36 @@ func (l *shflState) clearNoSteal() {
 	}
 }
 
+// goroOversubSpinBudget replaces spinBudget for goro-family waiters while
+// the runtime is oversubscribed: with more runnable goroutines than Ps,
+// every pre-park spin iteration statistically displaces a runnable
+// goroutine (plausibly the holder), so waiters commit to the park channel
+// almost immediately. The handoff-latency argument for the long budget
+// (footnote 3) assumes the spin happens on an otherwise idle CPU.
+const goroOversubSpinBudget = 4
+
+// parkBudget is the pre-park spin budget for one blocking waiter.
+func (l *shflState) parkBudget() int {
+	if l.goro && runtimeq.Oversubscribed() {
+		return goroOversubSpinBudget
+	}
+	return spinBudget
+}
+
+// pace paces iteration i of an unparkable spin (the queue head watching
+// the TAS word). The goro family under oversubscription sleeps briefly
+// instead of yielding: a Gosched is a round trip through a saturated run
+// queue that re-runs this spinner ahead of goroutines that could make
+// actual progress, while a short sleep donates the timeslice outright at
+// a bounded cost to handoff latency. Other locks keep spinWait behavior.
+func (l *shflState) pace(i int) {
+	if l.goro && i%16 == 0 && i > 16 && runtimeq.Oversubscribed() {
+		time.Sleep(50 * time.Microsecond)
+		return
+	}
+	spinWait(i)
+}
+
 // spinUntilVeryNextWaiter links behind prev and waits for head status,
 // shuffling when handed the role and parking after the spin budget in the
 // blocking variant. With a non-nil aborter it returns false if the wait
@@ -345,9 +392,17 @@ func (l *shflState) spinUntilVeryNextWaiter(pol shuffle.Policy, blocking bool, p
 		}
 		spins++
 		if spins%8 == 0 {
-			runtime.Gosched()
+			if l.goro && v == sWaiting && spins > 64 && runtimeq.Oversubscribed() {
+				// Non-blocking goro waiters cannot park; donate the slice
+				// instead of cycling through the saturated run queue. A
+				// shuffler-marked (sSpinning) node keeps yielding: its
+				// grant is imminent.
+				time.Sleep(50 * time.Microsecond)
+			} else {
+				runtime.Gosched()
+			}
 		}
-		if blocking && v == sWaiting && spins > spinBudget {
+		if blocking && v == sWaiting && spins > l.parkBudget() {
 			if n.status.CompareAndSwap(sWaiting, sParked) {
 				if p := l.probe; p != nil {
 					p.Park()

@@ -32,8 +32,11 @@ func (s coreSub) StoreBatch(n *qnode, v uint64)        { n.batch.Store(uint32(v)
 func (s coreSub) LoadHint(n *qnode) *qnode             { return n.lastHint.Load() }
 func (s coreSub) StoreHint(n, v *qnode)                { n.lastHint.Store(v) }
 
-func (s coreSub) ShufflerSocket() uint64 { return uint64(s.self.socket) }
-func (s coreSub) Socket(n *qnode) uint64 { return uint64(n.socket) }
+// "Socket" on this substrate means the node's policy-group id: a fake
+// socket for the default family, an approximate P bucket for the goro
+// family (see qnode.group).
+func (s coreSub) ShufflerSocket() uint64 { return uint64(s.self.group.Load()) }
+func (s coreSub) Socket(n *qnode) uint64 { return uint64(n.group.Load()) }
 func (s coreSub) Prio(n *qnode) uint64   { return n.prio }
 func (s coreSub) LockByteFree() bool     { return s.l.glock.Load()&0xff == 0 }
 func (s coreSub) SetSpinning(n *qnode)   { s.l.setSpinning(n) }

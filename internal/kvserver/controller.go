@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"shfllock/internal/lockstat"
+	"shfllock/internal/runtimeq"
 )
 
 // controller is the adaptive layer: lockstat as a live control signal. It
@@ -138,8 +139,9 @@ func (c *controller) decide(i int, sh *shard, d lockstat.Report) {
 	// interval's aborts — a self-sustaining flap. A real abort storm has
 	// no trouble clearing both bars.
 	abortFrac := float64(d.Aborts) / float64(attempts)
+	storm := d.Aborts >= ctlMinAborts && abortFrac >= c.hiAbort
 	switch {
-	case d.Aborts >= ctlMinAborts && abortFrac >= c.hiAbort:
+	case storm:
 		isSync = true
 	case abortFrac <= c.loAbort:
 		isSync = c.homeSync
@@ -154,6 +156,18 @@ func (c *controller) decide(i int, sh *shard, d lockstat.Report) {
 		}
 	}
 	want := implFor(isSync, isRW)
+
+	// Oversubscription axis: while goroutines outnumber Ps past the
+	// runtimeq factor, socket grouping is meaningless (waiters migrate
+	// between Ps) and long spin budgets burn the Ps the lock holder needs —
+	// the goroutine-native family exists for exactly this regime, so it
+	// overrides the mutex-shaped verdict from either home. Two carve-outs:
+	// an abort storm still flees to sync (goro waiters abandon qnodes like
+	// any ShflLock, so the reclaim feedback loop applies to it too), and RW
+	// verdicts keep their reader path (goro is mutex-shaped).
+	if !storm && !isRW && runtimeq.Oversubscribed() {
+		want = ImplGoro
+	}
 
 	if want == cur {
 		c.lean[i] = leaning{}
@@ -171,6 +185,9 @@ func (c *controller) decide(i int, sh *shard, d lockstat.Report) {
 }
 
 // implAxes decomposes a lock impl name into the controller's two axes.
+// ImplGoro deliberately reads as (sync=false, rw=false): when the runtime
+// stops being oversubscribed the override above no longer fires, the plain
+// axes point back at the home mutex, and decide swaps away on its own.
 func implAxes(impl string) (isSync, isRW bool) {
 	return impl == ImplSyncRW || impl == ImplSyncMutex,
 		impl == ImplShflRW || impl == ImplSyncRW

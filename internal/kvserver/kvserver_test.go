@@ -12,6 +12,7 @@ import (
 	"time"
 
 	"shfllock/internal/core"
+	"shfllock/internal/runtimeq"
 )
 
 func newTestServer(t *testing.T, cfg Config) (*Server, *httptest.Server) {
@@ -214,6 +215,10 @@ func TestDebugLockstatIntervals(t *testing.T) {
 // TestAdaptiveConverges: under sustained read-mostly direct traffic every
 // busy shard settles on shfl-rw; under write-mostly traffic, shfl-mutex.
 func TestAdaptiveConverges(t *testing.T) {
+	// Pin the oversubscription axis off: a busy 1-P test process measures
+	// as oversubscribed, and this test is about the read/write axis.
+	runtimeq.OverrideOversub(false)
+	defer runtimeq.ClearOversubOverride()
 	s, err := New(Config{
 		Lock:        ImplAdaptive,
 		Shards:      2,
@@ -282,6 +287,8 @@ func TestAdaptiveConverges(t *testing.T) {
 // band never trigger a switch, and a single outlying interval (settle=2)
 // does not either.
 func TestHysteresisHoldsInBand(t *testing.T) {
+	runtimeq.OverrideOversub(false) // this test is about the shape axis only
+	defer runtimeq.ClearOversubOverride()
 	s, err := New(Config{Lock: ImplAdaptive, Shards: 1, CtlInterval: time.Hour, CtlHome: "shfl"}) // ticks driven by hand
 	if err != nil {
 		t.Fatal(err)
@@ -421,5 +428,59 @@ func TestAbortStormFleesToSync(t *testing.T) {
 	}
 	if v := s.Violations(); v != 0 {
 		t.Fatalf("%d violations during axis switching", v)
+	}
+}
+
+// TestOversubscriptionPicksGoro: the oversubscription override. While the
+// runtime is oversubscribed, any calm mutex-shaped verdict lands on the
+// goroutine-native lock; RW verdicts and abort storms outrank it; and when
+// the pressure clears, goro reads as a plain mutex-shaped shfl pick and
+// the shard swaps home on its own.
+func TestOversubscriptionPicksGoro(t *testing.T) {
+	defer runtimeq.ClearOversubOverride()
+	s, err := New(Config{Lock: ImplAdaptive, Shards: 1, CtlInterval: time.Hour, CtlMinOps: 20, CtlHome: "shfl"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	sh := s.shards[0]
+	ctl := newController(s)
+
+	interval := func(reads, writes, aborts int) {
+		for i := 0; i < reads; i++ {
+			sh.site.RecordAcquire(0, true)
+		}
+		for i := 0; i < writes; i++ {
+			sh.site.RecordAcquire(0, false)
+		}
+		for i := 0; i < aborts; i++ {
+			sh.site.RecordAbort()
+		}
+		ctl.tick()
+	}
+	converge := func(reads, writes, aborts int, want, why string) {
+		t.Helper()
+		interval(reads, writes, aborts)
+		interval(reads, writes, aborts)
+		if impl := sh.box.Load().impl; impl != want {
+			t.Fatalf("%s: lock = %s, want %s", why, impl, want)
+		}
+	}
+
+	runtimeq.OverrideOversub(false)
+	converge(5, 95, 0, ImplShflMutex, "write-heavy calm traffic, idle runtime")
+
+	runtimeq.OverrideOversub(true)
+	converge(5, 95, 0, ImplGoro, "same traffic once oversubscribed")
+	converge(95, 5, 0, ImplShflRW, "read-heavy traffic keeps its reader path even oversubscribed")
+	converge(5, 95, 0, ImplGoro, "back to mutex shape while oversubscribed")
+	converge(5, 95, 30, ImplSyncMutex, "abort storm outranks oversubscription")
+	converge(5, 95, 0, ImplGoro, "storm over but still oversubscribed")
+
+	runtimeq.OverrideOversub(false)
+	converge(5, 95, 0, ImplShflMutex, "oversubscription cleared")
+
+	if v := s.Violations(); v != 0 {
+		t.Fatalf("%d violations during goro switching", v)
 	}
 }

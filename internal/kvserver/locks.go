@@ -34,13 +34,17 @@ const (
 	ImplShflMutex = "shfl-mutex"
 	ImplSyncRW    = "sync-rw"
 	ImplSyncMutex = "sync-mutex"
+	// ImplGoro is the goroutine-native blocking ShflLock: waiters grouped
+	// by approximate P instead of socket, short park budgets while the
+	// runtime is oversubscribed. Mutex-shaped.
+	ImplGoro = "goro"
 	// ImplAdaptive is a server mode, not a lock: shards start on shfl-rw
 	// and the lockstat-driven controller reshapes them at runtime.
 	ImplAdaptive = "adaptive"
 )
 
 // Impls lists the static lock choices (everything NewLock accepts).
-var Impls = []string{ImplShflRW, ImplShflMutex, ImplSyncRW, ImplSyncMutex}
+var Impls = []string{ImplShflRW, ImplShflMutex, ImplSyncRW, ImplSyncMutex, ImplGoro}
 
 // NewLock builds a shard lock by name, feeding the given lockstat site.
 // Every generation of a shard's lock attaches the same site, so per-shard
@@ -52,7 +56,11 @@ func NewLock(impl string, site *lockstat.Site) (ShardLock, error) {
 		l.mu.SetProbe(site.CoreProbe())
 		return l, nil
 	case ImplShflMutex:
-		l := &shflMutex{site: site}
+		l := &shflMutex{mu: &core.Mutex{}, impl: ImplShflMutex, site: site}
+		l.mu.SetProbe(site.CoreProbe())
+		return l, nil
+	case ImplGoro:
+		l := &shflMutex{mu: core.NewGoroMutex(), impl: ImplGoro, site: site}
 		l.mu.SetProbe(site.CoreProbe())
 		return l, nil
 	case ImplSyncRW:
@@ -103,14 +111,16 @@ func (l *shflRW) RLockContext(ctx context.Context) error {
 	return nil
 }
 
-// shflMutex wraps the native blocking ShflLock; read acquisitions are
-// exclusive.
+// shflMutex wraps a native blocking ShflLock — socket-grouped
+// (shfl-mutex) or goroutine-native (goro), picked at construction; read
+// acquisitions are exclusive either way.
 type shflMutex struct {
-	mu   core.Mutex
+	mu   *core.Mutex
+	impl string
 	site *lockstat.Site
 }
 
-func (l *shflMutex) Impl() string { return ImplShflMutex }
+func (l *shflMutex) Impl() string { return l.impl }
 func (l *shflMutex) Lock()        { l.mu.Lock(); l.site.RecordAcquire(0, false) }
 func (l *shflMutex) Unlock()      { l.mu.Unlock() }
 func (l *shflMutex) RUnlock()     { l.mu.Unlock() }

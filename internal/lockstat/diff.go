@@ -11,6 +11,15 @@ package lockstat
 // counter in cur is smaller than in prev (the site was Reset between the
 // snapshots), the diff degenerates to cur itself — after a reset, cur *is*
 // the interval activity. Name and Substrate are taken from cur.
+//
+// Every subtraction is clamped at zero. resetBetween probes only a handful
+// of counters, so a site that was reset or re-registered under the same
+// name between the snapshots can slip past it with some counters above the
+// old values and others below — and an unsigned underflow would then hand
+// a consumer (the kvserver adaptive controller diffs intervals exactly
+// this way, across lock handovers that re-register sites) a delta of
+// ~2^64, which reads as an abort storm or a park flood and mis-triggers
+// adaptation. A clamped counter under-reports one interval instead.
 func Diff(prev, cur Report) Report {
 	if resetBetween(prev, cur) {
 		return cur
@@ -18,22 +27,22 @@ func Diff(prev, cur Report) Report {
 	d := Report{
 		Name:           cur.Name,
 		Substrate:      cur.Substrate,
-		Acquires:       cur.Acquires - prev.Acquires,
-		ReadAcquires:   cur.ReadAcquires - prev.ReadAcquires,
-		Contended:      cur.Contended - prev.Contended,
-		TrySuccess:     cur.TrySuccess - prev.TrySuccess,
-		TryFail:        cur.TryFail - prev.TryFail,
-		Steals:         cur.Steals - prev.Steals,
-		Handoffs:       cur.Handoffs - prev.Handoffs,
-		Parks:          cur.Parks - prev.Parks,
-		WakeupsInCS:    cur.WakeupsInCS - prev.WakeupsInCS,
-		WakeupsOffCS:   cur.WakeupsOffCS - prev.WakeupsOffCS,
-		Shuffles:       cur.Shuffles - prev.Shuffles,
-		ShuffleScanned: cur.ShuffleScanned - prev.ShuffleScanned,
-		ShuffleMoves:   cur.ShuffleMoves - prev.ShuffleMoves,
-		Aborts:         cur.Aborts - prev.Aborts,
-		Reclaims:       cur.Reclaims - prev.Reclaims,
-		DynamicAllocs:  cur.DynamicAllocs - prev.DynamicAllocs,
+		Acquires:       sub(cur.Acquires, prev.Acquires),
+		ReadAcquires:   sub(cur.ReadAcquires, prev.ReadAcquires),
+		Contended:      sub(cur.Contended, prev.Contended),
+		TrySuccess:     sub(cur.TrySuccess, prev.TrySuccess),
+		TryFail:        sub(cur.TryFail, prev.TryFail),
+		Steals:         sub(cur.Steals, prev.Steals),
+		Handoffs:       sub(cur.Handoffs, prev.Handoffs),
+		Parks:          sub(cur.Parks, prev.Parks),
+		WakeupsInCS:    sub(cur.WakeupsInCS, prev.WakeupsInCS),
+		WakeupsOffCS:   sub(cur.WakeupsOffCS, prev.WakeupsOffCS),
+		Shuffles:       sub(cur.Shuffles, prev.Shuffles),
+		ShuffleScanned: sub(cur.ShuffleScanned, prev.ShuffleScanned),
+		ShuffleMoves:   sub(cur.ShuffleMoves, prev.ShuffleMoves),
+		Aborts:         sub(cur.Aborts, prev.Aborts),
+		Reclaims:       sub(cur.Reclaims, prev.Reclaims),
+		DynamicAllocs:  sub(cur.DynamicAllocs, prev.DynamicAllocs),
 		Wait:           diffHist(prev.Wait, cur.Wait),
 		Hold:           diffHist(prev.Hold, cur.Hold),
 	}
@@ -42,13 +51,22 @@ func Diff(prev, cur Report) Report {
 		for name, c := range cur.Policies {
 			p := prev.Policies[name]
 			d.Policies[name] = PolicyShuffleStats{
-				Rounds:  c.Rounds - p.Rounds,
-				Scanned: c.Scanned - p.Scanned,
-				Moved:   c.Moved - p.Moved,
+				Rounds:  sub(c.Rounds, p.Rounds),
+				Scanned: sub(c.Scanned, p.Scanned),
+				Moved:   sub(c.Moved, p.Moved),
 			}
 		}
 	}
 	return d
+}
+
+// sub is saturating subtraction: a counter running backwards is site churn,
+// not negative activity.
+func sub(cur, prev uint64) uint64 {
+	if cur < prev {
+		return 0
+	}
+	return cur - prev
 }
 
 // resetBetween detects a Reset between the snapshots: any counter running
@@ -75,13 +93,13 @@ func diffHist(prev, cur *HistSnapshot) *HistSnapshot {
 		out := &HistSnapshot{Count: cur.Count, SumNs: cur.SumNs, Buckets: append([]uint64(nil), cur.Buckets...)}
 		return out
 	}
-	d := &HistSnapshot{SumNs: cur.SumNs - prev.SumNs, Buckets: make([]uint64, len(cur.Buckets))}
+	d := &HistSnapshot{SumNs: sub(cur.SumNs, prev.SumNs), Buckets: make([]uint64, len(cur.Buckets))}
 	for i, v := range cur.Buckets {
 		var p uint64
 		if i < len(prev.Buckets) {
 			p = prev.Buckets[i]
 		}
-		d.Buckets[i] = v - p
+		d.Buckets[i] = sub(v, p)
 		d.Count += d.Buckets[i]
 	}
 	if d.Count == 0 {

@@ -81,6 +81,69 @@ func TestDiffAfterReset(t *testing.T) {
 	}
 }
 
+// TestDiffSiteChurnClampsDeltas is the regression test for negative
+// interval deltas under site churn: a site reset or re-registered under
+// the same name between snapshots can evade resetBetween (which probes
+// only a few counters) with some counters above the old lifetime totals
+// and others below. Before the clamp, the "below" counters underflowed to
+// ~2^64 — the kvserver controller would read such an interval as an abort
+// storm or park flood and mis-trigger adaptation. Every per-counter delta
+// must clamp at zero instead.
+func TestDiffSiteChurnClampsDeltas(t *testing.T) {
+	prev := Report{
+		Name:     "kv/shard00",
+		Acquires: 100, Contended: 20, Parks: 10,
+		Handoffs: 50, Steals: 20, WakeupsOffCS: 9, Reclaims: 4,
+		Policies: map[string]PolicyShuffleStats{"numa": {Rounds: 30, Scanned: 90, Moved: 12}},
+		Wait:     &HistSnapshot{Count: 100, SumNs: 5000, Buckets: []uint64{60, 40}},
+	}
+	// The re-registered site's lifetime: busier than the old one on every
+	// counter resetBetween probes (so churn goes undetected), quieter on
+	// the rest (so the unclamped subtraction would underflow).
+	cur := Report{
+		Name:     "kv/shard00",
+		Acquires: 150, Contended: 25, Parks: 12,
+		Handoffs: 5, Steals: 2, WakeupsOffCS: 1, Reclaims: 0,
+		Policies: map[string]PolicyShuffleStats{"numa": {Rounds: 3, Scanned: 9, Moved: 1}},
+		Wait:     &HistSnapshot{Count: 150, SumNs: 800, Buckets: []uint64{140, 10}},
+	}
+
+	d := Diff(prev, cur)
+	if d.Acquires != 50 {
+		t.Errorf("Acquires delta = %d, want 50", d.Acquires)
+	}
+	for name, got := range map[string]uint64{
+		"Handoffs":     d.Handoffs,
+		"Steals":       d.Steals,
+		"WakeupsOffCS": d.WakeupsOffCS,
+		"Reclaims":     d.Reclaims,
+	} {
+		if got != 0 {
+			t.Errorf("%s delta = %d, want 0 (clamped); churn produced a negative interval", name, got)
+		}
+	}
+	if p := d.Policies["numa"]; p.Rounds != 0 || p.Scanned != 0 || p.Moved != 0 {
+		t.Errorf("policy deltas = %+v, want all 0 (clamped)", p)
+	}
+	// Histogram: bucket 0 grew by 80, bucket 1 shrank; the shrink clamps
+	// to 0 and the interval mass is the sum of clamped buckets.
+	if d.Wait == nil {
+		t.Fatal("Wait diff = nil, want clamped histogram")
+	}
+	if d.Wait.Buckets[0] != 80 {
+		t.Errorf("Wait bucket 0 delta = %d, want 80", d.Wait.Buckets[0])
+	}
+	if len(d.Wait.Buckets) > 1 && d.Wait.Buckets[1] != 0 {
+		t.Errorf("Wait bucket 1 delta = %d, want 0 (clamped)", d.Wait.Buckets[1])
+	}
+	if d.Wait.Count != 80 {
+		t.Errorf("Wait count = %d, want 80 (sum of clamped buckets)", d.Wait.Count)
+	}
+	if d.Wait.SumNs != 0 {
+		t.Errorf("Wait SumNs = %d, want 0 (clamped)", d.Wait.SumNs)
+	}
+}
+
 // TestDiffAll matches by name, passes through sites that appeared
 // mid-interval, and drops sites that vanished.
 func TestDiffAll(t *testing.T) {

@@ -1,0 +1,38 @@
+package shuffle
+
+import "shfllock/internal/runtimeq"
+
+// goroPolicy is the goroutine-native grouping policy: the "socket" the
+// substrate reports is an approximate current-P bucket (the core substrate
+// re-stamps it per acquisition from internal/runtimeq), so Match groups
+// waiters that are probably sharing a P — the goroutine analog of sharing
+// a NUMA socket, and the only grouping with stable identity when waiters
+// are goroutines.
+//
+// WakeGrouped consults the live oversubscription verdict: pre-waking a
+// grouped-but-parked waiter is a pure win on an idle machine (it spins
+// ready to take the grant off the critical path) but a pure loss on a
+// saturated one (the wakeup adds a spinner to a run queue that already has
+// more goroutines than Ps; the grant-time wake in passHead still happens
+// regardless). Because it reads real runtime state, this policy is meant
+// for the native substrate; on the simulator it would break run
+// determinism, so it is deliberately not used by any experiment.
+type goroPolicy struct{}
+
+func (goroPolicy) Name() string     { return "goro" }
+func (goroPolicy) Shuffles() bool   { return true }
+func (goroPolicy) PassRole() bool   { return true }
+func (goroPolicy) UseHint() bool    { return true }
+func (goroPolicy) Budget() uint64   { return MaxShuffles }
+func (goroPolicy) Match(c Ctx) bool { return c.CandidateSocket() == c.ShufflerSocket() }
+func (goroPolicy) WakeGrouped(blocking bool) bool {
+	return blocking && !runtimeq.Oversubscribed()
+}
+
+// Goro is the goroutine-native grouping policy (group by approximate P,
+// suppress pre-wakes under oversubscription).
+func Goro() Policy { return goroPolicy{} }
+
+func init() {
+	Register(Goro())
+}

@@ -1,0 +1,63 @@
+package topology
+
+import (
+	"os"
+	"regexp"
+	"runtime"
+)
+
+// hostNodePath is the Linux sysfs directory whose node<N> entries are the
+// host's NUMA nodes. Overridable for tests.
+var hostNodePath = "/sys/devices/system/node"
+
+var nodeDirRe = regexp.MustCompile(`^node[0-9]+$`)
+
+// DetectHostSockets reports the number of NUMA nodes of the *host* machine
+// (as opposed to the simulated Machine descriptions in this package), read
+// from Linux sysfs. ok is false when the information is unavailable — a
+// non-Linux OS, a stripped-down container without /sys, or a sysfs layout
+// we do not recognize — and callers must fall back to their own heuristic.
+//
+// This exists because guessing sockets from the CPU count is wrong in both
+// directions: the old runtime.NumCPU()/24 heuristic (24 = cores per socket
+// of the paper's evaluation box) reported 1 socket for any machine under 24
+// CPUs, silently disabling NUMA grouping on real 2-socket small boxes, and
+// over-reported sockets on single-socket machines with many cores.
+func DetectHostSockets() (n int, ok bool) {
+	entries, err := os.ReadDir(hostNodePath)
+	if err != nil {
+		return 0, false
+	}
+	for _, e := range entries {
+		if e.IsDir() && nodeDirRe.MatchString(e.Name()) {
+			n++
+		}
+	}
+	if n == 0 {
+		return 0, false
+	}
+	return n, true
+}
+
+// FallbackHostSockets is the documented last-resort guess when sysfs is
+// unavailable: the paper-box calibration of NumCPU()/24, floored at 1.
+// It under-counts sockets on small multi-socket machines — which is why it
+// is a fallback and DetectHostSockets is preferred — but it never
+// over-groups: the failure mode is only lost batching, never incorrect
+// grouping of unrelated waiters.
+func FallbackHostSockets() int {
+	n := runtime.NumCPU() / 24
+	if n < 1 {
+		n = 1
+	}
+	return n
+}
+
+// HostSockets combines detection and fallback: sysfs when available,
+// FallbackHostSockets otherwise.
+func HostSockets() int {
+	if n, ok := DetectHostSockets(); ok {
+		return n
+	}
+	return FallbackHostSockets()
+}

@@ -1,0 +1,66 @@
+package topology
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func withNodePath(t *testing.T, dir string) {
+	t.Helper()
+	old := hostNodePath
+	hostNodePath = dir
+	t.Cleanup(func() { hostNodePath = old })
+}
+
+func TestDetectHostSocketsCountsNodeDirs(t *testing.T) {
+	dir := t.TempDir()
+	for _, name := range []string{"node0", "node1", "node12"} {
+		if err := os.Mkdir(filepath.Join(dir, name), 0o755); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Distractors that must not be counted: files, non-node dirs, and the
+	// lookalike entries sysfs actually has.
+	if err := os.Mkdir(filepath.Join(dir, "possible"), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, "node3"), nil, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, "has_cpu"), nil, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	withNodePath(t, dir)
+
+	n, ok := DetectHostSockets()
+	if !ok || n != 3 {
+		t.Fatalf("DetectHostSockets() = %d, %v; want 3, true", n, ok)
+	}
+	if got := HostSockets(); got != 3 {
+		t.Fatalf("HostSockets() = %d, want 3", got)
+	}
+}
+
+func TestDetectHostSocketsUnavailable(t *testing.T) {
+	withNodePath(t, filepath.Join(t.TempDir(), "missing"))
+	if n, ok := DetectHostSockets(); ok {
+		t.Fatalf("DetectHostSockets() = %d, true on a missing sysfs; want ok=false", n)
+	}
+	if got, want := HostSockets(), FallbackHostSockets(); got != want {
+		t.Fatalf("HostSockets() = %d without sysfs, want fallback %d", got, want)
+	}
+}
+
+func TestDetectHostSocketsEmptyDir(t *testing.T) {
+	withNodePath(t, t.TempDir())
+	if _, ok := DetectHostSockets(); ok {
+		t.Fatal("DetectHostSockets() ok on a directory with no node entries")
+	}
+}
+
+func TestFallbackHostSocketsFloor(t *testing.T) {
+	if n := FallbackHostSockets(); n < 1 {
+		t.Fatalf("FallbackHostSockets() = %d, want >= 1", n)
+	}
+}

@@ -86,6 +86,18 @@ echo "watchdog caught the deadlock and produced a post-mortem"
 echo "== native abort torture: mutex with timeouts under oversubscription"
 go run ./cmd/locktorture -lock mutex -threads 8 -duration 1s -abort-frac 0.3 -deadline 120s
 
+echo "== native abort torture: goroutine-native mutex"
+go run ./cmd/locktorture -lock goro -threads 8 -duration 1s -abort-frac 0.3 -deadline 120s
+
+echo "== goroutine-scaling gate: goro survives oversubscription, artifact holds margins"
+# Two layers: a short live smoke (10k goroutines with all three locks,
+# then 100k with sync vs goro) with collapse-detection floors loose
+# enough for 150ms-window scheduler noise, and the committed 500ms x
+# 3-rep artifact checked against the real margins (goro >= 90% of
+# sync.Mutex, >= 105% of the socket-grouped ShflLock, oversubscribed).
+go run ./cmd/goroscale -quick
+go run ./cmd/goroscale -check BENCH_goro.json
+
 echo "== kvserve smoke gate: live server + seeded open-loop load"
 # Build both binaries, start the server on a kernel-chosen loopback port,
 # drive it with a short seeded kvload run, and assert the service invariants
