@@ -46,7 +46,7 @@ import (
 	"sync/atomic"
 	"time"
 
-	"shfllock/internal/core"
+	"shfllock/internal/lockreg"
 )
 
 const (
@@ -74,16 +74,27 @@ type locker interface {
 	Unlock()
 }
 
-func newLock(name string) locker {
-	switch name {
-	case lockSync:
-		return &sync.Mutex{}
-	case lockShfl:
-		return &core.Mutex{}
-	case lockGoro:
-		return core.NewGoroMutex()
+// entryOf resolves a lock name through the registry, so every native lock
+// is measurable here by any accepted spelling ("sync.Mutex" stays the
+// artifact's label for the stdlib baseline).
+func entryOf(name string) (lockreg.Entry, error) {
+	ent, ok := lockreg.Find(strings.TrimSpace(name))
+	if !ok || !ent.HasNative() {
+		return lockreg.Entry{}, lockreg.UnknownNative(name)
 	}
-	panic("unknown lock " + name)
+	return ent, nil
+}
+
+func newLock(name string) locker {
+	ent, err := entryOf(name)
+	if err != nil {
+		panic(err)
+	}
+	h, err := ent.NewNative()
+	if err != nil {
+		panic(err)
+	}
+	return h
 }
 
 // Result is one (lock, goroutines) cell.
@@ -159,7 +170,7 @@ func bench(locks []string, counts []int, window time.Duration, reps int, cellBud
 	skipped := map[string]int{} // lock -> N whose cell blew the budget
 	for _, n := range counts {
 		for _, name := range locks {
-			if limit, ok := maxN[name]; ok && n > limit {
+			if limit, ok := maxN[canonName(name)]; ok && n > limit {
 				fmt.Printf("%-12s %8d goroutines: SKIPPED (-max-n caps %s at %d)\n", name, n, name, limit)
 				continue
 			}
@@ -244,6 +255,15 @@ func gate(f File, parityFloor, beatFloor float64) error {
 	return nil
 }
 
+// canonName maps any accepted spelling to the registry's canonical name,
+// so -max-n and -locks agree however the user spells a lock.
+func canonName(name string) string {
+	if ent, err := entryOf(name); err == nil {
+		return ent.Name
+	}
+	return name
+}
+
 func parseCounts(s string) ([]int, error) {
 	var out []int
 	for _, f := range strings.Split(s, ",") {
@@ -299,7 +319,10 @@ func main() {
 	}
 	locks := strings.Split(*locksFlag, ",")
 	for _, name := range locks {
-		newLock(name) // fail fast on a typo
+		if _, err := entryOf(name); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
 	}
 	maxN := map[string]int{}
 	if *maxNFlag != "" {
@@ -310,7 +333,15 @@ func main() {
 				fmt.Fprintf(os.Stderr, "bad -max-n entry %q (want lock=N)\n", f)
 				os.Exit(2)
 			}
-			maxN[lock] = n
+			// A cap for a misspelled lock would be dropped on the floor and
+			// the run would silently measure the uncapped cell; validate
+			// against the registry and key caps by canonical name.
+			ent, err2 := entryOf(lock)
+			if err2 != nil {
+				fmt.Fprintf(os.Stderr, "bad -max-n entry %q: %v\n", f, err2)
+				os.Exit(2)
+			}
+			maxN[ent.Name] = n
 		}
 	}
 	var results []Result

@@ -8,7 +8,7 @@
 //
 // Usage:
 //
-//	kvserver [-addr 127.0.0.1:8080] [-lock adaptive|shfl-rw|shfl-mutex|sync-rw|sync-mutex|goro]
+//	kvserver [-addr 127.0.0.1:8080] [-lock adaptive|<any native registry lock>]
 //	         [-shards 8] [-req-timeout 25ms] [-preload 100000] [-scan-pace 100us]
 //	         [-ctl-interval 100ms] [-ctl-min-ops 0] [-ctl-home auto] [-port-file path] [-max-runtime 0]
 //
@@ -27,6 +27,7 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
@@ -35,7 +36,8 @@ import (
 
 func main() {
 	addr := flag.String("addr", "127.0.0.1:8080", "listen address (host:port, port 0 picks a free one)")
-	lock := flag.String("lock", kvserver.ImplAdaptive, "shard lock: adaptive, shfl-rw, shfl-mutex, sync-rw, sync-mutex, goro")
+	lock := flag.String("lock", kvserver.ImplAdaptive,
+		"shard lock: "+kvserver.ImplAdaptive+", "+strings.Join(kvserver.Impls, ", "))
 	shards := flag.Int("shards", 8, "number of shards")
 	reqTimeout := flag.Duration("req-timeout", 25*time.Millisecond, "per-request lock deadline")
 	preload := flag.Int("preload", 100_000, "keys preloaded at startup (k00000000..)")

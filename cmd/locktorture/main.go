@@ -18,7 +18,12 @@
 // permanent holder stall and expects the starvation watchdog to fire and
 // dump the frozen scheduler state instead of hanging.
 //
-// Usage: locktorture [-lock mutex|spinlock|rwmutex|goro|goro-rw|tas|ticket|mcs]
+// The -lock value set, its help text, and every capability check (-policy,
+// -abort-frac, RW vs mutex torture) come from the lock registry
+// (internal/lockreg), so adding an algorithm there makes it torturable here
+// with no edit to this file.
+//
+// Usage: locktorture [-lock <name>] [-list]
 // [-policy numa|prio|...] [-threads 16] [-duration 5s] [-sockets 4]
 // [-lockstat] [-abort-frac 0.2] [-watchdog 10s] [-deadline 2m]
 // [-chaos] [-chaos-seed 42] [-chaos-lock shfllock-b] [-chaos-deadlock]
@@ -38,6 +43,7 @@ import (
 
 	"shfllock/internal/chaos"
 	"shfllock/internal/core"
+	"shfllock/internal/lockreg"
 	"shfllock/internal/lockstat"
 	"shfllock/internal/shuffle"
 )
@@ -64,7 +70,8 @@ type abortLocker interface {
 
 func main() {
 	var (
-		lockName  = flag.String("lock", "mutex", "lock to torture: mutex|spinlock|rwmutex|goro|goro-rw|tas|ticket|mcs")
+		lockName  = flag.String("lock", "mutex", "lock to torture: "+lockreg.NativeFlagHelp())
+		listLocks = flag.Bool("list", false, "list the torturable locks with substrates and capabilities")
 		threads   = flag.Int("threads", 16, "torture goroutines")
 		duration  = flag.Duration("duration", 5*time.Second, "how long to run")
 		sockets   = flag.Int("sockets", 4, "sockets assumed by the shuffling policy")
@@ -82,6 +89,13 @@ func main() {
 	flag.Parse()
 	core.SetSockets(*sockets)
 
+	if *listLocks {
+		fmt.Printf("%-18s %-10s %s\n", "lock", "substrates", "capabilities")
+		for _, e := range lockreg.All() {
+			fmt.Printf("%-18s %-10s %s\n", e.Name, e.Substrates(), e.Caps)
+		}
+		return
+	}
 	if *chaosMode {
 		runChaos(*chaosSeed, *chaosLock, *chaosDeadlock)
 		return
@@ -101,71 +115,65 @@ func main() {
 		}
 	}
 
-	if *lockName == "rwmutex" || *lockName == "goro-rw" {
-		mu := &core.RWMutex{}
-		if *lockName == "goro-rw" {
-			mu = core.NewGoroRWMutex()
+	// The flag combination states the required capabilities; construction
+	// through the registry fails loudly if the named algorithm lacks one
+	// (e.g. -abort-frac on a lock without abortable acquisition).
+	ent, ok := lockreg.Find(*lockName)
+	if !ok || !ent.HasNative() {
+		fmt.Fprintln(os.Stderr, lockreg.UnknownNative(*lockName))
+		os.Exit(2)
+	}
+	var need []lockreg.Cap
+	if pol != nil {
+		need = append(need, lockreg.CapPolicy)
+	}
+	if *abortFrac > 0 {
+		need = append(need, lockreg.CapAbortable)
+	}
+
+	if ent.Has(lockreg.CapRW) {
+		h, err := ent.NewNativeRW(need...)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
 		}
 		// Only override the policy when one was asked for: the goro
 		// constructor pre-installs its own, and SetPolicy(nil) would
 		// silently replace it with the NUMA default.
 		if pol != nil {
-			mu.SetPolicy(pol)
+			h.SetPolicy(pol)
 		}
-		var l rwLocker = mu
+		var l rwLocker = h.RWLocker
 		if *stat {
-			l = lockstat.InstrumentRW(mu, "torture/"+*lockName)
+			l = lockstat.InstrumentRW(h.RWLocker, "torture/"+ent.Name)
 			defer finalReport()
 			stopLive := liveReports(*duration)
 			defer stopLive()
 		}
-		tortureRW(*lockName, l, mu, *threads, *duration, *abortFrac, *watchdog)
+		tortureRW(ent.Name, l, h.Abort, *threads, *duration, *abortFrac, *watchdog)
 		return
 	}
 
-	var l locker
-	var al abortLocker
-	switch *lockName {
-	case "mutex":
-		m := &core.Mutex{}
-		m.SetPolicy(pol)
-		l, al = m, m
-	case "spinlock":
-		s := &core.SpinLock{}
-		s.SetPolicy(pol)
-		l, al = s, s
-	case "goro":
-		m := core.NewGoroMutex()
-		if pol != nil {
-			m.SetPolicy(pol)
-		}
-		l, al = m, m
-	case "tas":
-		l = &core.TASLock{}
-	case "ticket":
-		l = &core.TicketLock{}
-	case "mcs":
-		l = &core.MCSLock{}
-	default:
-		fmt.Fprintf(os.Stderr, "unknown lock %q\n", *lockName)
+	h, err := ent.NewNative(need...)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
 		os.Exit(2)
 	}
 	if pol != nil {
-		switch *lockName {
-		case "tas", "ticket", "mcs":
-			fmt.Fprintf(os.Stderr, "-policy applies only to the ShflLock family, not %q\n", *lockName)
-			os.Exit(2)
-		}
+		h.SetPolicy(pol)
 	}
-	if *abortFrac > 0 && al == nil {
-		fmt.Fprintf(os.Stderr, "-abort-frac applies only to the ShflLock family, not %q\n", *lockName)
-		os.Exit(2)
+	var l locker = h.Locker
+	var al abortLocker
+	if h.Abort != nil {
+		al = h.Abort
 	}
 	if *stat {
-		// The site probe is installed on the underlying lock, so abortable
-		// acquisitions made directly on it still feed the abort/reclaim
-		// counters; the wrapper adds wait/hold sampling on the plain path.
-		l = lockstat.Instrument(l, "torture/"+*lockName)
+		// Instrument wraps the underlying lock itself (not the registry
+		// handle), so its probe discovery still sees SetProbe on the
+		// ShflLocks and abortable acquisitions made directly on the lock
+		// feed the abort/reclaim counters; the wrapper adds wait/hold
+		// sampling on the plain path.
+		l = lockstat.Instrument(h.Locker, "torture/"+ent.Name)
 		defer finalReport()
 		stopLive := liveReports(*duration)
 		defer stopLive()
@@ -219,7 +227,7 @@ func main() {
 	stop.Store(true)
 	wg.Wait()
 
-	fmt.Printf("lock=%s threads=%d duration=%v\n", *lockName, *threads, *duration)
+	fmt.Printf("lock=%s threads=%d duration=%v\n", ent.Name, *threads, *duration)
 	fmt.Printf("acquires=%d trylocks=%d violations=%d\n", acquires.Load(), tries.Load(), violations.Load())
 	if *abortFrac > 0 {
 		fmt.Printf("abortable: acquired=%d timeouts=%d\n", abortOK.Load(), timeouts.Load())
@@ -244,10 +252,25 @@ func abortableAcquire(al abortLocker, rng *rand.Rand) bool {
 }
 
 // runChaos executes the simulated chaos torture: deterministic for a seed,
-// so two invocations with the same flags print byte-identical output.
+// so two invocations with the same flags print byte-identical output. The
+// lock name goes through the registry, so both canonical names
+// ("shfl-mutex") and simulator maker names ("shfllock-b") work; abort
+// injection is disarmed automatically for locks without the capability.
 func runChaos(seed int64, lock string, deadlock bool) {
+	ent, ok := lockreg.Find(lock)
+	if !ok {
+		fmt.Fprintf(os.Stderr, "unknown lock %q (simulated locks: %s)\n", lock, strings.Join(lockreg.SimNames(), "|"))
+		os.Exit(2)
+	}
+	if _, simOK := ent.SimMaker(); !simOK {
+		fmt.Fprintf(os.Stderr, "lock %q has no simulated mutex implementation (substrates: %s)\n", ent.Name, ent.Substrates())
+		os.Exit(2)
+	}
 	cfg := chaos.Defaults(seed)
-	cfg.Lock = lock
+	cfg.Lock = ent.SimName()
+	if !ent.Has(lockreg.CapAbortable) {
+		cfg.AbortFrac = 0
+	}
 	if deadlock {
 		cfg.Deadlock = true
 		cfg.WatchdogInterval = 1_000_000

@@ -1,7 +1,9 @@
 // Command memfootprint prints Table 1: the per-lock, per-waiter and
 // per-holder memory footprint of every lock algorithm, plus measured
 // atomic operations per acquire in uncontended and contended runs.
-// With -json the table is emitted machine-readable.
+// With -json the table is emitted machine-readable; with -lock a
+// comma-separated list of registry names (canonical or simulator
+// spellings) restricts the table to those rows.
 package main
 
 import (
@@ -9,10 +11,53 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 
 	"shfllock/internal/bench"
+	"shfllock/internal/lockreg"
 	"shfllock/internal/topology"
 )
+
+// filterNames resolves the -lock list through the registry into the
+// simulator maker names that key Table 1's rows, failing loudly on a typo
+// or a native-only lock (Table 1 measures the simulator substrate).
+func filterNames(spec string) (map[string]bool, error) {
+	if spec == "" {
+		return nil, nil
+	}
+	set := map[string]bool{}
+	for _, name := range strings.Split(spec, ",") {
+		name = strings.TrimSpace(name)
+		ent, ok := lockreg.Find(name)
+		if !ok {
+			return nil, fmt.Errorf("unknown lock %q (simulated locks: %s)", name, strings.Join(lockreg.SimNames(), "|"))
+		}
+		if !ent.HasSim() {
+			return nil, fmt.Errorf("lock %q has no simulator implementation, so no Table 1 row (substrates: %s)", ent.Name, ent.Substrates())
+		}
+		set[ent.SimName()] = true
+	}
+	return set, nil
+}
+
+// filterTable keeps only the requested rows.
+func filterTable(data bench.Table1Result, keep map[string]bool) bench.Table1Result {
+	if keep == nil {
+		return data
+	}
+	var out bench.Table1Result
+	for _, row := range data.Mutexes {
+		if keep[row.Name] {
+			out.Mutexes = append(out.Mutexes, row)
+		}
+	}
+	for _, row := range data.RWLocks {
+		if keep[row.Name] {
+			out.RWLocks = append(out.RWLocks, row)
+		}
+	}
+	return out
+}
 
 func main() {
 	var (
@@ -20,20 +65,31 @@ func main() {
 		sockets = flag.Int("sockets", 8, "simulated sockets")
 		cores   = flag.Int("cores", 24, "cores per socket")
 		jsonOut = flag.Bool("json", false, "emit Table 1 as JSON instead of text")
+		lock    = flag.String("lock", "", "comma-separated locks: print only these rows (any registry spelling)")
 	)
 	flag.Parse()
+	keep, err := filterNames(*lock)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
 	cfg := bench.Config{
 		Topo:  topology.Machine{Sockets: *sockets, CoresPerSocket: *cores},
 		Quick: *quick,
 		Seed:  1,
 	}
-	if *jsonOut {
-		enc := json.NewEncoder(os.Stdout)
-		enc.SetIndent("", "  ")
-		if err := enc.Encode(bench.Table1Data(cfg)); err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
+	if *jsonOut || keep != nil {
+		data := filterTable(bench.Table1Data(cfg), keep)
+		if *jsonOut {
+			enc := json.NewEncoder(os.Stdout)
+			enc.SetIndent("", "  ")
+			if err := enc.Encode(data); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+			return
 		}
+		bench.WriteTable1(os.Stdout, data)
 		return
 	}
 	e, _ := bench.ByID("table1")

@@ -22,6 +22,7 @@ import (
 	"strings"
 
 	"shfllock/internal/bench"
+	"shfllock/internal/lockreg"
 	"shfllock/internal/shuffle"
 	"shfllock/internal/topology"
 )
@@ -53,6 +54,10 @@ func main() {
 			fmt.Printf("  %-8s %s\n", e.ID, e.Title)
 		}
 		fmt.Printf("\nshuffling policies: %s\n", strings.Join(shuffle.Names(), " "))
+		fmt.Println("\nlocks (from the registry):")
+		for _, e := range lockreg.All() {
+			fmt.Printf("  %-18s %-10s %s\n", e.Name, e.Substrates(), e.Caps)
+		}
 		if *exp == "" && !*list {
 			fmt.Println("\nrun one with: shflbench -exp <id> [-quick]")
 		}

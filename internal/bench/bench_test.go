@@ -20,6 +20,7 @@ func TestRegistryComplete(t *testing.T) {
 		"fig11a", "fig11b", "fig11c", "fig11d", "fig11e", "fig11f", "fig11g", "fig11h",
 		"fig12a", "fig12b", "fig12c",
 		"fig13a", "fig13b",
+		"shootout-a", "shootout-b",
 	}
 	for _, id := range want {
 		if _, ok := ByID(id); !ok {

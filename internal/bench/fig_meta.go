@@ -173,24 +173,29 @@ func init() {
 		table1Points,
 		func(c Config, r *Results, w io.Writer) {
 			header(w, c, "Table 1 — footprint (bytes) and atomic ops per acquire")
-			data := table1Assemble(c, r)
-			fmt.Fprintf(w, "%-18s %9s %10s %10s %9s %12s %12s\n",
-				"lock", "per-lock", "per-waiter", "per-holder", "dynamic", "atomics(1t)", "atomics(cont)")
-			for _, row := range data.Mutexes {
-				dyn := ""
-				if row.Dynamic {
-					dyn = "yes"
-				}
-				if row.HeapNodes {
-					dyn += " heap"
-				}
-				fmt.Fprintf(w, "%-18s %9d %10d %10d %9s %12.2f %12.2f\n",
-					row.Name, row.PerLock, row.PerWaiter, row.PerHolder, dyn, row.AtomicsSolo, row.AtomicsContnd)
-			}
-			fmt.Fprintln(w, "\nRW lock footprints:")
-			fmt.Fprintf(w, "%-18s %9s %10s\n", "lock", "per-lock", "per-waiter")
-			for _, row := range data.RWLocks {
-				fmt.Fprintf(w, "%-18s %9d %10d\n", row.Name, row.PerLock, row.PerWaiter)
-			}
+			WriteTable1(w, table1Assemble(c, r))
 		})
+}
+
+// WriteTable1 renders the Table 1 dataset as text — shared by the
+// registered experiment and cmd/memfootprint's filtered view.
+func WriteTable1(w io.Writer, data Table1Result) {
+	fmt.Fprintf(w, "%-18s %9s %10s %10s %9s %12s %12s\n",
+		"lock", "per-lock", "per-waiter", "per-holder", "dynamic", "atomics(1t)", "atomics(cont)")
+	for _, row := range data.Mutexes {
+		dyn := ""
+		if row.Dynamic {
+			dyn = "yes"
+		}
+		if row.HeapNodes {
+			dyn += " heap"
+		}
+		fmt.Fprintf(w, "%-18s %9d %10d %10d %9s %12.2f %12.2f\n",
+			row.Name, row.PerLock, row.PerWaiter, row.PerHolder, dyn, row.AtomicsSolo, row.AtomicsContnd)
+	}
+	fmt.Fprintln(w, "\nRW lock footprints:")
+	fmt.Fprintf(w, "%-18s %9s %10s\n", "lock", "per-lock", "per-waiter")
+	for _, row := range data.RWLocks {
+		fmt.Fprintf(w, "%-18s %9d %10d\n", row.Name, row.PerLock, row.PerWaiter)
+	}
 }

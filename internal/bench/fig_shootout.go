@@ -1,0 +1,72 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+
+	"shfllock/internal/stats"
+	"shfllock/internal/workloads"
+)
+
+// The successor shootout puts the post-ShflLock queue-lock lineage —
+// Fissile (TAS fissioned over an MCS outer lock), Hapax (value-based FIFO,
+// no reclamation protocol) and Reciprocating (one-word LIFO arrivals,
+// alternating segment service) — against the classic baselines they
+// descend from and the non-blocking ShflLock, on the paper's two standard
+// nano-benches. The lineup comes from the lock registry's dual-substrate
+// set: every name here is also torturable natively and under chaos.
+var shootoutNames = []string{"tas", "mcs", "shfllock-nb", "fissile", "hapax", "reciprocating"}
+
+func init() {
+	register("shootout-a", "Successor shootout: lock1 empty-critical-section stress (Fissile/Hapax/Reciprocating vs baselines)",
+		func(c Config) []Point {
+			return sweepPoints(c, shootoutNames, c.threadPoints(1), func(c Config, name string, n int) workloads.Result {
+				return workloads.Lock1(c.params(n), mkMaker(name))
+			})
+		},
+		func(c Config, r *Results, w io.Writer) {
+			header(w, c, "Shootout (a) — lock1 throughput, successor locks vs baselines")
+			s := seriesOf(r, shootoutNames, c.threadPoints(1), opsPerSec)
+			fmt.Fprint(w, stats.Table("threads", "ops/sec", s))
+			// The queue-handoff locks must leave the global-spinning TAS
+			// behind at full contention; Fissile keeps TAS's fast path but
+			// its outer queue must still rescue it from the collapse.
+			shapeCheck(w, c, s, "mcs", "tas", 1.5)
+			shapeCheck(w, c, s, "fissile", "tas", 1.5)
+			shapeCheck(w, c, s, "hapax", "tas", 1.5)
+			shapeCheck(w, c, s, "reciprocating", "tas", 1.5)
+		})
+
+	register("shootout-b", "Successor shootout: hash-table nano-bench, throughput and fairness",
+		func(c Config) []Point {
+			return sweepPoints(c, shootoutNames, c.threadPoints(1), func(c Config, name string, n int) workloads.Result {
+				return workloads.HashTable(c.params(n), mkMaker(name), 1)
+			})
+		},
+		func(c Config, r *Results, w io.Writer) {
+			header(w, c, "Shootout (b) — hash table 1% writes, successor locks vs baselines")
+			s := seriesOf(r, shootoutNames, c.threadPoints(1), opsPerSec)
+			fmt.Fprint(w, stats.Table("threads", "ops/sec", s))
+			fmt.Fprintln(w, "fairness factor (0.5 = strictly fair):")
+			f := seriesOf(r, shootoutNames, c.threadPoints(1), fairnessOf)
+			fmt.Fprint(w, stats.Table("threads", "fairness", f))
+			shapeCheck(w, c, s, "fissile", "tas", 1.2)
+			shapeCheck(w, c, s, "hapax", "tas", 1.2)
+			shapeCheck(w, c, s, "reciprocating", "tas", 1.2)
+			// FIFO admission must show up as fairness: at the last sweep
+			// point the strict-FIFO Hapax has to sit clearly nearer the
+			// strictly-fair 0.5 than the barging TAS (larger = more unfair).
+			last := len(f[0].Y) - 1
+			var tasF, hapaxF float64
+			for i := range f {
+				switch f[i].Label {
+				case "tas":
+					tasF = f[i].Y[last]
+				case "hapax":
+					hapaxF = f[i].Y[last]
+				}
+			}
+			shapeExpect(w, c, fmt.Sprintf("hapax fairness %.3f at least 0.05 nearer fair (0.5) than tas %.3f at %d threads",
+				hapaxF, tasF, f[0].X[last]), tasF-hapaxF >= 0.05)
+		})
+}

@@ -1,0 +1,44 @@
+package core
+
+import "sync/atomic"
+
+// FissileLock is the native Fissile Lock (Dice & Kogan, arXiv:2003.05025):
+// a test-and-set fast path fissioned over an MCS outer lock. An arriving
+// goroutine takes one shot at the inner TS word; on failure it acquires
+// the outer MCS lock and — as the sole "alpha" contender — spins on the
+// inner word, releasing the outer lock the moment it wins. The critical
+// section is protected by the inner word alone, so the holder carries no
+// queue node and TryLock is one CAS, while the outer queue keeps the inner
+// line from being hammered by more than one waiter at a time.
+//
+// The zero value is an unlocked FissileLock.
+type FissileLock struct {
+	inner atomic.Uint32
+	outer MCSLock
+}
+
+// Lock acquires the lock: one fast-path attempt, then through the outer
+// queue.
+func (l *FissileLock) Lock() {
+	if l.inner.Load() == 0 && l.inner.CompareAndSwap(0, 1) {
+		return
+	}
+	l.outer.Lock()
+	for i := 1; ; i++ {
+		if l.inner.Load() == 0 && l.inner.CompareAndSwap(0, 1) {
+			break
+		}
+		spinWait(i)
+	}
+	l.outer.Unlock()
+}
+
+// Unlock releases the inner word; the outer lock was already released on
+// the acquire side.
+func (l *FissileLock) Unlock() { l.inner.Store(0) }
+
+// TryLock is a single CAS on the inner word. It may barge past the outer
+// queue — that is the fast path working as designed, not a fairness bug.
+func (l *FissileLock) TryLock() bool {
+	return l.inner.Load() == 0 && l.inner.CompareAndSwap(0, 1)
+}

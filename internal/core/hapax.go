@@ -1,0 +1,93 @@
+package core
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// hapaxCell is one acquisition's waiting element: a mailbox word plus the
+// acquisition's unique value. seq is written by the cell's owner before
+// the cell is published through the tail swap and read by at most one
+// successor, which received the pointer from that same swap — the swap
+// chain is the happens-before edge.
+type hapaxCell struct {
+	seq  uint64
+	mail atomic.Uint64
+}
+
+// hapaxSeq mints process-wide unique acquisition values. 64 bits do not
+// wrap in any real process lifetime.
+var hapaxSeq atomic.Uint64
+
+var hapaxPool = sync.Pool{New: func() any { return new(hapaxCell) }}
+
+func getHapaxCell() *hapaxCell {
+	c := hapaxPool.Get().(*hapaxCell)
+	c.seq = hapaxSeq.Add(1)
+	// The mailbox is deliberately NOT reset: a stale value from an earlier
+	// acquisition can never equal the fresh seq a successor waits for.
+	// That value-uniqueness argument is the lock's whole reclamation story.
+	return c
+}
+
+// HapaxLock is the native value-based queue lock in the spirit of Dice &
+// Kogan's Hapax Lock (arXiv:2511.14608): constant-time arrival and unlock
+// paths, strict FIFO admission, one word of lock state. Arrival swaps the
+// tail to a cell carrying a never-reused value; the successor spins on the
+// predecessor's mailbox until the predecessor's value appears. Unlock is a
+// CAS back to nil, or — if a successor swapped in behind — one store of
+// the holder's value into its own mailbox.
+//
+// Where the paper's lock is purely value-based (the queue word holds the
+// value itself), this Go adaptation carries the value inside a pooled cell
+// so the successor can locate the mailbox without a value→address table;
+// the reuse-safety mechanism (compare against a unique-per-acquisition
+// value, so stale mailbox contents are harmless) is the paper's.
+//
+// Cells are reclaimed without any protocol: the successor pools the
+// predecessor's cell after observing its grant (it is the only reader),
+// and a holder with no successor pools its own.
+//
+// The zero value is an unlocked HapaxLock.
+type HapaxLock struct {
+	tail atomic.Pointer[hapaxCell]
+	cur  atomic.Pointer[hapaxCell] // the holder's cell, for Unlock
+}
+
+// Lock enqueues with one swap and waits on the predecessor's mailbox.
+func (l *HapaxLock) Lock() {
+	c := getHapaxCell()
+	prev := l.tail.Swap(c)
+	if prev != nil {
+		want := prev.seq
+		for i := 1; prev.mail.Load() != want; i++ {
+			spinWait(i)
+		}
+		hapaxPool.Put(prev)
+	}
+	l.cur.Store(c)
+}
+
+// Unlock releases with one CAS, or publishes the grant to the successor.
+func (l *HapaxLock) Unlock() {
+	c := l.cur.Load()
+	if l.tail.CompareAndSwap(c, nil) {
+		hapaxPool.Put(c)
+		return
+	}
+	c.mail.Store(c.seq)
+}
+
+// TryLock is a single CAS from the free state.
+func (l *HapaxLock) TryLock() bool {
+	if l.tail.Load() != nil {
+		return false
+	}
+	c := getHapaxCell()
+	if l.tail.CompareAndSwap(nil, c) {
+		l.cur.Store(c)
+		return true
+	}
+	hapaxPool.Put(c)
+	return false
+}

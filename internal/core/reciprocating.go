@@ -1,0 +1,115 @@
+package core
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// recipNode is one acquisition's entry on the arrivals stack. next is
+// written once by the owner after the push swap and read only by the owner
+// at unlock; seg and gate are written by the granter and read by the owner
+// after the gate opens.
+type recipNode struct {
+	gate atomic.Uint32
+	next atomic.Pointer[recipNode]
+	seg  atomic.Pointer[recipNode]
+}
+
+var recipPool = sync.Pool{New: func() any { return new(recipNode) }}
+
+// RecipLock is the native Reciprocating Lock (Dice & Kogan,
+// arXiv:2501.02380): a single arrivals word onto which waiters push
+// themselves LIFO with one swap (constant-time arrival, no arrival-side
+// spinning). When the holder's admission segment runs dry it detaches the
+// whole arrivals stack with one swap and serves it top-first — the
+// reverse of arrival order — so consecutive segments alternate direction
+// ("reciprocating" admission). Bypass is bounded: a waiter is overtaken
+// only by threads that arrived within its own segment window, at most
+// once. Within a segment, handoff walks the push chain node-to-node with
+// local spinning, like MCS.
+//
+// Boundary values (a segment's stop marker, the held sentinel) are only
+// ever compared, never dereferenced, and a node's fields are read only by
+// its owner or its one-shot granter, so nodes recycle through a pool with
+// no reclamation protocol. The holder keeps its node through the critical
+// section (it reads next/seg at unlock).
+//
+// The zero value is an unlocked RecipLock.
+type RecipLock struct {
+	arr  atomic.Pointer[recipNode]
+	held recipNode // sentinel: address compared, fields never used
+	cur  atomic.Pointer[recipNode]
+}
+
+// Lock pushes onto the arrivals stack; a nil predecessor means the lock
+// was free (era start), otherwise wait for a holder to serve our segment.
+func (l *RecipLock) Lock() {
+	n := recipPool.Get().(*recipNode)
+	n.gate.Store(0)
+	prev := l.arr.Swap(n)
+	n.next.Store(prev)
+	if prev == nil {
+		// Era start: empty segment. A nil seg also marks the era starter,
+		// whose release expectation is its own node.
+		n.seg.Store(nil)
+		l.cur.Store(n)
+		return
+	}
+	for i := 1; n.gate.Load() == 0; i++ {
+		spinWait(i)
+	}
+	l.cur.Store(n)
+}
+
+// Unlock grants the segment's next node, or releases the lock, or
+// detaches the arrivals stack as the next segment and grants its top.
+func (l *RecipLock) Unlock() {
+	n := l.cur.Load()
+	stop := n.seg.Load()
+	// home is what the arrivals word held when this sub-era began: the
+	// era starter's own node, or the held sentinel after any detach (nil
+	// seg identifies the starter; granted holders always get a non-nil
+	// boundary).
+	home := &l.held
+	if stop == nil {
+		home = n
+	}
+	next := n.next.Load()
+	if next != stop {
+		// Serve the segment: our push-chain predecessor is next in the
+		// reversed order. Hand the boundary down, open its gate, and only
+		// then recycle — the granter never touches a node after its gate
+		// store.
+		next.seg.Store(stop)
+		next.gate.Store(1)
+		recipPool.Put(n)
+		return
+	}
+	if l.arr.CompareAndSwap(home, nil) {
+		recipPool.Put(n)
+		return // no arrivals since home was installed
+	}
+	// Arrivals piled up: detach them as the next segment and grant the
+	// top. The detached chain bottoms out at a node whose next equals
+	// home, which becomes the new segment's stop boundary.
+	top := l.arr.Swap(&l.held)
+	top.seg.Store(home)
+	top.gate.Store(1)
+	recipPool.Put(n)
+}
+
+// TryLock is a single CAS from the free state (becoming the era starter).
+func (l *RecipLock) TryLock() bool {
+	if l.arr.Load() != nil {
+		return false
+	}
+	n := recipPool.Get().(*recipNode)
+	if l.arr.CompareAndSwap(nil, n) {
+		n.next.Store(nil)
+		n.seg.Store(nil)
+		l.cur.Store(n)
+		return true
+	}
+	recipPool.Put(n)
+	return false
+}

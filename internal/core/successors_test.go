@@ -1,0 +1,126 @@
+package core
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+// successorLocks enumerates the native successor-lineage locks (the
+// Fissile/Hapax/Reciprocating additions) behind the plain locker surface.
+func successorLocks() map[string]interface {
+	Lock()
+	Unlock()
+	TryLock() bool
+} {
+	return map[string]interface {
+		Lock()
+		Unlock()
+		TryLock() bool
+	}{
+		"fissile":       &FissileLock{},
+		"hapax":         &HapaxLock{},
+		"reciprocating": &RecipLock{},
+	}
+}
+
+// TestSuccessorMutualExclusion hammers each lock with a counter whose
+// updates are only safe under mutual exclusion; lost updates fail the run.
+func TestSuccessorMutualExclusion(t *testing.T) {
+	for name, l := range successorLocks() {
+		l := l
+		t.Run(name, func(t *testing.T) {
+			const goroutines = 8
+			iters := 5_000
+			if testing.Short() {
+				iters = 1_000
+			}
+			var counter int64
+			var checks atomic.Int64
+			var wg sync.WaitGroup
+			for g := 0; g < goroutines; g++ {
+				wg.Add(1)
+				go func() {
+					defer wg.Done()
+					for i := 0; i < iters; i++ {
+						if i%16 == 0 && l.TryLock() {
+							counter++
+							l.Unlock()
+							checks.Add(1)
+							continue
+						}
+						l.Lock()
+						counter++
+						l.Unlock()
+						checks.Add(1)
+					}
+				}()
+			}
+			wg.Wait()
+			if counter != checks.Load() {
+				t.Fatalf("%s: lost updates: %d under lock vs %d performed", name, counter, checks.Load())
+			}
+		})
+	}
+}
+
+// TestSuccessorOversubscribed runs far more goroutines than Ps so waiters
+// pile up, segments/queues grow long, and node recycling churns.
+func TestSuccessorOversubscribed(t *testing.T) {
+	for name, l := range successorLocks() {
+		l := l
+		t.Run(name, func(t *testing.T) {
+			goroutines := 16 * runtime.GOMAXPROCS(0)
+			if goroutines > 64 {
+				goroutines = 64
+			}
+			const iters = 200
+			var counter int64
+			var wg sync.WaitGroup
+			for g := 0; g < goroutines; g++ {
+				wg.Add(1)
+				go func() {
+					defer wg.Done()
+					for i := 0; i < iters; i++ {
+						l.Lock()
+						counter++
+						l.Unlock()
+					}
+				}()
+			}
+			wg.Wait()
+			if counter != int64(goroutines*iters) {
+				t.Fatalf("%s: lost updates: %d vs %d expected", name, counter, goroutines*iters)
+			}
+		})
+	}
+}
+
+// TestSuccessorTryLock checks the trylock contract: exclusive while held,
+// available again after release, including the held-sentinel state a
+// Reciprocating holder leaves in its arrivals word after a detach.
+func TestSuccessorTryLock(t *testing.T) {
+	for name, l := range successorLocks() {
+		l := l
+		t.Run(name, func(t *testing.T) {
+			if !l.TryLock() {
+				t.Fatalf("%s: TryLock failed on a free lock", name)
+			}
+			if l.TryLock() {
+				t.Fatalf("%s: TryLock succeeded while held", name)
+			}
+			l.Unlock()
+			if !l.TryLock() {
+				t.Fatalf("%s: TryLock failed after release", name)
+			}
+			l.Unlock()
+			// Uncontended Lock/Unlock cycles recycle nodes through every
+			// fast path; a stale node field would surface here.
+			for i := 0; i < 1000; i++ {
+				l.Lock()
+				l.Unlock()
+			}
+		})
+	}
+}

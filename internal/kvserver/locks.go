@@ -3,11 +3,11 @@ package kvserver
 import (
 	"context"
 	"fmt"
-	"sync"
 	"sync/atomic"
 	"time"
 
 	"shfllock/internal/core"
+	"shfllock/internal/lockreg"
 	"shfllock/internal/lockstat"
 )
 
@@ -28,7 +28,9 @@ type ShardLock interface {
 	Impl() string
 }
 
-// Lock implementation names accepted by NewLock and the -lock flag.
+// Canonical names of the lock implementations the adaptive controller
+// moves between. Any registry lock is a valid static -lock choice; these
+// five are the ones the controller reasons about.
 const (
 	ImplShflRW    = "shfl-rw"
 	ImplShflMutex = "shfl-mutex"
@@ -43,117 +45,155 @@ const (
 	ImplAdaptive = "adaptive"
 )
 
-// Impls lists the static lock choices (everything NewLock accepts).
-var Impls = []string{ImplShflRW, ImplShflMutex, ImplSyncRW, ImplSyncMutex, ImplGoro}
+// Impls lists the static lock choices: every native lock in the registry
+// (everything NewLock accepts), by canonical name.
+var Impls = lockreg.NativeNames()
 
-// NewLock builds a shard lock by name, feeding the given lockstat site.
-// Every generation of a shard's lock attaches the same site, so per-shard
-// statistics survive adaptive handovers.
+// NewLock builds a shard lock by name through the lock registry, feeding
+// the given lockstat site. Every generation of a shard's lock attaches the
+// same site, so per-shard statistics survive adaptive handovers.
+//
+// The wrapper is chosen by capability, not by name: RW locks keep their
+// read side, abortable locks take the request context natively, and
+// everything else gets the goroutine-based cancellation emulation — which
+// is not an emulation artifact but the semantic difference under test: a
+// waiter that cannot leave the queue still occupies a queue slot after its
+// request gave up, where the abortable locks abandon their node in place.
 func NewLock(impl string, site *lockstat.Site) (ShardLock, error) {
-	switch impl {
-	case ImplShflRW:
-		l := &shflRW{site: site}
-		l.mu.SetProbe(site.CoreProbe())
-		return l, nil
-	case ImplShflMutex:
-		l := &shflMutex{mu: &core.Mutex{}, impl: ImplShflMutex, site: site}
-		l.mu.SetProbe(site.CoreProbe())
-		return l, nil
-	case ImplGoro:
-		l := &shflMutex{mu: core.NewGoroMutex(), impl: ImplGoro, site: site}
-		l.mu.SetProbe(site.CoreProbe())
-		return l, nil
-	case ImplSyncRW:
-		return &syncRW{site: site}, nil
-	case ImplSyncMutex:
-		return &syncMutex{site: site}, nil
+	ent, ok := lockreg.Find(impl)
+	if !ok || !ent.HasNative() {
+		return nil, fmt.Errorf("unknown lock impl %q (have %v)", impl, Impls)
 	}
-	return nil, fmt.Errorf("unknown lock impl %q (have %v)", impl, Impls)
-}
-
-// shflRW wraps the native readers-writer ShflLock. Contention, parks,
-// handoffs, aborts and shuffle activity flow through the attached probe;
-// the wrapper records only what the probe cannot see — acquisition counts
-// and wait times, one wait sample per successful acquisition.
-type shflRW struct {
-	mu   core.RWMutex
-	site *lockstat.Site
-}
-
-func (l *shflRW) Impl() string { return ImplShflRW }
-func (l *shflRW) Lock()        { l.mu.Lock(); l.site.RecordAcquire(0, false) }
-func (l *shflRW) Unlock()      { l.mu.Unlock() }
-func (l *shflRW) RUnlock()     { l.mu.RUnlock() }
-
-func (l *shflRW) LockContext(ctx context.Context) error {
-	if l.mu.TryLock() {
-		l.site.RecordAcquire(0, false)
-		return nil
+	if ent.Has(lockreg.CapRW) {
+		h, err := ent.NewNativeRW()
+		if err != nil {
+			return nil, err
+		}
+		return &rwShard{impl: ent.Name, h: h, site: site, probed: attachProbe(h.RWLocker, site)}, nil
 	}
-	start := time.Now()
-	if err := l.mu.LockContext(ctx); err != nil {
-		return err
+	h, err := ent.NewNative()
+	if err != nil {
+		return nil, err
 	}
-	l.site.RecordAcquire(time.Since(start).Nanoseconds(), false)
-	return nil
+	return &mutexShard{impl: ent.Name, h: h, site: site, probed: attachProbe(h.Locker, site)}, nil
 }
 
-func (l *shflRW) RLockContext(ctx context.Context) error {
-	if l.mu.TryRLock() {
-		l.site.RecordAcquire(0, true)
-		return nil
+// attachProbe connects the lock's internal event stream (steals, handoffs,
+// parks, aborts) to the shard's site when the algorithm exposes one.
+// Probed locks classify contention and aborts exactly; for the rest the
+// wrapper classifies from the failed fast-path attempt.
+func attachProbe(l any, site *lockstat.Site) bool {
+	if pt, ok := l.(interface{ SetProbe(core.Probe) }); ok {
+		pt.SetProbe(site.CoreProbe())
+		return true
 	}
-	start := time.Now()
-	if err := l.mu.RLockContext(ctx); err != nil {
-		return err
+	return false
+}
+
+// rwShard wraps any registry lock with a read side.
+type rwShard struct {
+	impl   string
+	h      *lockreg.NativeRW
+	site   *lockstat.Site
+	probed bool
+}
+
+func (l *rwShard) Impl() string { return l.impl }
+func (l *rwShard) Lock()        { l.h.Lock(); l.site.RecordAcquire(0, false) }
+func (l *rwShard) Unlock()      { l.h.Unlock() }
+func (l *rwShard) RUnlock()     { l.h.RUnlock() }
+
+func (l *rwShard) LockContext(ctx context.Context) error {
+	return l.acquire(ctx, false)
+}
+
+func (l *rwShard) RLockContext(ctx context.Context) error {
+	return l.acquire(ctx, true)
+}
+
+func (l *rwShard) acquire(ctx context.Context, read bool) error {
+	try, lock, unlock := l.h.TryLock, l.h.Lock, l.h.Unlock
+	if read {
+		try, lock, unlock = l.h.TryRLock, l.h.RLock, l.h.RUnlock
 	}
-	l.site.RecordAcquire(time.Since(start).Nanoseconds(), true)
-	return nil
-}
-
-// shflMutex wraps a native blocking ShflLock — socket-grouped
-// (shfl-mutex) or goroutine-native (goro), picked at construction; read
-// acquisitions are exclusive either way.
-type shflMutex struct {
-	mu   *core.Mutex
-	impl string
-	site *lockstat.Site
-}
-
-func (l *shflMutex) Impl() string { return l.impl }
-func (l *shflMutex) Lock()        { l.mu.Lock(); l.site.RecordAcquire(0, false) }
-func (l *shflMutex) Unlock()      { l.mu.Unlock() }
-func (l *shflMutex) RUnlock()     { l.mu.Unlock() }
-
-func (l *shflMutex) LockContext(ctx context.Context) error {
-	return l.lockCtx(ctx, false)
-}
-
-func (l *shflMutex) RLockContext(ctx context.Context) error {
-	return l.lockCtx(ctx, true)
-}
-
-func (l *shflMutex) lockCtx(ctx context.Context, read bool) error {
-	if l.mu.TryLock() {
+	if try() {
 		l.site.RecordAcquire(0, read)
 		return nil
 	}
+	if !l.probed {
+		l.site.RecordContended()
+	}
 	start := time.Now()
-	if err := l.mu.LockContext(ctx); err != nil {
+	var err error
+	switch {
+	case l.h.Abort != nil && read:
+		err = l.h.Abort.RLockContext(ctx)
+	case l.h.Abort != nil:
+		err = l.h.Abort.LockContext(ctx)
+	default:
+		err = ctxAcquire(ctx, lock, unlock)
+	}
+	if err != nil {
+		if !l.probed {
+			l.site.RecordAbort()
+		}
 		return err
 	}
 	l.site.RecordAcquire(time.Since(start).Nanoseconds(), read)
 	return nil
 }
 
-// ctxAcquire adapts a blocking acquisition to context cancellation for the
-// sync baselines, which have no abortable path: the wait happens in a
-// helper goroutine, and an abandoned wait stays in the lock's queue until
-// granted, then releases immediately. This is not an emulation artifact —
-// it IS the semantic difference under test: a sync.Mutex waiter cannot
-// leave the queue, so a timed-out request still occupies a queue slot and
-// costs a scheduler round trip, where the ShflLocks abandon their qnode in
-// place.
+// mutexShard wraps any mutex-shaped registry lock; read acquisitions are
+// exclusive.
+type mutexShard struct {
+	impl   string
+	h      *lockreg.Native
+	site   *lockstat.Site
+	probed bool
+}
+
+func (l *mutexShard) Impl() string { return l.impl }
+func (l *mutexShard) Lock()        { l.h.Lock(); l.site.RecordAcquire(0, false) }
+func (l *mutexShard) Unlock()      { l.h.Unlock() }
+func (l *mutexShard) RUnlock()     { l.h.Unlock() }
+
+func (l *mutexShard) LockContext(ctx context.Context) error {
+	return l.acquire(ctx, false)
+}
+
+func (l *mutexShard) RLockContext(ctx context.Context) error {
+	return l.acquire(ctx, true)
+}
+
+func (l *mutexShard) acquire(ctx context.Context, read bool) error {
+	if l.h.TryLock() {
+		l.site.RecordAcquire(0, read)
+		return nil
+	}
+	if !l.probed {
+		l.site.RecordContended()
+	}
+	start := time.Now()
+	var err error
+	if l.h.Abort != nil {
+		err = l.h.Abort.LockContext(ctx)
+	} else {
+		err = ctxAcquire(ctx, l.h.Lock, l.h.Unlock)
+	}
+	if err != nil {
+		if !l.probed {
+			l.site.RecordAbort()
+		}
+		return err
+	}
+	l.site.RecordAcquire(time.Since(start).Nanoseconds(), read)
+	return nil
+}
+
+// ctxAcquire adapts a blocking acquisition to context cancellation for
+// locks with no abortable path: the wait happens in a helper goroutine,
+// and an abandoned wait stays in the lock's queue until granted, then
+// releases immediately.
 func ctxAcquire(ctx context.Context, lock, unlock func()) error {
 	var state atomic.Int32 // 0 pending, 1 taken by caller, 2 abandoned
 	done := make(chan struct{})
@@ -175,81 +215,4 @@ func ctxAcquire(ctx context.Context, lock, unlock func()) error {
 		<-done // the grant won the race: we own the lock after all
 		return nil
 	}
-}
-
-// syncRW is the sync.RWMutex baseline. It has no probe, so the wrapper
-// classifies contention itself from the failed fast-path attempt and
-// counts aborts directly.
-type syncRW struct {
-	mu   sync.RWMutex
-	site *lockstat.Site
-}
-
-func (l *syncRW) Impl() string { return ImplSyncRW }
-func (l *syncRW) Lock()        { l.mu.Lock(); l.site.RecordAcquire(0, false) }
-func (l *syncRW) Unlock()      { l.mu.Unlock() }
-func (l *syncRW) RUnlock()     { l.mu.RUnlock() }
-
-func (l *syncRW) LockContext(ctx context.Context) error {
-	if l.mu.TryLock() {
-		l.site.RecordAcquire(0, false)
-		return nil
-	}
-	l.site.RecordContended()
-	start := time.Now()
-	if err := ctxAcquire(ctx, l.mu.Lock, l.mu.Unlock); err != nil {
-		l.site.RecordAbort()
-		return err
-	}
-	l.site.RecordAcquire(time.Since(start).Nanoseconds(), false)
-	return nil
-}
-
-func (l *syncRW) RLockContext(ctx context.Context) error {
-	if l.mu.TryRLock() {
-		l.site.RecordAcquire(0, true)
-		return nil
-	}
-	l.site.RecordContended()
-	start := time.Now()
-	if err := ctxAcquire(ctx, l.mu.RLock, l.mu.RUnlock); err != nil {
-		l.site.RecordAbort()
-		return err
-	}
-	l.site.RecordAcquire(time.Since(start).Nanoseconds(), true)
-	return nil
-}
-
-// syncMutex is the sync.Mutex baseline; read acquisitions are exclusive.
-type syncMutex struct {
-	mu   sync.Mutex
-	site *lockstat.Site
-}
-
-func (l *syncMutex) Impl() string { return ImplSyncMutex }
-func (l *syncMutex) Lock()        { l.mu.Lock(); l.site.RecordAcquire(0, false) }
-func (l *syncMutex) Unlock()      { l.mu.Unlock() }
-func (l *syncMutex) RUnlock()     { l.mu.Unlock() }
-
-func (l *syncMutex) LockContext(ctx context.Context) error {
-	return l.lockCtx(ctx, false)
-}
-
-func (l *syncMutex) RLockContext(ctx context.Context) error {
-	return l.lockCtx(ctx, true)
-}
-
-func (l *syncMutex) lockCtx(ctx context.Context, read bool) error {
-	if l.mu.TryLock() {
-		l.site.RecordAcquire(0, read)
-		return nil
-	}
-	l.site.RecordContended()
-	start := time.Now()
-	if err := ctxAcquire(ctx, l.mu.Lock, l.mu.Unlock); err != nil {
-		l.site.RecordAbort()
-		return err
-	}
-	l.site.RecordAcquire(time.Since(start).Nanoseconds(), read)
-	return nil
 }

@@ -27,6 +27,7 @@ import (
 	"time"
 
 	"shfllock/internal/core"
+	"shfllock/internal/lockreg"
 	"shfllock/internal/lockstat"
 )
 
@@ -164,13 +165,11 @@ func New(cfg Config) (*Server, error) {
 			impl = ImplSyncRW
 		}
 	} else {
-		found := false
-		for _, name := range Impls {
-			found = found || name == impl
-		}
-		if !found {
+		ent, ok := lockreg.Find(impl)
+		if !ok || !ent.HasNative() {
 			return nil, fmt.Errorf("unknown lock mode %q (have %v and %q)", cfg.Lock, Impls, ImplAdaptive)
 		}
+		impl = ent.Name // aliases normalize to the canonical name
 	}
 
 	s := &Server{cfg: cfg, reg: reg, start: time.Now()}

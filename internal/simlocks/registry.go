@@ -1,7 +1,10 @@
 package simlocks
 
+import "sort"
+
 // AllMutexMakers returns every mutual-exclusion lock the suite implements,
-// in a stable order.
+// in a stable order. New algorithms are appended at the end so Table 1 and
+// other maker-iterating outputs grow rows without renumbering old ones.
 func AllMutexMakers() []Maker {
 	return []Maker{
 		TASMaker(),
@@ -19,6 +22,9 @@ func AllMutexMakers() []Maker {
 		LinuxMutexMaker(),
 		ShflLockNBMaker(),
 		ShflLockBMaker(),
+		FissileMaker(),
+		HapaxMaker(),
+		RecipMaker(),
 	}
 }
 
@@ -34,6 +40,34 @@ func AllRWMakers() []RWMaker {
 	}
 }
 
+// extraMakers are the variant locks reachable by name but kept out of
+// AllMutexMakers (heap-node deployments, ablation stages, policy
+// variants): they would double Table 1 and every sweep without adding a
+// distinct algorithm.
+var extraMakers = map[string]func() Maker{
+	"mcs-heap":        MCSHeapMaker,
+	"cna-heap":        CNAHeapMaker,
+	"hmcs-heap":       HMCSHeapMaker,
+	"shfllock-b-numa": ShflLockBNUMAStealMaker,
+	"shfl-base":       func() Maker { return ShflLockAblationMaker(0) },
+	"shfl+shuffler":   func() Maker { return ShflLockAblationMaker(1) },
+	"shfl+shufflers":  func() Maker { return ShflLockAblationMaker(2) },
+	"shfl+qlast":      func() Maker { return ShflLockAblationMaker(3) },
+	"shfllock-prio":   ShflLockPriorityMaker,
+}
+
+// ExtraMutexNames returns the names of the variant makers (sorted), so
+// registries above this package can enumerate everything reachable by
+// name without a second hand-kept list.
+func ExtraMutexNames() []string {
+	out := make([]string, 0, len(extraMakers))
+	for name := range extraMakers {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}
+
 // MakerByName finds a mutex maker by its name.
 func MakerByName(name string) (Maker, bool) {
 	for _, m := range AllMutexMakers() {
@@ -41,25 +75,8 @@ func MakerByName(name string) (Maker, bool) {
 			return m, true
 		}
 	}
-	switch name {
-	case "mcs-heap":
-		return MCSHeapMaker(), true
-	case "cna-heap":
-		return CNAHeapMaker(), true
-	case "hmcs-heap":
-		return HMCSHeapMaker(), true
-	case "shfllock-b-numa":
-		return ShflLockBNUMAStealMaker(), true
-	case "shfl-base":
-		return ShflLockAblationMaker(0), true
-	case "shfl+shuffler":
-		return ShflLockAblationMaker(1), true
-	case "shfl+shufflers":
-		return ShflLockAblationMaker(2), true
-	case "shfl+qlast":
-		return ShflLockAblationMaker(3), true
-	case "shfllock-prio":
-		return ShflLockPriorityMaker(), true
+	if f, ok := extraMakers[name]; ok {
+		return f(), true
 	}
 	return Maker{}, false
 }

@@ -52,9 +52,30 @@ if grep -rn "func .*shuffleWaiters" internal/core internal/simlocks; then
 	exit 1
 fi
 
+echo "== registry gate: binaries pick locks by name, never by a local case-switch"
+# Every binary resolves lock names through internal/lockreg; a hand-rolled
+# `case "mutex":`-style switch in a cmd or in the kvserver/chaos glue means
+# a lock was wired up outside the registry and will be missing everywhere
+# else (help strings, -list, capability errors, torture coverage).
+if grep -rnE 'case "(mutex|spinlock|rwmutex|shfl-[a-z]+|goro|goro-[a-z]+|sync\.(RW)?Mutex|sync-(mutex|rw)|tas|ticket|mcs|cna|fissile|hapax|reciprocating|shfllock[a-z+-]*)"' \
+	--include='*.go' cmd internal/kvserver internal/chaos | grep -v _test.go; then
+	echo "FAIL: a binary switches on lock names locally; register the lock in internal/lockreg instead" >&2
+	exit 1
+fi
+
 echo "== shape gate: shflbench -exp all -quick -parallel 1 (serial)"
 go run ./cmd/shflbench -exp all -quick -parallel 1 >/tmp/shflbench-serial.txt
 grep "shape\[" /tmp/shflbench-serial.txt
+
+echo "== shootout gate: successor locks hold their shapes on both nano-benches"
+# The Fissile/Hapax/Reciprocating lineup must appear in the quick sweep and
+# win its qualitative claims (queue handoff beats TAS collapse; FIFO
+# admission shows up as fairness).
+grep -q '=== shootout-a' /tmp/shflbench-serial.txt
+grep -q '=== shootout-b' /tmp/shflbench-serial.txt
+test "$(grep -cE 'shape\[ok\]: (fissile|hapax|reciprocating) / tas' /tmp/shflbench-serial.txt)" -eq 6
+grep -q 'shape\[ok\]: hapax fairness' /tmp/shflbench-serial.txt
+echo "shootout shapes held for fissile, hapax, reciprocating"
 
 echo "== shape gate: shflbench -exp all -quick -parallel 4 (determinism diff)"
 go run ./cmd/shflbench -exp all -quick -parallel 4 >/tmp/shflbench-parallel.txt
