@@ -6,19 +6,24 @@
 //	shflbench -list
 //	shflbench -exp fig9a [-quick] [-sockets 8] [-cores 24] [-seed 1]
 //	shflbench -exp all -quick [-parallel 8] [-cache /tmp/shflcache]
+//	shflbench -exp fig4a -quick -profile /tmp/prof
 //
 // Every experiment point — one (lock, threads) simulation — is an
 // independent, seed-deterministic run, so points execute concurrently
 // (-parallel, default GOMAXPROCS) with output byte-identical to -parallel
 // 1. With -cache, finished points are memoized on disk and replayed on
-// re-runs with the same experiment, topology, seed, and mode.
+// re-runs with the same experiment, topology, seed, and mode. With
+// -profile dir, the run writes cpu.pprof and alloc.pprof into dir so
+// performance work starts from data instead of guesses.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
 	"runtime"
+	"runtime/pprof"
 	"strings"
 
 	"shfllock/internal/bench"
@@ -28,10 +33,17 @@ import (
 )
 
 func main() {
+	os.Exit(run())
+}
+
+// run holds main's body so profile flushing (deferred) happens on every
+// exit path; os.Exit in main would skip it.
+func run() int {
 	var (
 		list    = flag.Bool("list", false, "list available experiments")
 		exp     = flag.String("exp", "", "experiment id to run (or 'all')")
 		quick   = flag.Bool("quick", false, "fewer sweep points, shorter windows")
+		full    = flag.Bool("full", false, "full-fidelity sweep (explicit alias for the default non-quick mode; pairs with -exp <family> in CI)")
 		sockets = flag.Int("sockets", 8, "simulated sockets")
 		cores   = flag.Int("cores", 24, "cores per socket")
 		// The default seed lives here, in the flag definition: -seed 0 is
@@ -44,9 +56,20 @@ func main() {
 		// diffs the two); the flag exists to run the slow path as an oracle
 		// and to quantify the speedup.
 		enginefast  = flag.Bool("enginefast", true, "engine fast path: in-place time advance and direct thread handoff")
+		enginewheel = flag.Bool("enginewheel", true, "engine timer wheel + per-point arenas (off = reference binary heap, plain heap allocation)")
 		enginestats = flag.Bool("enginestats", false, "print aggregate engine fast-path/slow-path counters after the run")
+		profileDir  = flag.String("profile", "", "directory to write cpu.pprof and alloc.pprof for this run (perf work starts from data)")
 	)
 	flag.Parse()
+
+	if *profileDir != "" {
+		stop, err := startProfiles(*profileDir)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			return 1
+		}
+		defer stop()
+	}
 
 	if *list || *exp == "" {
 		fmt.Println("experiments:")
@@ -61,7 +84,12 @@ func main() {
 		if *exp == "" && !*list {
 			fmt.Println("\nrun one with: shflbench -exp <id> [-quick]")
 		}
-		return
+		return 0
+	}
+
+	if *full && *quick {
+		fmt.Fprintln(os.Stderr, "-full and -quick are mutually exclusive")
+		return 1
 	}
 
 	shapes := &bench.ShapeLog{}
@@ -72,36 +100,77 @@ func main() {
 		LockStat:   *lockstat,
 		Shapes:     shapes,
 		NoFastPath: !*enginefast,
+		NoWheel:    !*enginewheel,
 	}
 	opt := bench.Options{Parallel: *parallel, CacheDir: *cacheDir, EngineStats: *enginestats}
 
 	exps := bench.All()
 	if *exp != "all" {
-		e, ok := bench.ByID(*exp)
-		if !ok {
-			fmt.Fprintf(os.Stderr, "unknown experiment %q; use -list\n", *exp)
-			os.Exit(1)
+		var picked []bench.Experiment
+		for _, id := range strings.Split(*exp, ",") {
+			e, ok := bench.ByID(id)
+			if !ok {
+				fmt.Fprintf(os.Stderr, "unknown experiment %q; use -list\n", id)
+				return 1
+			}
+			picked = append(picked, e)
 		}
-		exps = []bench.Experiment{e}
+		exps = picked
+		if len(exps) > 1 {
+			opt.Banner = true
+		}
 	} else {
 		opt.Banner = true
 	}
 	if err := bench.RunAll(exps, cfg, opt, os.Stdout); err != nil {
 		fmt.Fprintln(os.Stderr, err)
-		os.Exit(1)
+		return 1
 	}
-	exitOnShapeFailures(shapes)
+	return exitCodeForShapes(shapes)
 }
 
-// exitOnShapeFailures makes shflbench usable as a CI gate: any shape check
+// startProfiles begins a CPU profile in dir and returns a stop function
+// that finishes it and snapshots the allocation profile. The alloc profile
+// covers the whole run (MemProfileRate left at its default), so it answers
+// "what allocated" for the exact workload the CPU profile timed.
+func startProfiles(dir string) (func(), error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("shflbench: profile dir: %w", err)
+	}
+	cpuF, err := os.Create(filepath.Join(dir, "cpu.pprof"))
+	if err != nil {
+		return nil, fmt.Errorf("shflbench: profile: %w", err)
+	}
+	if err := pprof.StartCPUProfile(cpuF); err != nil {
+		cpuF.Close()
+		return nil, fmt.Errorf("shflbench: profile: %w", err)
+	}
+	return func() {
+		pprof.StopCPUProfile()
+		cpuF.Close()
+		allocF, err := os.Create(filepath.Join(dir, "alloc.pprof"))
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "shflbench: alloc profile:", err)
+			return
+		}
+		defer allocF.Close()
+		runtime.GC() // flush outstanding allocations into the profile
+		if err := pprof.Lookup("allocs").WriteTo(allocF, 0); err != nil {
+			fmt.Fprintln(os.Stderr, "shflbench: alloc profile:", err)
+		}
+		fmt.Fprintf(os.Stderr, "profiles written: %s/cpu.pprof %s/alloc.pprof\n", dir, dir)
+	}, nil
+}
+
+// exitCodeForShapes makes shflbench usable as a CI gate: any shape check
 // that lost the paper's qualitative claim fails the run.
-func exitOnShapeFailures(shapes *bench.ShapeLog) {
+func exitCodeForShapes(shapes *bench.ShapeLog) int {
 	if !shapes.Failed() {
-		return
+		return 0
 	}
 	fmt.Fprintf(os.Stderr, "\nshape checks FAILED (%d):\n", len(shapes.Failures()))
 	for _, f := range shapes.Failures() {
 		fmt.Fprintf(os.Stderr, "  %s\n", f)
 	}
-	os.Exit(1)
+	return 1
 }

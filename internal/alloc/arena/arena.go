@@ -1,0 +1,65 @@
+// Package arena provides typed, reset-on-recycle object pools for the
+// simulator's per-sweep-point state. A bench sweep builds and tears down one
+// engine (plus its memory image, threads and workload tables) per plotted
+// point; the backing arrays dominate the harness's allocation profile, yet
+// at the end of a point they are all dead at once. Pooling them wholesale —
+// truncate, don't free — turns the per-point cost into a handful of map
+// clears and slice re-slices, with near-zero garbage between points.
+//
+// Recycling is strictly opt-in at the call site: the -enginewheel=false
+// oracle mode never touches these pools, so plain Go heap allocation
+// survives as the behavioural baseline the pooled mode is diffed against.
+package arena
+
+import "sync"
+
+// Pool recycles *T values. Reset runs at Put so pooled values hold no stale
+// references while idle; the reset function decides which backing (slices,
+// maps, channels) survives recycling and which fields return to zero.
+//
+// The freelist is a plain LIFO under a mutex rather than a sync.Pool, a
+// deliberate choice: sync.Pool drops objects at GC points, so whether a Get
+// reuses or allocates would depend on collector timing — and an incomplete
+// reset would surface as a heisenbug that appears and disappears with
+// allocation layout. With a deterministic freelist every Put is reused, so
+// a reset bug fails the differential gates on every run. The list is
+// bounded in practice by the peak number of concurrently live objects (one
+// engine per bench worker), so unbounded retention is not a concern.
+type Pool[T any] struct {
+	mu    sync.Mutex
+	free  []*T
+	reset func(*T)
+}
+
+// New builds a pool whose Get mints fresh zero values on miss and whose Put
+// runs reset before stashing.
+func New[T any](reset func(*T)) *Pool[T] {
+	return &Pool[T]{reset: reset}
+}
+
+// Get returns a reset *T: either a recycled value or a fresh zero one. The
+// caller must not assume which; anything reset preserves (capacity, an
+// already-made map) must be checked for, not relied on.
+func (p *Pool[T]) Get() *T {
+	p.mu.Lock()
+	if n := len(p.free); n > 0 {
+		v := p.free[n-1]
+		p.free[n-1] = nil
+		p.free = p.free[:n-1]
+		p.mu.Unlock()
+		return v
+	}
+	p.mu.Unlock()
+	return new(T)
+}
+
+// Put resets v and makes it available for reuse. The caller must hold no
+// references to v afterwards.
+func (p *Pool[T]) Put(v *T) {
+	if p.reset != nil {
+		p.reset(v)
+	}
+	p.mu.Lock()
+	p.free = append(p.free, v)
+	p.mu.Unlock()
+}

@@ -37,6 +37,11 @@ type Config struct {
 	// slow path (-enginefast=false). Results are identical either way; the
 	// mode exists so the fast path can be diffed against its oracle.
 	NoFastPath bool
+	// NoWheel runs the reference binary event heap and plain Go heap
+	// allocation instead of the timer wheel + per-point arenas
+	// (-enginewheel=false). Results are identical either way; the mode is
+	// the oracle the raw-speed machinery is diffed against.
+	NoWheel bool
 }
 
 func (c Config) withDefaults() Config {
@@ -97,6 +102,7 @@ func (c Config) params(threads int) workloads.Params {
 		Seed:       c.Seed,
 		Duration:   c.duration(),
 		NoFastPath: c.NoFastPath,
+		NoWheel:    c.NoWheel,
 	}
 }
 

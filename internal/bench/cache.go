@@ -14,7 +14,7 @@ import (
 // harnessVersion keys the on-disk result cache. Bump it whenever the
 // simulator, the cost model, or any workload changes behavior, so stale
 // entries can never be replayed as current results.
-const harnessVersion = "shflbench-v3"
+const harnessVersion = "shflbench-v4"
 
 // cacheKey is everything a point's result depends on. Two runs with equal
 // keys are guaranteed byte-identical results (the simulator is
@@ -29,10 +29,12 @@ type cacheKey struct {
 	Cores   int    `json:"cores_per_socket"`
 	Seed    int64  `json:"seed"`
 	Quick   bool   `json:"quick"`
-	// NoFastPath keys the engine mode: the simulated results are identical
-	// either way, but the per-run PathStats counters are not, and a replay
-	// must report the counters of the mode it claims to have run.
+	// NoFastPath and NoWheel key the engine mode: the simulated results are
+	// identical whichever backend runs, but the per-run PathStats counters
+	// differ across fast-path modes, and a replay must report the mode it
+	// claims to have run rather than silently answering for the other one.
 	NoFastPath bool `json:"no_fast_path,omitempty"`
+	NoWheel    bool `json:"no_wheel,omitempty"`
 }
 
 // cacheEntry is the on-disk format: the full key is stored alongside the
@@ -64,6 +66,7 @@ func (d *diskCache) keyOf(exp string, k resKey, c Config) cacheKey {
 		Seed:       c.Seed,
 		Quick:      c.Quick,
 		NoFastPath: c.NoFastPath,
+		NoWheel:    c.NoWheel,
 	}
 }
 

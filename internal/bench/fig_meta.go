@@ -48,6 +48,7 @@ func measureAtomics(c Config, mk simlocks.Maker, threads, ops int) float64 {
 	e.Run()
 	st := e.Mem().StatsPrefix("t1")
 	acq := simlocks.StatsOf(l)
+	e.Recycle()
 	if acq == nil || acq.Acquires == 0 {
 		return 0
 	}

@@ -6,6 +6,7 @@
 package kvstore
 
 import (
+	"shfllock/internal/alloc/arena"
 	"shfllock/internal/sim"
 	"shfllock/internal/simlocks"
 )
@@ -24,20 +25,46 @@ type DB struct {
 	index   []sim.Word // read-mostly index lines probed during searches
 	data    map[uint64]uint64
 	seq     uint64
+	pooled  bool
 }
+
+// dbPool recycles the memtable map across sweep points: its bucket array is
+// the benchmark's one big Go-side allocation, and New overwrites the full
+// key range anyway, so reuse costs a clear and saves the rebuild.
+var dbPool = arena.New(func(db *DB) {
+	clear(db.data)
+	*db = DB{data: db.data}
+})
 
 // New creates a database using the given lock implementation.
 func New(e *sim.Engine, mk simlocks.Maker, keys int) *DB {
-	db := &DB{
-		mu:      mk.New(e, "db/mutex"),
-		version: e.Mem().Alloc("db/version", 4),
-		index:   e.Mem().AllocPadded("db/index", 16),
-		data:    make(map[uint64]uint64, keys),
+	var db *DB
+	if e.Pooled() {
+		db = dbPool.Get()
+		db.pooled = true
+	} else {
+		db = &DB{}
 	}
+	if db.data == nil {
+		db.data = make(map[uint64]uint64, keys)
+	}
+	db.mu = mk.New(e, "db/mutex")
+	db.version = e.Mem().Alloc("db/version", 4)
+	db.index = e.Mem().AllocPadded("db/index", 16)
 	for k := 0; k < keys; k++ {
 		db.data[uint64(k)] = uint64(k) * 7
 	}
 	return db
+}
+
+// Recycle returns the database's table to the pool once its run is over (a
+// no-op for databases built against a non-pooled engine). The caller must
+// hold no references to the DB afterwards.
+func (db *DB) Recycle() {
+	if !db.pooled {
+		return
+	}
+	dbPool.Put(db)
 }
 
 // Get performs a readrandom-style lookup: take the DB mutex to reference

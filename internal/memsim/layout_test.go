@@ -1,0 +1,18 @@
+package memsim
+
+import (
+	"testing"
+	"unsafe"
+)
+
+// TestLineLayout pins the per-line coherence record to exactly one host
+// cache line: the access cost model reads one line record per simulated
+// line touch, so the simulated machine's working set maps 1:1 onto the
+// host's. Growing the struct past 64 bytes doubles that traffic; if a field
+// must grow, move rare state behind an overflow indirection (as the sharer
+// bitset already does) instead.
+func TestLineLayout(t *testing.T) {
+	if s := unsafe.Sizeof(line{}); s != 64 {
+		t.Fatalf("line is %d bytes, budget is 64", s)
+	}
+}

@@ -19,9 +19,11 @@ package memsim
 
 import (
 	"fmt"
+	"math"
 	"math/bits"
 	"strings"
 
+	"shfllock/internal/alloc/arena"
 	"shfllock/internal/topology"
 )
 
@@ -42,18 +44,25 @@ const (
 	stateShared                   // clean in one or more caches
 )
 
+// line is one simulated cache line's coherence record. It is sized to
+// exactly one host cache line (64 bytes, pinned by TestLineLayout): Access
+// touches every field of the record on each miss, so packing a record per
+// line means one host miss per simulated miss. The narrow fields bound the
+// model at 32767 cores (owner), 32767 distinct allocation tags (group,
+// checked in group()) and 32767 concurrent watchers per line (watched) —
+// orders of magnitude above any machine the harness sweeps.
 type line struct {
-	state   lineState
-	owner   int32  // owning core when stateOwned
-	sharers bitset // caching cores when stateShared
-	group   int32  // stats group
-	watched int32  // number of threads spin-waiting on this line
 	// busyUntil serializes cache-to-cache transfers of this line: a line
 	// can move between caches only one transfer at a time, so concurrent
 	// misses queue behind each other. This is what makes a TAS release
 	// under contention O(waiters): every spinner's CAS must take its turn
 	// moving the line before the next acquirer can proceed.
 	busyUntil uint64
+	sharers   bitset // caching cores when stateShared
+	owner     int16  // owning core when stateOwned
+	group     int16  // stats group
+	watched   int16  // number of threads spin-waiting on this line
+	state     lineState
 }
 
 // AccessKind distinguishes the operations the cost model charges.
@@ -99,20 +108,68 @@ type Memory struct {
 
 	groups     []GroupStats
 	groupNames []string
-	groupOf    map[string]int32
+	groupOf    map[string]int16
 
 	// OnWrite, if set, is invoked after any store or RMW to a watched
 	// line. The simulator uses it to wake spin-waiting threads.
 	OnWrite func(line int32)
+
+	// pooled marks a NewPooled memory; only those return to memoryPool.
+	pooled bool
 }
 
 // New creates an empty memory for the given machine.
 func New(topo topology.Machine, costs topology.CostModel) *Memory {
+	if topo.Cores() > math.MaxInt16 {
+		panic("memsim: machine too large for line.owner (int16)")
+	}
 	return &Memory{
 		topo:    topo,
 		costs:   costs,
-		groupOf: make(map[string]int32),
+		groupOf: make(map[string]int16),
 	}
+}
+
+// memoryPool recycles Memory images across sweep points: the value and line
+// arrays (the simulator's largest per-point allocations) keep their capacity
+// between runs, and the group-name map keeps its buckets.
+var memoryPool = arena.New(func(m *Memory) {
+	*m = Memory{
+		vals:       m.vals[:0],
+		lines:      m.lines[:0],
+		groups:     m.groups[:0],
+		groupNames: m.groupNames[:0],
+		groupOf:    m.groupOf,
+	}
+	clear(m.groupOf)
+})
+
+// NewPooled creates an empty memory like New, but drawn from (and, after
+// Recycle, returned to) the per-point arena pool. Behaviour is identical to
+// New in every observable way: Alloc fully initializes each appended word
+// and line record, so reused capacity never leaks state between runs.
+func NewPooled(topo topology.Machine, costs topology.CostModel) *Memory {
+	if topo.Cores() > math.MaxInt16 {
+		panic("memsim: machine too large for line.owner (int16)")
+	}
+	m := memoryPool.Get()
+	if m.groupOf == nil {
+		m.groupOf = make(map[string]int16)
+	}
+	m.topo = topo
+	m.costs = costs
+	m.pooled = true
+	return m
+}
+
+// Recycle returns a pooled memory's backing to the arena. The caller must
+// hold no references to the memory, its stats or its words afterwards; on a
+// memory from New it is a no-op.
+func (m *Memory) Recycle() {
+	if !m.pooled {
+		return
+	}
+	memoryPool.Put(m)
 }
 
 // Topology returns the machine the memory was built for.
@@ -121,11 +178,14 @@ func (m *Memory) Topology() topology.Machine { return m.topo }
 // Costs returns the cost model in effect.
 func (m *Memory) Costs() topology.CostModel { return m.costs }
 
-func (m *Memory) group(tag string) int32 {
+func (m *Memory) group(tag string) int16 {
 	if id, ok := m.groupOf[tag]; ok {
 		return id
 	}
-	id := int32(len(m.groups))
+	if len(m.groups) > math.MaxInt16 {
+		panic("memsim: too many allocation tags for line.group (int16)")
+	}
+	id := int16(len(m.groups))
 	m.groups = append(m.groups, GroupStats{})
 	m.groupNames = append(m.groupNames, tag)
 	m.groupOf[tag] = id
@@ -285,14 +345,14 @@ func (m *Memory) chargeWrite(core int, ln *line, st *GroupStats) uint64 {
 			return m.costs.L1Hit
 		}
 		cost := m.xferCost(core, int(ln.owner), st)
-		ln.owner = int32(core)
+		ln.owner = int16(core)
 		return cost
 	case stateShared:
 		if ln.sharers.has(core) && ln.sharers.count() == 1 {
 			// Sole sharer: silent upgrade.
 			st.L1Hits++
 			ln.state = stateOwned
-			ln.owner = int32(core)
+			ln.owner = int16(core)
 			ln.sharers.reset()
 			return m.costs.L1Hit
 		}
@@ -300,13 +360,13 @@ func (m *Memory) chargeWrite(core int, ln *line, st *GroupStats) uint64 {
 		// invalidation we must wait for.
 		cost := m.invalidateCost(core, ln, st)
 		ln.state = stateOwned
-		ln.owner = int32(core)
+		ln.owner = int16(core)
 		ln.sharers.reset()
 		return cost
 	default:
 		st.MemFetches++
 		ln.state = stateOwned
-		ln.owner = int32(core)
+		ln.owner = int16(core)
 		ln.sharers.reset()
 		return m.costs.DRAM
 	}
@@ -330,7 +390,8 @@ func (m *Memory) nearestSharer(core int, ln *line) int {
 	mySock := m.topo.SocketOf(core)
 	best := -1
 	limit := m.topo.Cores()
-	for wi, wv := range ln.sharers.w {
+	for wi := 0; wi<<6 < limit; wi++ {
+		wv := ln.sharers.word(wi)
 		for wv != 0 {
 			bit := bits.TrailingZeros64(wv)
 			c := wi<<6 + bit
@@ -358,10 +419,8 @@ func (m *Memory) invalidateCost(core int, ln *line, st *GroupStats) uint64 {
 	remote := false
 	local := false
 	limit := m.topo.Cores()
-	for wi, wv := range ln.sharers.w {
-		if remote {
-			break
-		}
+	for wi := 0; wi<<6 < limit && !remote; wi++ {
+		wv := ln.sharers.word(wi)
 		for wv != 0 {
 			bit := bits.TrailingZeros64(wv)
 			c := wi<<6 + bit
@@ -441,40 +500,77 @@ func (m *Memory) String() string {
 	return fmt.Sprintf("memsim(%d words, %d lines)", len(m.vals), len(m.lines))
 }
 
-// bitset is a variable-length bitmap of core IDs.
-type bitset struct{ w []uint64 }
+// bitset is a bitmap of core IDs. The first inlineCores cores live in a
+// fixed inline array — sized so the paper's 8x24 reference machine (192
+// cores) fits exactly, making set/reset allocation-free on every swept
+// topology — and larger machines spill to a heap-allocated overflow slice.
+// The split also keeps the containing line record on its 64-byte budget.
+const (
+	inlineWords = 3
+	inlineCores = inlineWords * 64
+)
+
+type bitset struct {
+	a    [inlineWords]uint64
+	over []uint64 // words for cores >= inlineCores, nil on small machines
+}
 
 func (b *bitset) set(i int) {
-	idx := i >> 6
-	for len(b.w) <= idx {
-		b.w = append(b.w, 0)
+	if i < inlineCores {
+		b.a[i>>6] |= 1 << (uint(i) & 63)
+		return
 	}
-	b.w[idx] |= 1 << (uint(i) & 63)
+	idx := i>>6 - inlineWords
+	for len(b.over) <= idx {
+		b.over = append(b.over, 0)
+	}
+	b.over[idx] |= 1 << (uint(i) & 63)
 }
 
 func (b *bitset) has(i int) bool {
-	idx := i >> 6
-	return idx < len(b.w) && b.w[idx]&(1<<(uint(i)&63)) != 0
+	if i < inlineCores {
+		return b.a[i>>6]&(1<<(uint(i)&63)) != 0
+	}
+	idx := i>>6 - inlineWords
+	return idx < len(b.over) && b.over[idx]&(1<<(uint(i)&63)) != 0
 }
 
 func (b *bitset) reset() {
-	for i := range b.w {
-		b.w[i] = 0
+	b.a = [inlineWords]uint64{}
+	for i := range b.over {
+		b.over[i] = 0
 	}
 }
 
 func (b *bitset) count() int {
 	n := 0
-	for _, w := range b.w {
+	for _, w := range b.a {
+		n += bits.OnesCount64(w)
+	}
+	for _, w := range b.over {
 		n += bits.OnesCount64(w)
 	}
 	return n
 }
 
+// word returns the wi'th 64-bit word of the bitmap (zero past the end), so
+// the hot walkers can scan inline and overflow words uniformly.
+func (b *bitset) word(wi int) uint64 {
+	if wi < inlineWords {
+		return b.a[wi]
+	}
+	wi -= inlineWords
+	if wi < len(b.over) {
+		return b.over[wi]
+	}
+	return 0
+}
+
 // iter yields the set bits below limit.
 func (b *bitset) iter(limit int) func(func(int) bool) {
 	return func(yield func(int) bool) {
-		for wi, w := range b.w {
+		for wi := 0; wi<<6 < limit; wi++ {
+			w := b.word(wi)
 			for w != 0 {
 				bit := bits.TrailingZeros64(w)
 				c := wi<<6 + bit

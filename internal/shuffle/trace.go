@@ -11,9 +11,18 @@ type Trace struct {
 	Lines []string
 }
 
+// add is split from record so it stays inlinable: when it is inlined at a
+// call site, the vararg []any (and the boxing of its elements) is sunk
+// into the non-nil branch, so production rounds — which always carry a nil
+// Trace — pay a nil check and nothing else. Folding record's body into add
+// would put that allocation back on every shuffling round's hot path.
 func (t *Trace) add(format string, args ...any) {
 	if t == nil {
 		return
 	}
+	t.record(format, args...)
+}
+
+func (t *Trace) record(format string, args ...any) {
 	t.Lines = append(t.Lines, fmt.Sprintf(format, args...))
 }

@@ -20,6 +20,7 @@ import (
 	"sort"
 	"strings"
 
+	"shfllock/internal/alloc/arena"
 	"shfllock/internal/memsim"
 	"shfllock/internal/topology"
 )
@@ -41,6 +42,11 @@ type Config struct {
 	// survives as the correctness oracle the differential tests diff
 	// against.
 	NoFastPath bool
+	// NoWheel replaces the timer wheel with the reference binary event
+	// heap and disables per-point arena allocation (the -enginewheel=false
+	// mode). Results are identical either way; the heap survives as the
+	// ordering oracle the wheel is differentially tested against.
+	NoWheel bool
 }
 
 // PathStats counts how control returned to threads: in place (fast path)
@@ -83,10 +89,18 @@ type Engine struct {
 	costs topology.CostModel
 	mem   *memsim.Memory
 
-	now  uint64
-	seq  uint64
-	evq  eventHeap
-	cpus []cpu
+	now uint64
+	seq uint64
+	// The event queue has two interchangeable backends with identical
+	// (at, seq) pop order: the timer wheel (default) and the reference
+	// binary heap (cfg.NoWheel, the ordering oracle). minAt caches the
+	// exact minimum pending time — noEvent when the queue is empty — so
+	// fastCovers is a single compare whichever backend is active.
+	useWheel bool
+	minAt    uint64
+	wheel    timerWheel
+	evq      eventHeap
+	cpus     []cpu
 
 	threads []*Thread
 	live    int
@@ -99,6 +113,14 @@ type Engine struct {
 	// a drained list to length zero and leaves the capacity on the line's
 	// slot, so steady-state watch/wake cycles never allocate.
 	watchq [][]*Thread
+
+	// assoc carries values scoped to this engine instance (e.g. a lock
+	// maker's per-run slab allocator). Long-lived callers must key caches
+	// here rather than by *Engine in their own maps: engines are pooled, so
+	// a pointer does not identify a run — a map keyed by it would resurrect
+	// a previous run's state when the pointer is recycled. assoc is cleared
+	// on Recycle, tying every entry's lifetime to the run that made it.
+	assoc map[any]any
 
 	stopped  bool
 	hardStop uint64
@@ -120,6 +142,33 @@ type Engine struct {
 	started     bool
 }
 
+// enginePool and threadPool recycle the per-sweep-point scheduler state
+// (the wheel's slot arrays are pooled separately in wheelScratch). The reset
+// functions keep only backing that is safe and profitable to reuse: the
+// watch table's per-line slices, the thread/cpu arrays, the done channel
+// (always drained when a run completes) and the rand generators, which are
+// reseeded from scratch on reuse so draw order matches a fresh allocation.
+// Only wheel-mode engines touch the pools; NoWheel is the plain-heap oracle.
+var enginePool = arena.New(func(e *Engine) {
+	watchq := e.watchq
+	for i := range watchq {
+		watchq[i] = watchq[i][:0]
+	}
+	clear(e.assoc)
+	*e = Engine{
+		watchq:  watchq,
+		assoc:   e.assoc,
+		threads: e.threads[:0],
+		cpus:    e.cpus[:0],
+		done:    e.done,
+		rng:     e.rng,
+	}
+})
+
+var threadPool = arena.New(func(t *Thread) {
+	*t = Thread{resume: t.resume, rng: t.rng}
+})
+
 // NewEngine builds an engine for the given machine.
 func NewEngine(cfg Config) *Engine {
 	if err := cfg.Topo.Validate(); err != nil {
@@ -131,24 +180,92 @@ func NewEngine(cfg Config) *Engine {
 	if err := cfg.Costs.Validate(); err != nil {
 		panic(err)
 	}
-	e := &Engine{
-		topo:     cfg.Topo,
-		costs:    cfg.Costs,
-		mem:      memsim.New(cfg.Topo, cfg.Costs),
-		done:     make(chan struct{}, 1),
-		hardStop: cfg.HardStop,
-		fast:     !cfg.NoFastPath,
-		rng:      rand.New(rand.NewSource(cfg.Seed)),
+	var e *Engine
+	if cfg.NoWheel {
+		e = &Engine{
+			mem: memsim.New(cfg.Topo, cfg.Costs),
+			rng: rand.New(rand.NewSource(cfg.Seed)),
+		}
+	} else {
+		e = enginePool.Get()
+		e.mem = memsim.NewPooled(cfg.Topo, cfg.Costs)
+		if e.rng == nil {
+			e.rng = rand.New(rand.NewSource(cfg.Seed))
+		} else {
+			// Rand.Seed fully rewinds the source and the cached read state,
+			// so a recycled generator replays the same stream a fresh one
+			// would.
+			e.rng.Seed(cfg.Seed)
+		}
+		e.wheel.init()
 	}
-	e.cpus = make([]cpu, cfg.Topo.Cores())
+	e.topo = cfg.Topo
+	e.costs = cfg.Costs
+	e.hardStop = cfg.HardStop
+	e.fast = !cfg.NoFastPath
+	e.useWheel = !cfg.NoWheel
+	e.minAt = noEvent
+	if e.done == nil {
+		e.done = make(chan struct{}, 1)
+	}
+	cores := cfg.Topo.Cores()
+	if cap(e.cpus) >= cores {
+		e.cpus = e.cpus[:cores]
+	} else {
+		e.cpus = make([]cpu, cores)
+	}
 	for i := range e.cpus {
-		e.cpus[i] = cpu{id: i, socket: cfg.Topo.SocketOf(i)}
+		c := &e.cpus[i]
+		*c = cpu{id: i, socket: cfg.Topo.SocketOf(i), runq: c.runq[:0]}
 	}
 	return e
 }
 
+// Recycle hands the engine's scheduler state, its threads and its memory
+// image back to the per-point arena pools. It must be called only after Run
+// has returned cleanly with every thread finished: an aborted or panicked
+// run can leave thread goroutines parked forever on their resume channels,
+// and recycling such a thread would let a future engine's handoff race the
+// leaked goroutine for the same channel. The live==0 guard makes Recycle a
+// no-op in exactly those cases, as it is in NoWheel (oracle) mode. The
+// caller must hold no references into the engine, its memory or its threads
+// afterwards.
+func (e *Engine) Recycle() {
+	if !e.useWheel || !e.started || e.live != 0 {
+		return
+	}
+	mem := e.mem
+	for i, t := range e.threads {
+		e.threads[i] = nil
+		threadPool.Put(t)
+	}
+	e.threads = e.threads[:0]
+	enginePool.Put(e)
+	mem.Recycle()
+}
+
 // Mem exposes the simulated memory for allocation and statistics.
 func (e *Engine) Mem() *memsim.Memory { return e.mem }
+
+// Pooled reports whether the engine draws its per-point state from the
+// arena pools (wheel mode). Workload-owned caches (e.g. kvstore tables)
+// key their own pooling off it so the NoWheel oracle stays pool-free.
+func (e *Engine) Pooled() bool { return e.useWheel }
+
+// Assoc returns the value stored under key for this engine instance, or nil.
+// See the assoc field for why engine-scoped state must live here and not in
+// caller-side maps keyed by *Engine. Engine code runs one thread at a time,
+// so no locking is needed.
+func (e *Engine) Assoc(key any) any { return e.assoc[key] }
+
+// SetAssoc stores an engine-scoped value; it is dropped when the engine is
+// recycled.
+func (e *Engine) SetAssoc(key, val any) {
+	if e.assoc == nil {
+		e.assoc = make(map[any]any)
+	}
+	e.assoc[key] = val
+}
 
 // Topology returns the simulated machine layout.
 func (e *Engine) Topology() topology.Machine { return e.topo }
@@ -182,15 +299,25 @@ func (e *Engine) Spawn(name string, core int, fn func(*Thread)) *Thread {
 	if core >= len(e.cpus) {
 		panic(fmt.Sprintf("sim: core %d out of range", core))
 	}
-	t := &Thread{
-		id:        len(e.threads),
-		name:      name,
-		eng:       e,
-		cpu:       &e.cpus[core],
-		resume:    make(chan struct{}),
-		state:     tsReady,
-		watchLine: -1,
-		rng:       rand.New(rand.NewSource(e.rng.Int63())),
+	var t *Thread
+	if e.useWheel {
+		t = threadPool.Get() // reset at Put: zero but for resume and rng
+	} else {
+		t = &Thread{}
+	}
+	t.id = len(e.threads)
+	t.name = name
+	t.eng = e
+	t.cpu = &e.cpus[core]
+	t.state = tsReady
+	t.watchLine = -1
+	if t.resume == nil {
+		t.resume = make(chan struct{})
+	}
+	if seed := e.rng.Int63(); t.rng == nil {
+		t.rng = rand.New(rand.NewSource(seed))
+	} else {
+		t.rng.Seed(seed) // full rewind: replays the stream a fresh rng would
 	}
 	e.threads = append(e.threads, t)
 	e.live++
@@ -208,7 +335,38 @@ func (e *Engine) StopAt(at uint64) {
 func (e *Engine) push(ev event) {
 	ev.seq = e.seq
 	e.seq++
+	if e.useWheel {
+		e.wheel.push(ev, e.now)
+		e.minAt = e.wheel.minAt
+		return
+	}
 	e.evq.push(ev)
+	e.minAt = e.evq[0].at
+}
+
+// pop removes the (at, seq)-minimum pending event; the queue must be
+// non-empty (e.minAt != noEvent).
+func (e *Engine) pop() event {
+	if e.useWheel {
+		ev := e.wheel.pop(e.now)
+		e.minAt = e.wheel.minAt
+		return ev
+	}
+	ev := e.evq.pop()
+	if len(e.evq) > 0 {
+		e.minAt = e.evq[0].at
+	} else {
+		e.minAt = noEvent
+	}
+	return ev
+}
+
+// pending returns the number of queued events (diagnostics only).
+func (e *Engine) pending() int {
+	if e.useWheel {
+		return e.wheel.size()
+	}
+	return len(e.evq)
 }
 
 // Run executes the simulation until every thread has finished. It panics on
@@ -227,6 +385,10 @@ func (e *Engine) Run() {
 	}
 	e.schedule(nil)
 	<-e.done
+	// The simulation is over: hand the wheel's slot arrays back to the
+	// pool (recycle clears any stale leftover events first). Panicking
+	// paths skip this, so their diagnostics still see the queue.
+	e.wheel.recycle()
 }
 
 // schedule runs the event loop until control is handed to a thread (or the
@@ -243,10 +405,10 @@ func (e *Engine) schedule(self *Thread) *Thread {
 		return nil
 	}
 	for {
-		if len(e.evq) == 0 {
+		if e.minAt == noEvent {
 			panic("sim: deadlock — live threads but no pending events\n" + e.dump())
 		}
-		ev := e.evq.pop()
+		ev := e.pop()
 		if ev.at < e.now {
 			panic("sim: time went backwards")
 		}
@@ -326,9 +488,10 @@ func (e *Engine) handoff(t, self *Thread) {
 // every pending event fires strictly later than now+step. Ties (an event
 // at exactly now+step) must take the slow path — the queued event carries
 // a smaller seq than the resume the slow path would push, so the (at, seq)
-// order runs the queued event first.
+// order runs the queued event first. minAt is noEvent (MaxUint64) when the
+// queue is empty, so the empty case needs no separate branch.
 func (e *Engine) fastCovers(step uint64) bool {
-	return e.fast && (len(e.evq) == 0 || e.evq[0].at > e.now+step)
+	return e.fast && e.minAt > e.now+step
 }
 
 // fastAdvance moves virtual time forward in place (fast path). The hard
@@ -468,8 +631,8 @@ func (e *Engine) dump() string {
 		}
 		fmt.Fprintf(&b, "\n")
 	}
-	fmt.Fprintf(&b, "  events: %d pending\n", len(e.evq))
-	evs := append(eventHeap(nil), e.evq...)
+	fmt.Fprintf(&b, "  events: %d pending\n", e.pending())
+	evs := e.wheel.all(append([]event(nil), e.evq...))
 	sort.Slice(evs, func(i, j int) bool { return less(evs[i], evs[j]) })
 	const maxDump = 16
 	for i, ev := range evs {

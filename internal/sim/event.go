@@ -37,12 +37,19 @@ func (k eventKind) String() string {
 	return "?"
 }
 
+// event is the engine's queue entry. It is sized to half a cache line (32
+// bytes, pinned by TestEventLayout): the timer wheel and the heap both move
+// events by value on every push/pop, so four events per 64-byte line halves
+// the queue's memory traffic versus the old 40-byte layout. epoch is uint32
+// like Thread.epoch — it counts control transfers of one thread within one
+// run (bounded by the ~20M-cycle window over the >=4-cycle minimum charge
+// step), which cannot approach 2^32.
 type event struct {
 	at    uint64
 	seq   uint64 // tie-breaker: FIFO among simultaneous events
-	kind  eventKind
 	t     *Thread
-	epoch uint64
+	epoch uint32
+	kind  eventKind
 }
 
 // eventHeap is a binary min-heap ordered by (at, seq).

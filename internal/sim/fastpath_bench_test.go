@@ -54,8 +54,77 @@ func BenchmarkWatchWake(b *testing.B) {
 	b.Run("slow", func(b *testing.B) { benchWatchWake(b, true) })
 }
 
-// BenchmarkEventHeap times raw heap churn at a realistic pending-event
-// population (a few hundred, as in a full-subscription sweep point).
+// Event-queue backend micro-benchmarks: the same pop-advance-push churn
+// driven through the reference heap and the timer wheel, across the push
+// distances the engine actually generates. "dense" is the dominant regime
+// (resumes and rechecks within a few hundred cycles), "sparse" pushes past
+// the wheel's dense horizon so every event takes the spill heap and
+// migrates back, and "mixed" approximates a full sweep point's blend.
+// Populations of a few hundred pending events match a full-subscription
+// sweep point.
+
+type queueBackend interface {
+	pushAt(ev event, now uint64)
+	popAt(now uint64) event
+}
+
+type heapBackend struct{ h eventHeap }
+
+func (q *heapBackend) pushAt(ev event, now uint64) { q.h.push(ev) }
+func (q *heapBackend) popAt(now uint64) event      { return q.h.pop() }
+
+type wheelBackend struct{ w timerWheel }
+
+func (q *wheelBackend) pushAt(ev event, now uint64) { q.w.push(ev, now) }
+func (q *wheelBackend) popAt(now uint64) event      { return q.w.pop(now) }
+
+// benchQueue churns a backend at a steady population of 256 events, with
+// push distance drawn by delta. The simulated clock follows pop order, as
+// in the engine.
+func benchQueue(b *testing.B, q queueBackend, delta func(*rand.Rand) uint64) {
+	rng := rand.New(rand.NewSource(1))
+	var now, seq uint64
+	for i := 0; i < 256; i++ {
+		q.pushAt(event{at: now + delta(rng), seq: seq}, now)
+		seq++
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ev := q.popAt(now)
+		now = ev.at
+		ev.at = now + delta(rng)
+		ev.seq = seq
+		seq++
+		q.pushAt(ev, now)
+	}
+}
+
+func denseDelta(rng *rand.Rand) uint64  { return uint64(rng.Intn(300)) + 1 }
+func sparseDelta(rng *rand.Rand) uint64 { return uint64(wheelSlots + rng.Intn(1<<16)) }
+func mixedDelta(rng *rand.Rand) uint64 {
+	if rng.Intn(10) < 9 {
+		return denseDelta(rng)
+	}
+	return sparseDelta(rng)
+}
+
+func BenchmarkEventQueue(b *testing.B) {
+	deltas := []struct {
+		name string
+		fn   func(*rand.Rand) uint64
+	}{{"dense", denseDelta}, {"sparse", sparseDelta}, {"mixed", mixedDelta}}
+	for _, d := range deltas {
+		b.Run("heap/"+d.name, func(b *testing.B) { benchQueue(b, &heapBackend{}, d.fn) })
+		b.Run("wheel/"+d.name, func(b *testing.B) {
+			q := &wheelBackend{}
+			q.w.init()
+			benchQueue(b, q, d.fn)
+		})
+	}
+}
+
+// BenchmarkEventHeap is the original heap-churn benchmark, kept for
+// comparability with earlier recorded numbers.
 func BenchmarkEventHeap(b *testing.B) {
 	var h eventHeap
 	rng := rand.New(rand.NewSource(1))

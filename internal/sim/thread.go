@@ -43,29 +43,35 @@ func (s tstate) String() string {
 // Thread is a simulated thread. All methods must be called from within the
 // thread's own function; the engine guarantees only one thread executes at
 // a time, so Thread methods may freely mutate engine state.
+//
+// Field order is a cache-line budget (pinned by TestThreadLayout): the
+// fields every charge/handoff/watch step touches fill the first 64 bytes
+// exactly, so the hot path reads one line per thread; the identity fields
+// and the rng, touched only at spawn, rand draws and stats rendering, sit
+// on the second line.
 type Thread struct {
-	id   int
-	name string
-	eng  *Engine
-	cpu  *cpu
-
-	resume chan struct{}
-	state  tstate
-	epoch  uint64
-
+	// Hot line (64 bytes).
+	eng         *Engine
+	cpu         *cpu
+	resume      chan struct{}
 	quantumLeft int64
-	needResched bool
-
 	// Spin-wait bookkeeping.
 	spinStart   uint64
 	spinQuantum int64
 	watchLine   int32
 	watchWord   Word
-
+	// epoch invalidates queued events when the thread changes state; uint32
+	// matches event.epoch and cannot wrap within a run (see event).
+	epoch       uint32
+	state       tstate
+	needResched bool
 	// Park/unpark permit (futex-style saturation to one token).
 	permit bool
 
-	rng *rand.Rand
+	// Cold fields.
+	rng  *rand.Rand
+	id   int
+	name string
 }
 
 // ID returns the thread's index in spawn order.

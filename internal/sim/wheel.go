@@ -1,0 +1,233 @@
+package sim
+
+import (
+	"math"
+	"math/bits"
+
+	"shfllock/internal/alloc/arena"
+)
+
+// noEvent is the cached-minimum sentinel for an empty event queue; any
+// real event time compares below it.
+const noEvent = math.MaxUint64
+
+// The timer wheel exploits the engine's event distribution: almost every
+// event fires within a few thousand cycles of being pushed (memory-access
+// resumes land within ~130 cycles, spin rechecks at +8, context switches
+// at +4000, wakeups at +6000), while only quantum-scale preemptions and
+// the stop event look far ahead. A single cycle-granular level sized to
+// cover the dense horizon makes push and pop O(1); the sparse tail
+// overflows to a small (at, seq) min-heap spill that is migrated into the
+// wheel as virtual time approaches.
+const (
+	wheelBits  = 10
+	wheelSlots = 1 << wheelBits // 1024-cycle dense horizon
+	wheelMask  = wheelSlots - 1
+)
+
+// wslot is one wheel slot: a FIFO of events sharing a single `at` value.
+// Within one window rotation a slot is owned by exactly one `at`
+// (at & wheelMask is injective over [base, base+wheelSlots)), and pushes
+// into a slot arrive in seq order, so append/advance-head preserves the
+// heap's exact (at, seq) pop order without storing or comparing seq.
+type wslot struct {
+	evs  []event
+	head int32
+}
+
+// timerWheel is a hierarchical (dense level + sorted spill level) timer
+// queue with the exact pop order of the reference eventHeap. Invariants:
+//
+//   - every queued event has at >= the last popped/advanced time;
+//   - wheel slots hold only events with at in [base, base+wheelSlots);
+//   - spill holds only events with at >= base+wheelSlots, so the wheel
+//     minimum is always strictly below the spill minimum;
+//   - minAt is the exact minimum (at) over both levels, or math.MaxUint64
+//     when the queue is empty — fastCovers is a single compare against it.
+type timerWheel struct {
+	base  uint64 // window start; only ever advances
+	minAt uint64 // exact min at across wheel+spill; MaxUint64 when empty
+
+	inWheel int // events currently stored in slots
+	slots   []wslot
+	occ     []uint64 // occupancy bitmap over slots
+
+	spill eventHeap // far events, min-heap by (at, seq)
+}
+
+// wheelScratch pools the slot and bitmap backing arrays across engines:
+// the arrays are sized by constants, engines are created per sweep point,
+// and a finished engine's wheel is empty, so reuse is a pure allocation
+// saving (recycle() re-checks emptiness before returning them).
+var wheelScratch = arena.New[wheelBacking](nil)
+
+type wheelBacking struct {
+	slots []wslot
+	occ   []uint64
+}
+
+func (w *timerWheel) init() {
+	b := wheelScratch.Get()
+	if b.slots == nil {
+		b.slots = make([]wslot, wheelSlots)
+		b.occ = make([]uint64, wheelSlots/64)
+	}
+	w.slots = b.slots
+	w.occ = b.occ
+	w.minAt = noEvent
+}
+
+// recycle hands the backing arrays back to the pool once the simulation is
+// over. Runs usually finish with a few stale events still queued (preempts
+// and rechecks for threads that since exited), so leftover slots are
+// cleared — and their event values zeroed, so the pooled arrays don't pin
+// finished *Threads — before the arrays are reused by another engine.
+func (w *timerWheel) recycle() {
+	if w.slots == nil {
+		return
+	}
+	if w.inWheel > 0 {
+		for wi, word := range w.occ {
+			for word != 0 {
+				b := bits.TrailingZeros64(word)
+				word &^= 1 << b
+				s := &w.slots[wi*64+b]
+				for j := int(s.head); j < len(s.evs); j++ {
+					s.evs[j] = event{}
+				}
+				s.evs = s.evs[:0]
+				s.head = 0
+			}
+			w.occ[wi] = 0
+		}
+		w.inWheel = 0
+	}
+	w.spill = nil
+	wheelScratch.Put(&wheelBacking{slots: w.slots, occ: w.occ})
+	w.slots = nil
+	w.occ = nil
+}
+
+func (w *timerWheel) size() int { return w.inWheel + len(w.spill) }
+
+// advance slides the window start up to now and migrates spill events
+// that entered the dense horizon. Sliding never touches the slots: every
+// stored event has at >= now (events fire in order and pushes are never
+// in the past), so the occupied slots all remain inside the new window.
+// Migration must happen on every advance — before any direct push could
+// land in the newly covered range — so that same-at events keep global
+// seq order: spilled events always carry smaller seqs than any later
+// direct push to the same at.
+func (w *timerWheel) advance(now uint64) {
+	if now <= w.base {
+		return
+	}
+	w.base = now
+	for len(w.spill) > 0 && w.spill[0].at < w.base+wheelSlots {
+		w.slotPush(w.spill.pop())
+	}
+}
+
+func (w *timerWheel) slotPush(ev event) {
+	idx := ev.at & wheelMask
+	s := &w.slots[idx]
+	s.evs = append(s.evs, ev)
+	w.occ[idx>>6] |= 1 << (idx & 63)
+	w.inWheel++
+	if ev.at < w.minAt {
+		w.minAt = ev.at
+	}
+}
+
+func (w *timerWheel) push(ev event, now uint64) {
+	w.advance(now)
+	if ev.at < w.base+wheelSlots {
+		w.slotPush(ev)
+		return
+	}
+	w.spill.push(ev)
+	if ev.at < w.minAt {
+		w.minAt = ev.at
+	}
+}
+
+// pop removes and returns the (at, seq)-minimum event. The queue must be
+// non-empty.
+func (w *timerWheel) pop(now uint64) event {
+	w.advance(now)
+	if w.inWheel == 0 {
+		// Only far events remain: take the spill head directly.
+		ev := w.spill.pop()
+		if len(w.spill) > 0 {
+			w.minAt = w.spill[0].at
+		} else {
+			w.minAt = noEvent
+		}
+		return ev
+	}
+	idx := w.minAt & wheelMask
+	s := &w.slots[idx]
+	ev := s.evs[s.head]
+	// Zero the vacated slot: the backing array is pooled across engines,
+	// and a stale copy would pin its *Thread live.
+	s.evs[s.head] = event{}
+	s.head++
+	w.inWheel--
+	if int(s.head) == len(s.evs) {
+		s.evs = s.evs[:0]
+		s.head = 0
+		w.occ[idx>>6] &^= 1 << (idx & 63)
+		w.rescanMin()
+	}
+	return ev
+}
+
+// rescanMin recomputes minAt after the minimum slot drained: the next
+// occupied slot in window order (distance from base), or the spill head,
+// or empty. The bitmap scan starts just past the drained slot and walks
+// word-wise; with the engine's dense event streams it terminates within a
+// word or two.
+func (w *timerWheel) rescanMin() {
+	if w.inWheel == 0 {
+		if len(w.spill) > 0 {
+			w.minAt = w.spill[0].at
+		} else {
+			w.minAt = noEvent
+		}
+		return
+	}
+	// Remaining wheel events all have at > minAt (the minAt slot drained)
+	// and at < base+wheelSlots, so scan at most the rest of the window.
+	d := w.minAt - w.base // distance of the drained slot from the window start
+	i := (w.minAt + 1) & wheelMask
+	remaining := uint64(wheelSlots) - d - 1
+	for remaining > 0 {
+		word := w.occ[i>>6] >> (i & 63)
+		span := uint64(64 - i&63)
+		if span > remaining {
+			span = remaining
+			if bits.TrailingZeros64(word) >= int(span) {
+				word = 0
+			}
+		}
+		if word != 0 {
+			idx := i + uint64(bits.TrailingZeros64(word))
+			w.minAt = w.base + ((idx - (w.base & wheelMask)) & wheelMask)
+			return
+		}
+		i = (i + span) & wheelMask
+		remaining -= span
+	}
+	panic("sim: timer wheel lost an event (inWheel > 0 but no occupied slot)")
+}
+
+// all appends every queued event to dst (arbitrary order) for diagnostics.
+func (w *timerWheel) all(dst []event) []event {
+	if w.slots != nil {
+		for i := range w.slots {
+			s := &w.slots[i]
+			dst = append(dst, s.evs[s.head:]...)
+		}
+	}
+	return append(dst, w.spill...)
+}

@@ -1,0 +1,93 @@
+package sim
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// randomDelta draws a push distance biased toward the engine's real event
+// mix — dense near-term resumes, quantum-scale wakeups — plus the two cases
+// that stress the wheel specifically: deltas straddling the dense horizon
+// and far-future spills that must migrate back in.
+func randomDelta(rng *rand.Rand) uint64 {
+	switch rng.Intn(10) {
+	case 0, 1, 2, 3, 4: // memory-access resumes, spin rechecks
+		return uint64(rng.Intn(300))
+	case 5, 6: // context switches, wakeups
+		return uint64(4000 + rng.Intn(2000))
+	case 7, 8: // straddle the wheel horizon
+		return uint64(wheelSlots - 50 + rng.Intn(100))
+	default: // far spill (quantum expiries, stop events)
+		return uint64(1 << 20 * (1 + rng.Intn(4)))
+	}
+}
+
+// TestWheelMatchesHeapRandomized differentially tests the timer wheel
+// against the reference binary heap: mirrored random push/pop streams must
+// produce identical events in identical order, with the wheel's cached
+// minimum agreeing with the heap top after every step. Bursts push several
+// events with the same `at` and increasing seq, exercising the slot-FIFO
+// tie-breaking that the wheel relies on instead of storing seq. Trials
+// reuse recycled wheel backing, covering the arena pooling path.
+func TestWheelMatchesHeapRandomized(t *testing.T) {
+	rng := rand.New(rand.NewSource(0xC0FFEE))
+	for trial := 0; trial < 20; trial++ {
+		var w timerWheel
+		w.init()
+		var h eventHeap
+		var now, seq uint64
+
+		heapMin := func() uint64 {
+			if len(h) == 0 {
+				return noEvent
+			}
+			return h[0].at
+		}
+		check := func(step int) {
+			if w.minAt != heapMin() {
+				t.Fatalf("trial %d step %d: wheel minAt=%d heap min=%d", trial, step, w.minAt, heapMin())
+			}
+			if w.size() != len(h) {
+				t.Fatalf("trial %d step %d: wheel size=%d heap size=%d", trial, step, w.size(), len(h))
+			}
+		}
+		popOne := func(step int) {
+			got := w.pop(now)
+			want := h.pop()
+			if got != want {
+				t.Fatalf("trial %d step %d: wheel popped %+v, heap popped %+v", trial, step, got, want)
+			}
+			if got.at < now {
+				t.Fatalf("trial %d step %d: pop went backwards (%d < %d)", trial, step, got.at, now)
+			}
+			now = got.at
+		}
+
+		steps := 2000 + rng.Intn(2000)
+		for i := 0; i < steps; i++ {
+			if w.size() == 0 || rng.Intn(3) != 0 {
+				at := now + randomDelta(rng)
+				burst := 1 + rng.Intn(3)
+				for b := 0; b < burst; b++ {
+					ev := event{
+						at:    at,
+						seq:   seq,
+						epoch: uint32(seq),
+						kind:  eventKind(seq % 5),
+					}
+					seq++
+					w.push(ev, now)
+					h.push(ev)
+				}
+			} else {
+				popOne(i)
+			}
+			check(i)
+		}
+		for w.size() > 0 {
+			popOne(-1)
+			check(-1)
+		}
+		w.recycle()
+	}
+}

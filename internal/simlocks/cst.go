@@ -1,8 +1,6 @@
 package simlocks
 
 import (
-	"sync"
-
 	"shfllock/internal/alloc"
 	"shfllock/internal/sim"
 )
@@ -245,22 +243,21 @@ func (l *CST) TryLock(t *sim.Thread) bool {
 func (l *CST) Stats() *Counters { return &l.cnt }
 
 // allocatorPerEngine returns a lookup that hands out exactly one slab
-// allocator per engine. The benchmark harness runs one maker's points on
-// several engines concurrently, so the lookup must be both thread-safe and
-// keyed by engine: a single last-engine cache slot thrashes between
-// concurrent engines and nondeterministically splits one engine's locks
-// across several allocators, perturbing allocation costs.
+// allocator per engine instance. The allocator is stored in the engine's
+// assoc table (under a token unique to this maker), not in a maker-side map
+// keyed by *Engine: engines are pooled across sweep points, so a recycled
+// pointer would hit a previous run's allocator — whose bump state indexes
+// the torn-down memory image — and silently alias fresh locks over stale
+// words. Engine-scoped storage also needs no lock (one thread runs at a
+// time per engine) and cannot thrash between concurrently running engines.
 func allocatorPerEngine() func(*sim.Engine) *alloc.Allocator {
-	var mu sync.Mutex
-	allocs := make(map[*sim.Engine]*alloc.Allocator)
+	key := new(int) // distinct assoc key per maker
 	return func(e *sim.Engine) *alloc.Allocator {
-		mu.Lock()
-		defer mu.Unlock()
-		al := allocs[e]
-		if al == nil {
-			al = alloc.New(e)
-			allocs[e] = al
+		if al, ok := e.Assoc(key).(*alloc.Allocator); ok {
+			return al
 		}
+		al := alloc.New(e)
+		e.SetAssoc(key, al)
 		return al
 	}
 }

@@ -129,6 +129,7 @@ func AFL(p Params, k KernelLocks) Result {
 	res := h.run()
 	res.LockBytes = f.LockBytesLive + uint64(p.Threads)*uint64(k.Mutex.Footprint(sockets).PerLock+k.RW.Footprint(sockets).PerLock)
 	res.AllocBytes = al.BytesTotal
+	e.Recycle()
 	return res
 }
 
@@ -190,6 +191,7 @@ func Exim(p Params, k KernelLocks) Result {
 	res := h.run()
 	res.LockBytes = f.LockBytesLive + uint64(p.Threads)*3*uint64(k.Mutex.Footprint(sockets).PerLock+k.RW.Footprint(sockets).PerLock)
 	res.AllocBytes = al.BytesTotal
+	e.Recycle()
 	return res
 }
 
@@ -233,5 +235,6 @@ func Metis(p Params, k KernelLocks) Result {
 	res.LockBytes = uint64(k.RW.Footprint(sockets).PerLock)
 	res.AllocBytes = al.BytesTotal
 	addLockCounters(&res, mmapSem)
+	e.Recycle()
 	return res
 }

@@ -46,6 +46,7 @@ func MWRL(p Params, spin simlocks.Maker) Result {
 	})
 	res := h.run()
 	addLockCounters(&res, f.SpinLk)
+	e.Recycle()
 	return res
 }
 
@@ -74,6 +75,7 @@ func MWCM(p Params, rw simlocks.RWMaker) Result {
 	res.LockBytes = f.LockBytesLive
 	res.AllocBytes = al.BytesTotal
 	addLockCounters(&res, shared.RW)
+	e.Recycle()
 	return res
 }
 
@@ -107,6 +109,7 @@ func MWRM(p Params, mutex simlocks.Maker) Result {
 	res := h.run()
 	res.AllocBytes = al.BytesTotal
 	addLockCounters(&res, f.RenameMu)
+	e.Recycle()
 	return res
 }
 
@@ -136,5 +139,6 @@ func MRDM(p Params, rw simlocks.RWMaker) Result {
 	})
 	res := h.run()
 	addLockCounters(&res, shared.RW)
+	e.Recycle()
 	return res
 }

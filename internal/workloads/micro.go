@@ -22,6 +22,7 @@ func Lock1(p Params, mk simlocks.Maker) Result {
 	})
 	res := h.run()
 	addLockCounters(&res, l)
+	e.Recycle()
 	return res
 }
 
@@ -85,6 +86,7 @@ func HashTable(p Params, mk simlocks.Maker, writePct int) Result {
 	})
 	res := h.run()
 	addLockCounters(&res, l)
+	e.Recycle()
 	return res
 }
 
@@ -111,6 +113,7 @@ func HashTableRW(p Params, mk simlocks.RWMaker, writePct int) Result {
 	})
 	res := h.run()
 	addLockCounters(&res, l)
+	e.Recycle()
 	return res
 }
 

@@ -21,7 +21,10 @@ func LevelDB(p Params, mk simlocks.Maker) Result {
 		key := uint64(t.Rng().Intn(1 << 16))
 		db.Get(t, key)
 	})
-	return h.run()
+	res := h.run()
+	db.Recycle()
+	e.Recycle()
+	return res
 }
 
 // Streamcluster models the PARSEC data-mining workload of Figure 12(c): a
@@ -86,6 +89,7 @@ func Streamcluster(p Params, mk simlocks.Maker, phases int) Result {
 	res.finish()
 	res.Extra["exec_cycles"] = float64(e.Now())
 	addLockCounters(&res, l)
+	e.Recycle()
 	return res
 }
 
@@ -153,5 +157,6 @@ func Dedup(p Params, mk simlocks.Maker) Result {
 	res.LockBytes = lockBytes + nodeBytes
 	res.AllocBytes = al.BytesTotal + lockBytes + nodeBytes
 	res.Extra["lock_alloc_bytes"] = float64(lockBytes + nodeBytes)
+	e.Recycle()
 	return res
 }

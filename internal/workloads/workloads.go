@@ -32,6 +32,11 @@ type Params struct {
 	// handoff (shflbench -enginefast=false). Results are identical either
 	// way; the slow path is kept as the correctness oracle.
 	NoFastPath bool
+	// NoWheel disables the timer wheel and per-point arena allocation
+	// (shflbench -enginewheel=false): events go through the reference
+	// binary heap and engine scratch comes from the Go heap. Results are
+	// identical either way; the mode exists as the raw-speed oracle.
+	NoWheel bool
 }
 
 // engineFor builds the simulation engine for a workload run; every workload
@@ -43,6 +48,7 @@ func engineFor(p Params) *sim.Engine {
 		Seed:       p.Seed,
 		HardStop:   hardStop(p),
 		NoFastPath: p.NoFastPath,
+		NoWheel:    p.NoWheel,
 	})
 }
 

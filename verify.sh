@@ -10,12 +10,16 @@
 # invariant and steal-path liveness tests) under the race detector, which
 # is where lock bugs hide.
 #
-# The shape gate runs three times — serially, with a parallel worker pool,
-# and with the engine fast path disabled — and diffs the outputs
-# byte-for-byte against each other and against the committed
-# results_quick.txt: the harness guarantees identical results whatever the
-# execution order, and the engine guarantees identical results whichever
-# path advances virtual time. This is where both guarantees are enforced.
+# The shape gate runs four times — serially, with a parallel worker pool,
+# with the engine fast path disabled, and with the timer wheel and arenas
+# disabled — and diffs the outputs byte-for-byte against each other and
+# against the committed results_quick.txt: the harness guarantees identical
+# results whatever the execution order, and the engine guarantees identical
+# results whichever path advances virtual time and whichever event-queue
+# backend orders it. This is where those guarantees are enforced. A
+# randomized differential test additionally pins the wheel's pop order to
+# the reference heap's, and one figure family (Figure 8) runs at full
+# fidelity against a committed golden.
 #
 # The chaos gates pin the fault-injection layer: a fixed-seed run must be
 # byte-identical across invocations and to the committed golden (with the
@@ -87,9 +91,31 @@ go run ./cmd/shflbench -exp all -quick -parallel 4 -enginefast=false >/tmp/shflb
 diff /tmp/shflbench-serial.txt /tmp/shflbench-slowpath.txt
 echo "slow-path output byte-identical to fast-path"
 
+echo "== shape gate: shflbench -exp all -quick -enginewheel=false (timer-wheel/arena oracle diff)"
+# The timer wheel and the per-point arenas replace the reference event heap
+# and plain heap allocation; the reference path survives as the oracle, and
+# every sweep must be byte-identical with either backend.
+go run ./cmd/shflbench -exp all -quick -parallel 4 -enginewheel=false >/tmp/shflbench-nowheel.txt
+diff /tmp/shflbench-serial.txt /tmp/shflbench-nowheel.txt
+echo "no-wheel output byte-identical to timer-wheel"
+
+echo "== differential wheel gate: randomized wheel-vs-heap pop-order equivalence"
+go test -count=1 -run 'TestWheelMatchesHeapRandomized|TestEventLayout|TestThreadLayout' ./internal/sim/
+go test -count=1 -run 'TestLineLayout' ./internal/memsim/
+
 echo "== shape gate: diff against committed results_quick.txt"
 diff results_quick.txt /tmp/shflbench-serial.txt
 echo "output byte-identical to committed results_quick.txt"
+
+echo "== full-fidelity gate: Figure 8 family at paper scale (no -quick)"
+# One figure family runs at full fidelity on every verify: full thread
+# sweep, full measurement window. Catches regressions that only appear at
+# scale (quick mode trims both the sweep and the window) and pins the
+# full-fidelity output byte-for-byte. Wall clock for this sweep is recorded
+# in BENCH_sim.json.
+go run ./cmd/shflbench -exp fig8a,fig8b -parallel 4 >/tmp/shflbench-fig8-full.txt
+diff results_fig8_full.txt /tmp/shflbench-fig8-full.txt
+echo "full-fidelity Figure 8 output byte-identical to committed golden"
 
 echo "== chaos gate: fixed-seed fault injection, byte-reproducible"
 go run ./cmd/locktorture -chaos -chaos-seed 42 >/tmp/chaos-a.txt
