@@ -45,7 +45,9 @@ import (
 	"shfllock/internal/core"
 	"shfllock/internal/lockreg"
 	"shfllock/internal/lockstat"
+	"shfllock/internal/runtimeq"
 	"shfllock/internal/shuffle"
+	"shfllock/internal/sim"
 )
 
 type locker interface {
@@ -75,7 +77,7 @@ func main() {
 		threads   = flag.Int("threads", 16, "torture goroutines")
 		duration  = flag.Duration("duration", 5*time.Second, "how long to run")
 		sockets   = flag.Int("sockets", 4, "sockets assumed by the shuffling policy")
-		policy    = flag.String("policy", "", "shuffling policy for the ShflLock family (default numa)")
+		policy    = flag.String("policy", "", "shuffling policy for the ShflLock family (default numa; \"auto\" is the self-tuning meta-policy and implies -lockstat)")
 		stat      = flag.Bool("lockstat", false, "instrument the lock and print lock_stat-style reports")
 		abortFrac = flag.Float64("abort-frac", 0, "fraction of acquisitions run via LockTimeout/LockContext (ShflLock family only)")
 		watchdog  = flag.Duration("watchdog", 0, "dump goroutine stacks and exit 2 if no acquisition completes for this long")
@@ -85,6 +87,7 @@ func main() {
 		chaosSeed     = flag.Int64("chaos-seed", 42, "fault-schedule seed for -chaos (same seed => byte-identical output)")
 		chaosLock     = flag.String("chaos-lock", "shfllock-b", "simulated lock to torture under -chaos")
 		chaosDeadlock = flag.Bool("chaos-deadlock", false, "inject a permanent holder stall; the run passes only if the watchdog fires")
+		chaosFlip     = flag.Bool("chaos-flip", false, "arm the policy-flip fault: forced live policy transitions at the mid-shuffle, abort-reclaim and head-abdication moments")
 	)
 	flag.Parse()
 	core.SetSockets(*sockets)
@@ -97,7 +100,7 @@ func main() {
 		return
 	}
 	if *chaosMode {
-		runChaos(*chaosSeed, *chaosLock, *chaosDeadlock)
+		runChaos(*chaosSeed, *chaosLock, *chaosDeadlock, *chaosFlip)
 		return
 	}
 	if *deadline > 0 {
@@ -107,11 +110,18 @@ func main() {
 	}
 
 	var pol shuffle.Policy
+	var meta *shuffle.Meta
 	if *policy != "" {
 		if pol = shuffle.ByName(*policy); pol == nil {
 			fmt.Fprintf(os.Stderr, "unknown policy %q (have: %s)\n",
 				*policy, strings.Join(shuffle.Names(), " "))
 			os.Exit(2)
+		}
+		if m, isMeta := pol.(*shuffle.Meta); isMeta {
+			// The meta-policy tunes itself from the lock's own lockstat
+			// interval diffs, so -policy auto forces instrumentation on.
+			meta = m
+			*stat = true
 		}
 	}
 
@@ -127,8 +137,29 @@ func main() {
 	if pol != nil {
 		need = append(need, lockreg.CapPolicy)
 	}
+	if meta != nil {
+		need = append(need, lockreg.CapSelfTuning)
+	}
 	if *abortFrac > 0 {
 		need = append(need, lockreg.CapAbortable)
+	}
+
+	// attachMeta wires the meta-policy's observation loop to the tortured
+	// lock's own site and arranges the stage-transition tail to print at
+	// exit. Call after Instrument has registered the site.
+	attachMeta := func() {
+		if meta == nil {
+			return
+		}
+		meta.SetSource(lockstat.MetaSource(lockstat.Default.Site("torture/"+ent.Name), runtimeq.Oversubscribed))
+		meta.SetClock(func() uint64 { return uint64(time.Now().UnixNano()) })
+	}
+	printTransitions := func() {
+		if meta == nil {
+			return
+		}
+		fmt.Println("--- policy transitions (auto) ---")
+		fmt.Print(meta.Log().String())
 	}
 
 	if ent.Has(lockreg.CapRW) {
@@ -146,10 +177,12 @@ func main() {
 		var l rwLocker = h.RWLocker
 		if *stat {
 			l = lockstat.InstrumentRW(h.RWLocker, "torture/"+ent.Name)
+			attachMeta()
 			defer finalReport()
 			stopLive := liveReports(*duration)
 			defer stopLive()
 		}
+		defer printTransitions()
 		tortureRW(ent.Name, l, h.Abort, *threads, *duration, *abortFrac, *watchdog)
 		return
 	}
@@ -174,10 +207,12 @@ func main() {
 		// feed the abort/reclaim counters; the wrapper adds wait/hold
 		// sampling on the plain path.
 		l = lockstat.Instrument(h.Locker, "torture/"+ent.Name)
+		attachMeta()
 		defer finalReport()
 		stopLive := liveReports(*duration)
 		defer stopLive()
 	}
+	defer printTransitions()
 
 	var stop atomic.Bool
 	var inCS atomic.Int32
@@ -256,7 +291,7 @@ func abortableAcquire(al abortLocker, rng *rand.Rand) bool {
 // lock name goes through the registry, so both canonical names
 // ("shfl-mutex") and simulator maker names ("shfllock-b") work; abort
 // injection is disarmed automatically for locks without the capability.
-func runChaos(seed int64, lock string, deadlock bool) {
+func runChaos(seed int64, lock string, deadlock, flip bool) {
 	ent, ok := lockreg.Find(lock)
 	if !ok {
 		fmt.Fprintf(os.Stderr, "unknown lock %q (simulated locks: %s)\n", lock, strings.Join(lockreg.SimNames(), "|"))
@@ -267,6 +302,9 @@ func runChaos(seed int64, lock string, deadlock bool) {
 		os.Exit(2)
 	}
 	cfg := chaos.Defaults(seed)
+	if flip {
+		cfg = chaos.FlipDefaults(seed)
+	}
 	cfg.Lock = ent.SimName()
 	if !ent.Has(lockreg.CapAbortable) {
 		cfg.AbortFrac = 0
@@ -281,13 +319,38 @@ func runChaos(seed int64, lock string, deadlock bool) {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(2)
 	}
-	fmt.Printf("chaos lock=%s seed=%d workers=%d iters=%d deadlock=%v\n",
+	// The flip marker is appended only when armed so the pre-existing
+	// flip-free golden stays byte-identical.
+	header := fmt.Sprintf("chaos lock=%s seed=%d workers=%d iters=%d deadlock=%v",
 		cfg.Lock, cfg.Seed, cfg.Workers, cfg.Iters, cfg.Deadlock)
+	if flip {
+		header += " flip=true"
+	}
+	fmt.Println(header)
 	fmt.Print(r.Log.String())
 	fmt.Print(r.Summary())
 	if r.MutualExclusionViolations > 0 {
 		fmt.Println("CHAOS FAILED: mutual exclusion violated")
 		os.Exit(1)
+	}
+	if flip && !deadlock {
+		// The flip certification is only meaningful if the schedule actually
+		// hit all three transition-adversarial moments and every acquisition
+		// is accounted for afterwards.
+		for _, m := range []sim.FlipMoment{sim.FlipMidShuffle, sim.FlipAbortReclaim, sim.FlipHeadAbdication} {
+			if r.Log.CountArg(chaos.EvPolicyFlip, uint64(m)) == 0 {
+				fmt.Printf("CHAOS FAILED: no policy flip landed at the %s moment\n", m)
+				os.Exit(1)
+			}
+		}
+		if r.Ops+r.Timeouts != r.Expected {
+			fmt.Printf("CHAOS FAILED: lost wakeups — ops=%d timeouts=%d expected=%d\n", r.Ops, r.Timeouts, r.Expected)
+			os.Exit(1)
+		}
+		if r.QueueResidue != "" {
+			fmt.Printf("CHAOS FAILED: queue residue after run: %s\n", r.QueueResidue)
+			os.Exit(1)
+		}
 	}
 	if deadlock {
 		if !r.WatchdogFired {

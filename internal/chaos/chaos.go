@@ -42,6 +42,10 @@ const (
 	EvDeadlockStall
 	// EvWatchdog: the watchdog fired; Arg is the stalled worker's id.
 	EvWatchdog
+	// EvPolicyFlip: a live policy transition was forced at a transition-
+	// adversarial moment. Arg is the sim.FlipMoment; Note names the policy
+	// switched to.
+	EvPolicyFlip
 )
 
 func (k EventKind) String() string {
@@ -60,6 +64,8 @@ func (k EventKind) String() string {
 		return "deadlock-stall"
 	case EvWatchdog:
 		return "watchdog"
+	case EvPolicyFlip:
+		return "policy-flip"
 	}
 	return "?"
 }
@@ -71,6 +77,19 @@ type Event struct {
 	Thread int
 	Kind   EventKind
 	Arg    uint64
+	// Note carries an optional string payload (the target policy of a
+	// flip). Rendered only when non-empty, so pre-existing goldens whose
+	// events carry no note stay byte-identical.
+	Note string
+}
+
+// line renders one event in the log's stable format.
+func (ev Event) line() string {
+	s := fmt.Sprintf("t=%-12d T%-3d %-16s %d", ev.At, ev.Thread, ev.Kind, ev.Arg)
+	if ev.Note != "" {
+		s += " " + ev.Note
+	}
+	return s + "\n"
 }
 
 // Log accumulates events in execution order. The engine runs one thread at
@@ -83,13 +102,28 @@ func (lg *Log) add(at uint64, thread int, kind EventKind, arg uint64) {
 	lg.Events = append(lg.Events, Event{At: at, Thread: thread, Kind: kind, Arg: arg})
 }
 
+func (lg *Log) addNote(at uint64, thread int, kind EventKind, arg uint64, note string) {
+	lg.Events = append(lg.Events, Event{At: at, Thread: thread, Kind: kind, Arg: arg, Note: note})
+}
+
 // String renders the log one event per line, byte-stable for a given run.
 func (lg *Log) String() string {
 	var b strings.Builder
 	for _, ev := range lg.Events {
-		fmt.Fprintf(&b, "t=%-12d T%-3d %-16s %d\n", ev.At, ev.Thread, ev.Kind, ev.Arg)
+		b.WriteString(ev.line())
 	}
 	return b.String()
+}
+
+// CountArg returns how many events of the given kind carry the given Arg.
+func (lg *Log) CountArg(kind EventKind, arg uint64) int {
+	n := 0
+	for _, ev := range lg.Events {
+		if ev.Kind == kind && ev.Arg == arg {
+			n++
+		}
+	}
+	return n
 }
 
 // Count returns how many events of the given kind were injected.
@@ -112,6 +146,9 @@ type Plan struct {
 	cfg Config
 	rng *rand.Rand
 	log *Log
+	// flipIdx cycles deterministically through cfg.PolicyFlipPolicies so a
+	// run's flip sequence exercises every configured target policy.
+	flipIdx int
 }
 
 // NewPlan builds a fault schedule from the config's seed.
@@ -156,6 +193,26 @@ func (p *Plan) SpuriousWakeDelay(t *sim.Thread) uint64 {
 	}
 	p.log.add(t.Now(), t.ID(), EvSpuriousWake, d)
 	return d
+}
+
+// PolicyFlip implements sim.Injector: forcing a live policy transition at
+// the exact instants where a swap interacts with in-flight queue surgery —
+// mid-shuffle, during abort reclaim, at head abdication. Targets cycle
+// through the configured policy list so one run certifies several
+// from/to pairs at every moment. The hit draw short-circuits at frac 0, so
+// runs without the fault armed replay pre-existing fault schedules.
+func (p *Plan) PolicyFlip(t *sim.Thread, m sim.FlipMoment) string {
+	if !p.hit(p.cfg.PolicyFlipFrac) {
+		return ""
+	}
+	pols := p.cfg.PolicyFlipPolicies
+	if len(pols) == 0 {
+		return ""
+	}
+	name := pols[p.flipIdx%len(pols)]
+	p.flipIdx++
+	p.log.addNote(t.Now(), t.ID(), EvPolicyFlip, uint64(m), name)
+	return name
 }
 
 // AbortBudget decides whether this acquisition should run abortable; a

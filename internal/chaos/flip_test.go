@@ -1,0 +1,71 @@
+package chaos
+
+import (
+	"strings"
+	"testing"
+
+	"shfllock/internal/sim"
+)
+
+// TestFlipRunCertifies: the policy-flip torture at the verify.sh gate's
+// seed must land a transition at all three adversarial moments, keep every
+// acquisition accounted for, leave the queue clean, and replay
+// byte-identically. This is the in-tree twin of the chaos_flip_seed42
+// golden gate.
+func TestFlipRunCertifies(t *testing.T) {
+	cfg := FlipDefaults(42)
+	a, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Log.String() != b.Log.String() || a.Summary() != b.Summary() {
+		t.Fatal("flip-armed runs with identical configs diverged")
+	}
+	if a.WatchdogFired {
+		t.Fatalf("watchdog fired: %s\n%s", a.WatchdogReason, a.Report)
+	}
+	if a.MutualExclusionViolations != 0 {
+		t.Fatalf("%d mutual-exclusion violations under forced transitions", a.MutualExclusionViolations)
+	}
+	for _, m := range []sim.FlipMoment{sim.FlipMidShuffle, sim.FlipAbortReclaim, sim.FlipHeadAbdication} {
+		if a.Log.CountArg(EvPolicyFlip, uint64(m)) == 0 {
+			t.Errorf("no policy flip landed at the %s moment", m)
+		}
+	}
+	if a.Ops+a.Timeouts != a.Expected {
+		t.Fatalf("lost wakeups: ops=%d timeouts=%d, expected %d acquisitions", a.Ops, a.Timeouts, a.Expected)
+	}
+	if a.QueueResidue != "" {
+		t.Fatalf("queue residue after run: %s", a.QueueResidue)
+	}
+	if a.PolicyFlips == 0 {
+		t.Fatal("fault armed but no flips recorded")
+	}
+	// Every injected flip is one epoched transition past the boot install,
+	// and the log's epochs must be strictly increasing.
+	if !strings.Contains(a.Transitions, "chaos:mid-shuffle") {
+		t.Fatalf("transition log missing chaos triggers:\n%s", a.Transitions)
+	}
+}
+
+// TestFlipFreeSummaryUnchanged: with the fault disarmed the Result and its
+// Summary must not mention flips at all — the pre-existing goldens replay
+// through the same code path.
+func TestFlipFreeSummaryUnchanged(t *testing.T) {
+	r, err := Run(Defaults(42))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.FlipArmed || r.PolicyFlips != 0 {
+		t.Fatalf("flip-free run reports flips: armed=%v n=%d", r.FlipArmed, r.PolicyFlips)
+	}
+	for _, forbidden := range []string{"policy-flips=", "ops-accounting=", "transition log:"} {
+		if strings.Contains(r.Summary(), forbidden) {
+			t.Fatalf("flip-free Summary leaks %q:\n%s", forbidden, r.Summary())
+		}
+	}
+}

@@ -38,6 +38,14 @@ type Config struct {
 	HolderStallFrac                float64
 	HolderStallMin, HolderStallMax uint64
 
+	// PolicyFlipFrac forces a live policy transition — through the lock's
+	// epoched transition API — at the transition-adversarial moments
+	// (mid-shuffle, abort reclaim, head abdication), switching to the next
+	// name in PolicyFlipPolicies. Zero (the default) draws nothing from the
+	// fault schedule, so pre-existing goldens replay unchanged.
+	PolicyFlipFrac     float64
+	PolicyFlipPolicies []string
+
 	// Deadlock makes worker 0 acquire and then stall forever mid-run: the
 	// scenario the watchdog must catch.
 	Deadlock bool
@@ -72,6 +80,26 @@ func Defaults(seed int64) Config {
 	}
 }
 
+// FlipDefaults is Defaults with the policy-flip fault armed, cycling
+// through in-family and cross-stage targets so one run certifies several
+// from/to pairs at every moment. The abort knobs are sharpened relative
+// to Defaults: head abdication only exists when a timed waiter reaches
+// the queue head and then times out spinning on the TAS word, which needs
+// budgets short enough — and holder stalls long enough — for the head to
+// give up while the lock is held. The default budgets never produce one.
+func FlipDefaults(seed int64) Config {
+	cfg := Defaults(seed)
+	cfg.AbortFrac = 0.40
+	cfg.AbortBudgetMin = 20_000
+	cfg.AbortBudgetMax = 150_000
+	cfg.HolderStallFrac = 0.15
+	cfg.HolderStallMin = 100_000
+	cfg.HolderStallMax = 400_000
+	cfg.PolicyFlipFrac = 0.50
+	cfg.PolicyFlipPolicies = []string{"ablation-base", "numa", "ablation+shufflers", "prio"}
+	return cfg
+}
+
 // Result is everything a chaos run observed.
 type Result struct {
 	Log      *Log
@@ -85,6 +113,19 @@ type Result struct {
 	Report         string // post-mortem (only when the watchdog fired)
 
 	MutualExclusionViolations int
+
+	// Policy-flip certification (populated only when the fault is armed,
+	// so Summary stays byte-identical for flip-free goldens).
+	FlipArmed   bool
+	PolicyFlips int
+	// Expected is workers*iters: every acquisition must end in a completed
+	// critical section or a logged timeout, or a wakeup was lost.
+	Expected uint64
+	// QueueResidue is "" when the queue drained cleanly (see
+	// simlocks.ShflLock.QueueResidue).
+	QueueResidue string
+	// Transitions is the lock's TransitionLog rendering at exit.
+	Transitions string
 }
 
 // abortableLock is the capability the abort injection needs; the ShflLock
@@ -112,6 +153,9 @@ func Run(cfg Config) (*Result, error) {
 	}
 	data := e.Mem().Alloc("chaos/csdata", 2)
 	wd := NewWatchdog(e, log, cfg.Workers, cfg.WatchdogInterval, cfg.WatchdogThreshold)
+	if sl, ok := l.(*simlocks.ShflLock); ok {
+		wd.SetAux(func() string { return sl.Transitions().String() })
+	}
 
 	inCS := 0
 	for i := 0; i < cfg.Workers; i++ {
@@ -173,6 +217,14 @@ func Run(cfg Config) (*Result, error) {
 	}
 	res.WatchdogFired, res.WatchdogReason = wd.Fired()
 	res.Report = wd.Report()
+
+	res.FlipArmed = cfg.PolicyFlipFrac > 0
+	res.PolicyFlips = log.Count(EvPolicyFlip)
+	res.Expected = uint64(cfg.Workers) * uint64(cfg.Iters)
+	if sl, ok := l.(*simlocks.ShflLock); ok {
+		res.QueueResidue = sl.QueueResidue()
+		res.Transitions = sl.Transitions().String()
+	}
 	return res, nil
 }
 
@@ -186,6 +238,23 @@ func (r *Result) Summary() string {
 		s += fmt.Sprintf("watchdog fired: %s\n", r.WatchdogReason)
 	} else {
 		s += "watchdog quiet\n"
+	}
+	if r.FlipArmed {
+		s += fmt.Sprintf("policy-flips=%d mid-shuffle=%d abort-reclaim=%d head-abdication=%d\n",
+			r.PolicyFlips,
+			r.Log.CountArg(EvPolicyFlip, uint64(sim.FlipMidShuffle)),
+			r.Log.CountArg(EvPolicyFlip, uint64(sim.FlipAbortReclaim)),
+			r.Log.CountArg(EvPolicyFlip, uint64(sim.FlipHeadAbdication)))
+		acct := "ok"
+		if !r.WatchdogFired && r.Ops+r.Timeouts != r.Expected {
+			acct = fmt.Sprintf("LOST %d of %d acquisitions", r.Expected-r.Ops-r.Timeouts, r.Expected)
+		}
+		queue := r.QueueResidue
+		if queue == "" {
+			queue = "clean"
+		}
+		s += fmt.Sprintf("ops-accounting=%s queue=%s\n", acct, queue)
+		s += "transition log:\n" + r.Transitions
 	}
 	return s
 }

@@ -27,7 +27,16 @@ type Watchdog struct {
 	fired  bool
 	reason string
 	report string
+
+	// aux, when set, contributes extra post-mortem state at fire time (the
+	// torture harness hangs the lock's policy TransitionLog here, so a hang
+	// can be correlated with the transition that preceded it).
+	aux func() string
 }
+
+// SetAux installs an extra post-mortem section rendered when the watchdog
+// fires.
+func (w *Watchdog) SetAux(f func() string) { w.aux = f }
 
 // NewWatchdog sizes the watchdog for the given worker count. Workers must
 // be spawned with ids 0..workers-1 matching their beat slot.
@@ -100,7 +109,11 @@ func (w *Watchdog) fire(t *sim.Thread, worker int, age uint64) {
 	}
 	b.WriteString("\nfault log tail:\n")
 	for _, ev := range tail {
-		fmt.Fprintf(&b, "  t=%-12d T%-3d %-16s %d\n", ev.At, ev.Thread, ev.Kind, ev.Arg)
+		b.WriteString("  " + ev.line())
+	}
+	if w.aux != nil {
+		b.WriteString("\npolicy transitions:\n")
+		b.WriteString(w.aux())
 	}
 	b.WriteString("\n")
 	b.WriteString(w.eng.Dump())

@@ -34,7 +34,7 @@ import "shfllock/internal/shuffle"
 func NewGoroMutex() *Mutex {
 	m := &Mutex{}
 	m.s.goro = true
-	m.s.policy = shuffle.Goro()
+	m.s.setPolicy(shuffle.Goro(), "init")
 	return m
 }
 
@@ -45,7 +45,7 @@ func NewGoroMutex() *Mutex {
 func NewGoroSpinLock() *SpinLock {
 	l := &SpinLock{}
 	l.s.goro = true
-	l.s.policy = shuffle.Goro()
+	l.s.setPolicy(shuffle.Goro(), "init")
 	return l
 }
 
@@ -55,6 +55,6 @@ func NewGoroSpinLock() *SpinLock {
 func NewGoroRWMutex() *RWMutex {
 	l := &RWMutex{}
 	l.wlock.s.goro = true
-	l.wlock.s.policy = shuffle.Goro()
+	l.wlock.s.setPolicy(shuffle.Goro(), "init")
 	return l
 }

@@ -60,9 +60,15 @@ func (m *Mutex) SetProbe(p Probe) { m.s.probe = p }
 func (l *RWMutex) SetProbe(p Probe) { l.wlock.s.probe = p }
 
 // SetPolicy replaces the shuffling policy of the internal ordering mutex
-// (default: NUMA grouping). Attach before the lock is shared; passing nil
-// restores the default.
-func (l *RWMutex) SetPolicy(p shuffle.Policy) { l.wlock.s.policy = p }
+// (default: NUMA grouping) through the epoched transition protocol: safe
+// at any time, under any contention. Passing nil restores the default.
+func (l *RWMutex) SetPolicy(p shuffle.Policy) { l.wlock.s.setPolicy(p, "api") }
+
+// Transitions exposes the ordering mutex's policy transition record.
+func (l *RWMutex) Transitions() *shuffle.TransitionLog { return l.wlock.s.policy.Log() }
+
+// PolicyEpoch returns the current transition fence value (monotone).
+func (l *RWMutex) PolicyEpoch() uint64 { return l.wlock.s.policy.Epoch() }
 
 // shflOracleHooks are structural hooks used by the invariant tests to watch
 // queue-node-level events (which the public Probe cannot expose, since

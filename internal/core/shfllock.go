@@ -26,9 +26,12 @@ type shflState struct {
 	// Written by SetProbe before the lock is shared; read with plain
 	// loads on the lock paths so a nil probe costs one branch.
 	probe Probe
-	// policy, when non-nil, overrides the default NUMA shuffling policy.
-	// Written by SetPolicy before the lock is shared, like probe.
-	policy shuffle.Policy
+	// policy is the epoched policy holder: SetPolicy may be called at any
+	// time, under any contention. Every walk (shuffle round, grant walk,
+	// head abdication) reads it exactly once through roundPol and runs
+	// entirely under that read — the transition protocol's epoch fence.
+	// An empty box means the default NUMA policy.
+	policy shuffle.PolicyBox
 	// mayAbort latches to true on the first abortable acquisition and gates
 	// the abandoned-node handling in shuffling rounds (shuffle.Substrate
 	// MayAbort): locks that never see LockTimeout/LockContext pay nothing.
@@ -44,10 +47,24 @@ type shflState struct {
 }
 
 func (l *shflState) pol() shuffle.Policy {
-	if p := l.policy; p != nil {
+	if p := l.policy.Get(); p != nil {
 		return p
 	}
 	return defaultPolicy
+}
+
+// roundPol reads the policy box exactly once and pins composite policies
+// (shuffle.Meta) to their current stage. The returned value is held for one
+// complete walk — a shuffle round, the grant walk, or a head abdication —
+// so a concurrent SetPolicy can never tear Match/Budget/WakeGrouped apart.
+func (l *shflState) roundPol() shuffle.Policy {
+	return shuffle.Pin(l.pol())
+}
+
+// setPolicy is the one native path that installs a policy: an epoched
+// transition recorded with the caller's trigger. nil restores the default.
+func (l *shflState) setPolicy(p shuffle.Policy, trigger string) {
+	l.policy.Set(p, trigger, uint64(time.Now().UnixNano()))
 }
 
 // trySteal is the TAS fast path; with stealing permitted it also barges
@@ -101,7 +118,6 @@ func (l *shflState) lockAbort(blocking bool, prio uint64, a *aborter) bool {
 		// acquisition can possibly leave a corpse in the queue.
 		l.mayAbort.Store(true)
 	}
-	pol := l.pol()
 	n := getNode()
 	if l.goro {
 		// Re-stamp the recycled node with the acquirer's current P bucket
@@ -113,7 +129,7 @@ func (l *shflState) lockAbort(blocking bool, prio uint64, a *aborter) bool {
 	n.prio = prio
 	prev := l.tail.Swap(n)
 	if prev != nil {
-		if !l.spinUntilVeryNextWaiter(pol, blocking, prev, n, a) {
+		if !l.spinUntilVeryNextWaiter(blocking, prev, n, a) {
 			// Abandoned mid-queue. The node must never return to the pool:
 			// predecessors and shufflers may still hold references, and only
 			// the reclaimer's sReclaimed store ends its queue life. The
@@ -183,7 +199,7 @@ func (l *shflState) lockAbort(blocking bool, prio uint64, a *aborter) bool {
 			if o := shflOracle.Load(); o != nil && o.headExit != nil {
 				o.headExit(n)
 			}
-			l.passHead(pol, blocking, roleMine, n)
+			l.passHead(blocking, roleMine, n)
 			if p := l.probe; p != nil {
 				p.Abort()
 			}
@@ -191,6 +207,7 @@ func (l *shflState) lockAbort(blocking bool, prio uint64, a *aborter) bool {
 		}
 		if !roleMine && (n.batch.Load() == 0 || n.shuffler.Load() != 0) {
 			fromRole := n.shuffler.Load() != 0
+			pol := l.roundPol()
 			roleMine = shuffle.Run(coreSub{l: l, self: n, pol: pol}, pol, n,
 				shuffle.Input{Blocking: blocking, VNext: true, FromRole: fromRole}).Retained
 			if l.glock.Load()&0xff == 0 {
@@ -208,7 +225,7 @@ func (l *shflState) lockAbort(blocking bool, prio uint64, a *aborter) bool {
 		o.headExit(n)
 	}
 
-	granted := l.passHead(pol, blocking, roleMine, n)
+	granted := l.passHead(blocking, roleMine, n)
 	if p := l.probe; p != nil {
 		p.Contended()
 		if granted {
@@ -231,7 +248,12 @@ func (l *shflState) lockAbort(blocking bool, prio uint64, a *aborter) bool {
 // simulator substrate, where the owner thread reuses its node the moment it
 // observes the reclaimed store, and a reused node's link would point into a
 // different part of the queue.
-func (l *shflState) passHead(pol shuffle.Policy, blocking, roleMine bool, n *qnode) bool {
+//
+// The walk pins its policy at entry (one roundPol read): abdication and
+// reclaim both run entirely under the epoch observed here, so a transition
+// landing mid-walk takes effect on the next walk, never inside this one.
+func (l *shflState) passHead(blocking, roleMine bool, n *qnode) bool {
+	pol := l.roundPol()
 	cur := n
 	var relayed *qnode
 	for {
@@ -370,7 +392,7 @@ func (l *shflState) pace(i int) {
 // blocking variant. With a non-nil aborter it returns false if the wait
 // expired first; the node is then marked sAbandoned and stays in the queue
 // for a reclaimer.
-func (l *shflState) spinUntilVeryNextWaiter(pol shuffle.Policy, blocking bool, prev, n *qnode, a *aborter) bool {
+func (l *shflState) spinUntilVeryNextWaiter(blocking bool, prev, n *qnode, a *aborter) bool {
 	prev.next.Store(n)
 	spins := 0
 	for {
@@ -386,6 +408,9 @@ func (l *shflState) spinUntilVeryNextWaiter(pol shuffle.Policy, blocking bool, p
 			continue
 		}
 		if n.shuffler.Load() != 0 {
+			// One policy read per round: the walk below never re-reads, so a
+			// concurrent transition cannot tear it.
+			pol := l.roundPol()
 			shuffle.Run(coreSub{l: l, self: n, pol: pol}, pol, n,
 				shuffle.Input{Blocking: blocking, VNext: false, FromRole: true})
 			continue
@@ -464,10 +489,16 @@ func (l *SpinLock) Unlock() { l.s.unlock() }
 // TryLock attempts the acquisition with a single compare-and-swap.
 func (l *SpinLock) TryLock() bool { return l.s.tryLock() }
 
-// SetPolicy replaces the shuffling policy (default: NUMA grouping).
-// Attach before the lock is shared between goroutines; passing nil
-// restores the default.
-func (l *SpinLock) SetPolicy(p shuffle.Policy) { l.s.policy = p }
+// SetPolicy replaces the shuffling policy (default: NUMA grouping) through
+// the epoched transition protocol: safe at any time, under any contention.
+// Passing nil restores the default.
+func (l *SpinLock) SetPolicy(p shuffle.Policy) { l.s.setPolicy(p, "api") }
+
+// Transitions exposes the lock's policy transition record.
+func (l *SpinLock) Transitions() *shuffle.TransitionLog { return l.s.policy.Log() }
+
+// PolicyEpoch returns the current transition fence value (monotone).
+func (l *SpinLock) PolicyEpoch() uint64 { return l.s.policy.Epoch() }
 
 // Mutex is the blocking ShflLock (ShflLock^B): waiters spin briefly and
 // then park; shufflers wake parked waiters that are about to get the lock,
@@ -491,7 +522,13 @@ func (m *Mutex) Unlock() { m.s.unlock() }
 // TryLock attempts the acquisition with a single compare-and-swap.
 func (m *Mutex) TryLock() bool { return m.s.tryLock() }
 
-// SetPolicy replaces the shuffling policy (default: NUMA grouping).
-// Attach before the lock is shared between goroutines; passing nil
-// restores the default.
-func (m *Mutex) SetPolicy(p shuffle.Policy) { m.s.policy = p }
+// SetPolicy replaces the shuffling policy (default: NUMA grouping) through
+// the epoched transition protocol: safe at any time, under any contention.
+// Passing nil restores the default.
+func (m *Mutex) SetPolicy(p shuffle.Policy) { m.s.setPolicy(p, "api") }
+
+// Transitions exposes the lock's policy transition record.
+func (m *Mutex) Transitions() *shuffle.TransitionLog { return m.s.policy.Log() }
+
+// PolicyEpoch returns the current transition fence value (monotone).
+func (m *Mutex) PolicyEpoch() uint64 { return m.s.policy.Epoch() }

@@ -62,6 +62,7 @@ type controller struct {
 	hiAbort  float64
 	loAbort  float64
 	homeSync bool // calm-branch family: true means sync is home
+	selfTune bool // in-family decisions delegated to the locks' meta-policies
 	settle   int
 	minOps   uint64
 
@@ -88,6 +89,7 @@ func newController(s *Server) *controller {
 		hiAbort:  s.cfg.CtlHiAbort,
 		loAbort:  s.cfg.CtlLoAbort,
 		homeSync: s.cfg.CtlHome == "sync",
+		selfTune: s.cfg.SelfTune,
 		settle:   s.cfg.CtlSettle,
 		minOps:   s.cfg.CtlMinOps,
 		prev:     make([]lockstat.Report, len(s.shards)),
@@ -164,8 +166,13 @@ func (c *controller) decide(i int, sh *shard, d lockstat.Report) {
 	// overrides the mutex-shaped verdict from either home. Two carve-outs:
 	// an abort storm still flees to sync (goro waiters abandon qnodes like
 	// any ShflLock, so the reclaim feedback loop applies to it too), and RW
-	// verdicts keep their reader path (goro is mutex-shaped).
-	if !storm && !isRW && runtimeq.Oversubscribed() {
+	// verdicts keep their reader path (goro is mutex-shaped). Under
+	// SelfTune the controller delegates this axis entirely: the attached
+	// meta-policy switches its own lock to the goro *stage* in place — no
+	// drain, no handover — so a controller-driven swap to ImplGoro would
+	// only duplicate the decision one layer up, slower and with a drain
+	// stall attached.
+	if !c.selfTune && !storm && !isRW && runtimeq.Oversubscribed() {
 		want = ImplGoro
 	}
 

@@ -1,0 +1,121 @@
+package kvserver
+
+import (
+	"encoding/json"
+	"fmt"
+	"strings"
+	"testing"
+	"time"
+
+	"shfllock/internal/lockreg"
+	"shfllock/internal/lockstat"
+	"shfllock/internal/runtimeq"
+)
+
+// TestNewLockSelfTune: with selfTune set, every CapSelfTuning impl gets a
+// fresh "auto" meta-policy whose stage log becomes the lock's Transitions
+// surface, and impls without the capability degrade gracefully to their own
+// log (or none) instead of failing construction.
+func TestNewLockSelfTune(t *testing.T) {
+	reg := lockstat.NewRegistry()
+	for _, impl := range Impls {
+		t.Run(impl, func(t *testing.T) {
+			ent, ok := lockreg.Find(impl)
+			if !ok {
+				t.Fatalf("impl %q not in registry", impl)
+			}
+			l, err := NewLock(impl, reg.Site("tune/"+impl), true)
+			if err != nil {
+				t.Fatal(err)
+			}
+			log := l.Transitions()
+			if !ent.Has(lockreg.CapSelfTuning) {
+				return // no meta attached; any log the lock has is its own
+			}
+			if log == nil {
+				t.Fatal("self-tuning impl returned a nil transition log")
+			}
+			tail := log.Tail(1)
+			if len(tail) != 1 || tail[0].Trigger != "init" || tail[0].To != "numa" {
+				t.Fatalf("meta boot transition = %+v, want -> numa (init)", tail)
+			}
+		})
+	}
+}
+
+// TestNewLockSelfTuneIndependent: two locks tuning off different sites must
+// not share meta state (the "auto" factory builds per-lock instances).
+func TestNewLockSelfTuneIndependent(t *testing.T) {
+	reg := lockstat.NewRegistry()
+	a, err := NewLock(ImplShflMutex, reg.Site("tune/a"), true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := NewLock(ImplShflMutex, reg.Site("tune/b"), true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Transitions() == b.Transitions() {
+		t.Fatal("two self-tuning locks share one transition log; their stage decisions are coupled")
+	}
+}
+
+// TestSelfTuneDebugSurface: a SelfTune server surfaces each shard's
+// transition tail in /debug/lockstat, starting with the meta's boot
+// transition.
+func TestSelfTuneDebugSurface(t *testing.T) {
+	_, ts := newTestServer(t, Config{Lock: ImplShflMutex, Shards: 2, ScanPace: 1, SelfTune: true})
+	for i := 0; i < 10; i++ {
+		do(t, "PUT", ts.URL+fmt.Sprintf("/kv/w%d", i), "x")
+	}
+	_, body := do(t, "GET", ts.URL+"/debug/lockstat", "")
+	var d DebugLockstat
+	if err := json.Unmarshal([]byte(body), &d); err != nil {
+		t.Fatalf("unparseable /debug/lockstat: %v\n%s", err, body)
+	}
+	if len(d.Shards) == 0 {
+		t.Fatal("no shards in /debug/lockstat")
+	}
+	for _, sh := range d.Shards {
+		if len(sh.Transitions) == 0 {
+			t.Fatalf("shard %s has no transitions; SelfTune should surface the boot install", sh.Impl)
+		}
+		if !strings.Contains(sh.Transitions[0], "init") || !strings.Contains(sh.Transitions[0], "numa") {
+			t.Fatalf("shard %s transitions[0] = %q, want the numa boot install", sh.Impl, sh.Transitions[0])
+		}
+	}
+}
+
+// TestSelfTuneDelegatesOversub: with SelfTune on, the controller must NOT
+// swap an oversubscribed shard's lock to goro — that axis belongs to the
+// attached meta-policy, which switches the goro stage in place. The shard
+// staying on its current impl (while plain adaptive mode would have moved
+// it) is the delegation observable.
+func TestSelfTuneDelegatesOversub(t *testing.T) {
+	runtimeq.OverrideOversub(true)
+	defer runtimeq.ClearOversubOverride()
+	s, err := New(Config{
+		Lock:        ImplAdaptive,
+		Shards:      1,
+		PreloadKeys: 50,
+		SelfTune:    true,
+		CtlInterval: 10 * time.Millisecond,
+		CtlMinOps:   5,
+		CtlSettle:   1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	c := newController(s)
+	sh := s.shards[0]
+	// Write-heavy interval on a busy shard: the shape axis says mutex, the
+	// oversubscription override would say goro — but SelfTune delegates it.
+	d := lockstat.Report{Acquires: 100}
+	for i := 0; i < 4; i++ {
+		c.decide(0, sh, d)
+	}
+	if impl := sh.box.Load().impl; impl == ImplGoro {
+		t.Fatalf("controller swapped to goro under SelfTune; the oversubscription axis is delegated to the meta")
+	}
+}

@@ -50,6 +50,15 @@ type Config struct {
 	CtlSettle   int           // consecutive agreeing intervals before switching; 0 means 2
 	CtlMinOps   uint64        // minimum interval acquisition attempts to act on a shard; 0 means 50
 
+	// SelfTune attaches the "auto" meta-policy to every shard lock that
+	// runs the epoched transition protocol (CapSelfTuning): the lock
+	// steers its own shuffling stage — numa, prio, goro, ablation-base —
+	// from its own site's lockstat interval diffs. With it set, the
+	// adaptive controller delegates the in-family oversubscription
+	// decision to the meta-policy and keeps only the cross-family and
+	// lock-shape axes.
+	SelfTune bool
+
 	// CtlHome picks the controller's home lock family — the one a shard
 	// returns to when abort pressure is gone ("shfl" or "sync"), and the
 	// family adaptive shards start in. Empty means auto: "shfl" when the
@@ -174,7 +183,7 @@ func New(cfg Config) (*Server, error) {
 
 	s := &Server{cfg: cfg, reg: reg, start: time.Now()}
 	for i := 0; i < cfg.Shards; i++ {
-		sh, err := newShard(impl, reg.Site(siteName(i)), &s.violations)
+		sh, err := newShard(impl, reg.Site(siteName(i)), &s.violations, cfg.SelfTune)
 		if err != nil {
 			return nil, err
 		}
@@ -375,7 +384,10 @@ type DebugShard struct {
 	ReadFrac  float64         `json:"read_frac"`
 	Contended float64         `json:"contended_frac"`
 	WaitP99Us float64         `json:"wait_p99_us"`
-	Report    lockstat.Report `json:"report"`
+	// Transitions is the tail of the shard lock's policy-transition log
+	// (the meta-policy's stage switches under SelfTune), oldest first.
+	Transitions []string        `json:"transitions,omitempty"`
+	Report      lockstat.Report `json:"report"`
 }
 
 // DebugLockstat is the /debug/lockstat response schema. By default every
@@ -442,11 +454,18 @@ func (s *Server) writeDebugLockstat(w http.ResponseWriter, lifetime bool) {
 	}
 	for i, sh := range s.shards {
 		rep := reports[i]
+		b := sh.box.Load()
 		d := DebugShard{
 			Shard:    i,
-			Impl:     sh.box.Load().impl,
+			Impl:     b.impl,
 			Switches: sh.switches.Load(),
 			Report:   rep,
+		}
+		if tl := b.lk.Transitions(); tl != nil {
+			for _, tr := range tl.Tail(8) {
+				d.Transitions = append(d.Transitions,
+					fmt.Sprintf("epoch=%d at=%d %s -> %s (%s)", tr.Epoch, tr.At, tr.From, tr.To, tr.Trigger))
+			}
 		}
 		if rep.Acquires > 0 {
 			d.AcqPerSec = float64(rep.Acquires) / secs

@@ -55,6 +55,7 @@ type shard struct {
 	box      atomic.Pointer[lockBox]
 	site     *lockstat.Site
 	switches atomic.Uint64
+	selfTune bool // every generation of the shard's lock gets a meta-policy
 
 	// Shard data. Guarded by the current box's lock.
 	data map[string]string
@@ -66,14 +67,15 @@ type shard struct {
 	violations *atomic.Uint64 // server-wide violation counter
 }
 
-func newShard(impl string, site *lockstat.Site, violations *atomic.Uint64) (*shard, error) {
-	lk, err := NewLock(impl, site)
+func newShard(impl string, site *lockstat.Site, violations *atomic.Uint64, selfTune bool) (*shard, error) {
+	lk, err := NewLock(impl, site, selfTune)
 	if err != nil {
 		return nil, err
 	}
 	s := &shard{
 		data:       make(map[string]string),
 		site:       site,
+		selfTune:   selfTune,
 		violations: violations,
 	}
 	b := &lockBox{impl: impl, lk: lk}
@@ -219,7 +221,7 @@ func (s *shard) swapLock(impl string) (bool, error) {
 	if old.impl == impl {
 		return false, nil
 	}
-	lk, err := NewLock(impl, s.site)
+	lk, err := NewLock(impl, s.site, s.selfTune)
 	if err != nil {
 		return false, err
 	}

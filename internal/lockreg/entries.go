@@ -8,8 +8,10 @@ import (
 )
 
 // nativeShfl are the ShflLock-family capabilities shared by the native
-// spin, mutex and goroutine-native deployments.
-const nativeShfl = CapAbortable | CapPriority | CapPolicy
+// spin, mutex and goroutine-native deployments. CapSelfTuning rides along
+// because the whole family runs the epoched transition protocol (PolicyBox
+// + TransitionLog), which is what the "auto" meta-policy needs.
+const nativeShfl = CapAbortable | CapPriority | CapPolicy | CapSelfTuning
 
 // builtinEntries lists every lock with a native substrate. Each dual
 // entry's simName ties it to the simulator implementation of the same
@@ -24,7 +26,7 @@ func builtinEntries() []Entry {
 			Caps: CapBlocking | nativeShfl,
 			native: func() *Native {
 				m := &core.Mutex{}
-				return &Native{Locker: m, Abort: m, SetPolicy: m.SetPolicy, LockWithPriority: m.LockWithPriority}
+				return &Native{Locker: m, Abort: m, SetPolicy: m.SetPolicy, LockWithPriority: m.LockWithPriority, TransitionLog: m.Transitions}
 			},
 			simName: "shfllock-b",
 		},
@@ -34,7 +36,7 @@ func builtinEntries() []Entry {
 			Caps: nativeShfl,
 			native: func() *Native {
 				l := &core.SpinLock{}
-				return &Native{Locker: l, Abort: l, SetPolicy: l.SetPolicy, LockWithPriority: l.LockWithPriority}
+				return &Native{Locker: l, Abort: l, SetPolicy: l.SetPolicy, LockWithPriority: l.LockWithPriority, TransitionLog: l.Transitions}
 			},
 			simName: "shfllock-nb",
 		},
@@ -44,7 +46,7 @@ func builtinEntries() []Entry {
 			Caps: CapRW | CapBlocking | nativeShfl,
 			nativeRW: func() *NativeRW {
 				l := &core.RWMutex{}
-				return &NativeRW{RWLocker: l, Abort: l, SetPolicy: l.SetPolicy, LockWithPriority: l.LockWithPriority}
+				return &NativeRW{RWLocker: l, Abort: l, SetPolicy: l.SetPolicy, LockWithPriority: l.LockWithPriority, TransitionLog: l.Transitions}
 			},
 			simName: "shfllock-rw", simRW: true,
 		},
@@ -54,7 +56,7 @@ func builtinEntries() []Entry {
 			Caps: CapBlocking | CapGoroGrouped | nativeShfl,
 			native: func() *Native {
 				m := core.NewGoroMutex()
-				return &Native{Locker: m, Abort: m, SetPolicy: m.SetPolicy, LockWithPriority: m.LockWithPriority}
+				return &Native{Locker: m, Abort: m, SetPolicy: m.SetPolicy, LockWithPriority: m.LockWithPriority, TransitionLog: m.Transitions}
 			},
 		},
 		{
@@ -63,7 +65,7 @@ func builtinEntries() []Entry {
 			Caps: CapGoroGrouped | nativeShfl,
 			native: func() *Native {
 				l := core.NewGoroSpinLock()
-				return &Native{Locker: l, Abort: l, SetPolicy: l.SetPolicy, LockWithPriority: l.LockWithPriority}
+				return &Native{Locker: l, Abort: l, SetPolicy: l.SetPolicy, LockWithPriority: l.LockWithPriority, TransitionLog: l.Transitions}
 			},
 		},
 		{
@@ -72,7 +74,7 @@ func builtinEntries() []Entry {
 			Caps: CapRW | CapBlocking | CapGoroGrouped | nativeShfl,
 			nativeRW: func() *NativeRW {
 				l := core.NewGoroRWMutex()
-				return &NativeRW{RWLocker: l, Abort: l, SetPolicy: l.SetPolicy, LockWithPriority: l.LockWithPriority}
+				return &NativeRW{RWLocker: l, Abort: l, SetPolicy: l.SetPolicy, LockWithPriority: l.LockWithPriority, TransitionLog: l.Transitions}
 			},
 		},
 		{

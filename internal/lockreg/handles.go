@@ -43,15 +43,17 @@ type RWAbortable interface {
 // corresponding capability.
 type Native struct {
 	Locker
-	Abort            Abortable            // CapAbortable
-	SetPolicy        func(shuffle.Policy) // CapPolicy
-	LockWithPriority func(prio uint64)    // CapPriority
+	Abort            Abortable                     // CapAbortable
+	SetPolicy        func(shuffle.Policy)          // CapPolicy
+	LockWithPriority func(prio uint64)             // CapPriority
+	TransitionLog    func() *shuffle.TransitionLog // CapSelfTuning
 }
 
 // NativeRW is the readers-writer counterpart of Native.
 type NativeRW struct {
 	RWLocker
-	Abort            RWAbortable          // CapAbortable
-	SetPolicy        func(shuffle.Policy) // CapPolicy
-	LockWithPriority func(prio uint64)    // CapPriority
+	Abort            RWAbortable                   // CapAbortable
+	SetPolicy        func(shuffle.Policy)          // CapPolicy
+	LockWithPriority func(prio uint64)             // CapPriority
+	TransitionLog    func() *shuffle.TransitionLog // CapSelfTuning
 }

@@ -42,8 +42,13 @@ const (
 	// CapGoroGrouped: waiters are grouped by goroutine locality (approximate
 	// P) instead of socket, with oversubscription-aware park budgets.
 	CapGoroGrouped
+	// CapSelfTuning: the lock runs the epoched policy-transition protocol —
+	// live SetPolicy at any instant, a TransitionLog of (epoch, from, to,
+	// trigger) — and therefore accepts the "auto" meta-policy that closes
+	// the lockstat loop.
+	CapSelfTuning
 
-	capAll = CapRW | CapBlocking | CapAbortable | CapPriority | CapPolicy | CapGoroGrouped
+	capAll = CapRW | CapBlocking | CapAbortable | CapPriority | CapPolicy | CapGoroGrouped | CapSelfTuning
 )
 
 // capNames orders the capability letters used in help text and the README
@@ -58,6 +63,7 @@ var capNames = []struct {
 	{CapPriority, "priority"},
 	{CapPolicy, "policy"},
 	{CapGoroGrouped, "goro-grouped"},
+	{CapSelfTuning, "self-tuning"},
 }
 
 // Has reports whether c includes every bit of want.
@@ -148,7 +154,7 @@ func (e Entry) NewNative(need ...Cap) (*Native, error) {
 	}
 	if e.nativeRW != nil {
 		h := e.nativeRW()
-		return &Native{Locker: h.RWLocker, Abort: h.Abort, SetPolicy: h.SetPolicy, LockWithPriority: h.LockWithPriority}, nil
+		return &Native{Locker: h.RWLocker, Abort: h.Abort, SetPolicy: h.SetPolicy, LockWithPriority: h.LockWithPriority, TransitionLog: h.TransitionLog}, nil
 	}
 	return nil, fmt.Errorf("lock %q has no native implementation (substrates: %s)", e.Name, e.Substrates())
 }

@@ -22,7 +22,7 @@ package lockstat
 // adaptation. A clamped counter under-reports one interval instead.
 func Diff(prev, cur Report) Report {
 	if resetBetween(prev, cur) {
-		return cur
+		return withShuffleEff(cur)
 	}
 	d := Report{
 		Name:           cur.Name,
@@ -56,6 +56,17 @@ func Diff(prev, cur Report) Report {
 				Moved:   sub(c.Moved, p.Moved),
 			}
 		}
+	}
+	return withShuffleEff(d)
+}
+
+// withShuffleEff computes the interval's grouped-wakeup yield per shuffling
+// round. The inputs are already clamped deltas, so a site reset between
+// snapshots cannot produce a ~2^64 numerator here; zero rounds yields zero
+// rather than a division blow-up.
+func withShuffleEff(d Report) Report {
+	if d.Shuffles > 0 {
+		d.ShuffleEff = float64(d.WakeupsOffCS) / float64(d.Shuffles)
 	}
 	return d
 }

@@ -1,0 +1,61 @@
+package lockstat
+
+import (
+	"sync"
+
+	"shfllock/internal/shuffle"
+)
+
+// Meta-policy observer: shuffle.Meta steers on interval activity, not
+// lifetime totals, and this file owns the previous-snapshot state that
+// turns a lifetime Report feed into interval diffs. That closes the
+// lockstat loop — the same Diff the kvserver controller and the
+// /debug/lockstat endpoint consume becomes the self-tuning signal of the
+// lock underneath them.
+
+// ObsFromReport maps one *interval* report (a Diff output) onto the
+// meta-policy's observation schema. Ops counts attempts (acquires +
+// aborts) so an abort storm with few completions still clears the
+// min-ops floor.
+func ObsFromReport(d Report, oversub bool) shuffle.Obs {
+	o := shuffle.Obs{
+		Ops:        d.Acquires + d.Aborts,
+		Aborts:     d.Aborts,
+		Shuffles:   d.Shuffles,
+		ShuffleEff: d.ShuffleEff,
+		Oversub:    oversub,
+	}
+	if o.Ops > 0 {
+		o.AbortFrac = float64(d.Aborts) / float64(o.Ops)
+		o.ParkRate = float64(d.Parks) / float64(o.Ops)
+	}
+	if d.Wait != nil && d.Wait.Count > 0 {
+		o.WaitP50 = d.Wait.Percentile(0.50)
+		o.WaitP99 = d.Wait.Percentile(0.99)
+	}
+	return o
+}
+
+// MetaSourceFrom adapts a lifetime-report snapshot function into the
+// meta-policy's observation feed: each call diffs against the previous
+// snapshot, so Meta sees exactly the activity since its last evaluation.
+// oversub may be nil (reads as never oversubscribed — the simulator's
+// truth). The returned source is safe for concurrent callers, though Meta
+// serializes evaluations itself.
+func MetaSourceFrom(snap func() Report, oversub func() bool) shuffle.MetaSource {
+	var mu sync.Mutex
+	var prev Report
+	return func() shuffle.Obs {
+		mu.Lock()
+		defer mu.Unlock()
+		cur := snap()
+		d := Diff(prev, cur)
+		prev = cur
+		return ObsFromReport(d, oversub != nil && oversub())
+	}
+}
+
+// MetaSource feeds a Site's own lockstat back to its meta-policy.
+func MetaSource(site *Site, oversub func() bool) shuffle.MetaSource {
+	return MetaSourceFrom(site.Report, oversub)
+}

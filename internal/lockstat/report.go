@@ -33,6 +33,12 @@ type Report struct {
 	ShuffleScanned uint64 `json:"shuffle_scanned,omitempty"`
 	ShuffleMoves   uint64 `json:"shuffle_moves,omitempty"`
 
+	// ShuffleEff is the grouped-wakeup yield per shuffling round
+	// (WakeupsOffCS / Shuffles) over an interval. Only Diff computes it —
+	// lifetime reports leave it zero — so it measures what shuffling bought
+	// *lately*, which is the meta-policy's steering signal.
+	ShuffleEff float64 `json:"shuffle_eff,omitempty"`
+
 	// Aborts counts abortable acquisitions (LockTimeout/LockContext or the
 	// simulator's budgeted acquisitions) that gave up; Reclaims counts
 	// abandoned queue nodes unlinked by shufflers or grant walks.
@@ -156,7 +162,11 @@ func WriteText(w io.Writer, reps []Report) {
 			fmt.Fprintf(w, "    wakeups: in-cs=%d off-cs=%d\n", r.WakeupsInCS, r.WakeupsOffCS)
 		}
 		if r.Shuffles > 0 {
-			fmt.Fprintf(w, "    shuffle: scanned=%d moved=%d\n", r.ShuffleScanned, r.ShuffleMoves)
+			if r.ShuffleEff > 0 {
+				fmt.Fprintf(w, "    shuffle: scanned=%d moved=%d eff=%.3f\n", r.ShuffleScanned, r.ShuffleMoves, r.ShuffleEff)
+			} else {
+				fmt.Fprintf(w, "    shuffle: scanned=%d moved=%d\n", r.ShuffleScanned, r.ShuffleMoves)
+			}
 		}
 		if r.Aborts > 0 || r.Reclaims > 0 {
 			fmt.Fprintf(w, "    aborts=%d reclaims=%d\n", r.Aborts, r.Reclaims)

@@ -1,0 +1,84 @@
+package lockstat
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestDiffShuffleEff: the interval diff carries the shuffle-efficiency
+// ratio (grouped off-CS wakeups per shuffling round) precomputed, so every
+// consumer — the meta-policy, the debug endpoint, a human reading
+// WriteText — divides the same way exactly once.
+func TestDiffShuffleEff(t *testing.T) {
+	prev := Report{Name: "s", Shuffles: 100, WakeupsOffCS: 40}
+	cur := Report{Name: "s", Shuffles: 300, WakeupsOffCS: 90}
+	d := Diff(prev, cur)
+	if d.Shuffles != 200 || d.WakeupsOffCS != 50 {
+		t.Fatalf("deltas shuffles=%d wakes=%d, want 200/50", d.Shuffles, d.WakeupsOffCS)
+	}
+	if d.ShuffleEff != 0.25 {
+		t.Fatalf("ShuffleEff=%v, want 0.25", d.ShuffleEff)
+	}
+}
+
+// TestDiffShuffleEffSaturating: the ratio must stay sane at the edges — a
+// shuffle-free interval divides by nothing, and site churn (both counters
+// clamped to zero) must not manufacture NaN or Inf.
+func TestDiffShuffleEffSaturating(t *testing.T) {
+	// No shuffling at all: ratio stays zero, no divide.
+	d := Diff(Report{Name: "s"}, Report{Name: "s", Acquires: 10})
+	if d.ShuffleEff != 0 {
+		t.Fatalf("shuffle-free interval has eff=%v", d.ShuffleEff)
+	}
+	// Wakes without rounds (possible across a site reset): zero rounds means
+	// no ratio, whatever the numerator says.
+	d = Diff(Report{Name: "s"}, Report{Name: "s", WakeupsOffCS: 7})
+	if d.ShuffleEff != 0 {
+		t.Fatalf("round-free interval has eff=%v", d.ShuffleEff)
+	}
+	// Undetected churn: WakeupsOffCS is not one of resetBetween's probes,
+	// so a re-registered site can shrink it while the probed counters grow.
+	// The delta clamps to zero and the ratio follows — without the clamp
+	// the numerator would be ~2^64 and the "efficiency" astronomical.
+	d = Diff(
+		Report{Name: "s", Acquires: 100, Shuffles: 100, WakeupsOffCS: 40},
+		Report{Name: "s", Acquires: 150, Shuffles: 120, WakeupsOffCS: 5},
+	)
+	if d.Shuffles != 20 || d.WakeupsOffCS != 0 || d.ShuffleEff != 0 {
+		t.Fatalf("churned interval shuffles=%d wakes=%d eff=%v, want 20/0/0",
+			d.Shuffles, d.WakeupsOffCS, d.ShuffleEff)
+	}
+	// Detected churn (Shuffles itself ran backward): the interval
+	// degenerates to cur, and the ratio is computed from cur's own counters.
+	d = Diff(
+		Report{Name: "s", Shuffles: 100, WakeupsOffCS: 40},
+		Report{Name: "s", Shuffles: 4, WakeupsOffCS: 1},
+	)
+	if d.ShuffleEff != 0.25 {
+		t.Fatalf("post-reset interval eff=%v, want 0.25 (cur's own ratio)", d.ShuffleEff)
+	}
+}
+
+// TestLifetimeReportHasNoEff: only Diff computes the ratio; a lifetime
+// Report leaves it zero and WriteText keeps the legacy shuffle line — the
+// committed lockstat goldens depend on that.
+func TestLifetimeReportHasNoEff(t *testing.T) {
+	r := NewRegistry()
+	s := r.Site("s")
+	p := s.CoreProbe()
+	p.Shuffle("numa", 10, 4)
+	p.Park()
+	p.Unpark(false) // an off-CS wakeup: the eff numerator is nonzero
+	rep := s.Report()
+	if rep.WakeupsOffCS == 0 || rep.Shuffles == 0 {
+		t.Fatalf("probe did not record: %+v", rep)
+	}
+	if rep.ShuffleEff != 0 {
+		t.Fatalf("lifetime report computed ShuffleEff=%v", rep.ShuffleEff)
+	}
+	var b strings.Builder
+	WriteText(&b, r.Reports())
+	if strings.Contains(b.String(), "eff=") {
+		t.Fatalf("lifetime WriteText renders eff=:\n%s", b.String())
+	}
+}

@@ -122,8 +122,9 @@ func Ablation(stage int) Policy {
 }
 
 var (
-	regMu    sync.RWMutex
-	registry = map[string]Policy{}
+	regMu     sync.RWMutex
+	registry  = map[string]Policy{}
+	factories = map[string]func() Policy{}
 )
 
 // Register makes a policy available to ByName; it panics on duplicates so
@@ -137,19 +138,44 @@ func Register(p Policy) {
 	registry[p.Name()] = p
 }
 
-// ByName returns a registered policy, or nil when unknown.
+// RegisterFactory registers a stateful policy by constructor: ByName builds
+// a fresh instance per call, so two locks resolving the same name never
+// share tuning state. Stateless policies use Register.
+func RegisterFactory(name string, f func() Policy) {
+	regMu.Lock()
+	defer regMu.Unlock()
+	if _, dup := registry[name]; dup {
+		panic(fmt.Sprintf("shuffle: duplicate policy %q", name))
+	}
+	if _, dup := factories[name]; dup {
+		panic(fmt.Sprintf("shuffle: duplicate policy factory %q", name))
+	}
+	factories[name] = f
+}
+
+// ByName returns a registered policy, or nil when unknown. Factory-backed
+// names (the self-tuning "auto") yield a fresh instance per call.
 func ByName(name string) Policy {
 	regMu.RLock()
 	defer regMu.RUnlock()
-	return registry[name]
+	if p, ok := registry[name]; ok {
+		return p
+	}
+	if f, ok := factories[name]; ok {
+		return f()
+	}
+	return nil
 }
 
 // Names lists the registered policies in sorted order.
 func Names() []string {
 	regMu.RLock()
 	defer regMu.RUnlock()
-	out := make([]string, 0, len(registry))
+	out := make([]string, 0, len(registry)+len(factories))
 	for n := range registry {
+		out = append(out, n)
+	}
+	for n := range factories {
 		out = append(out, n)
 	}
 	sort.Strings(out)

@@ -1,0 +1,187 @@
+package shuffle
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// Live policy transitions.
+//
+// A policy swap under contention is dangerous at exactly three moments: while
+// a shuffler is mid-walk (a torn read could mix one policy's Match with
+// another's Budget), while an abort reclaim is splicing a corpse out of the
+// queue, and while the queue head is abdicating after a timeout. The
+// transition protocol makes all three safe with one rule: a walk pins the
+// policy it started with. PolicyBox holds the (policy, epoch) pair behind a
+// single atomic pointer, so a reader gets both with one load and can never
+// observe policy A's Match alongside policy B's PassRole. The epoch is the
+// fence: it only moves forward, every recorded Transition carries it, and a
+// walk that captured epoch E runs entirely under E's policy no matter how
+// many swaps land while it is scanning.
+
+// Transition is one recorded policy swap: who installed what, when, and why.
+type Transition struct {
+	// Epoch is the fence value after the swap; strictly increasing per box.
+	Epoch uint64
+	// From and To name the outgoing and incoming policies.
+	From, To string
+	// Trigger records who asked: "api" for a direct SetPolicy call,
+	// "init" for constructor installs, "chaos:<moment>" for injected flips,
+	// "meta:<signal>" for self-tuning decisions.
+	Trigger string
+	// At is a caller-supplied timestamp: virtual cycles on the simulator
+	// (so transition logs are deterministic), wall-clock nanoseconds on the
+	// native substrate, 0 when no clock is meaningful (constructors).
+	At uint64
+}
+
+// transitionLogCap bounds the ring: enough tail for a post-mortem, small
+// enough to embed in every lock.
+const transitionLogCap = 64
+
+// TransitionLog is a bounded ring of recorded transitions. The zero value
+// is ready to use. It is safe for concurrent use; recording is off every
+// lock's hot path (swaps are rare by construction).
+type TransitionLog struct {
+	mu    sync.Mutex
+	ring  [transitionLogCap]Transition
+	next  int    // ring slot the next record lands in
+	total uint64 // lifetime count, including overwritten entries
+}
+
+func (l *TransitionLog) record(tr Transition) {
+	l.mu.Lock()
+	l.ring[l.next] = tr
+	l.next = (l.next + 1) % transitionLogCap
+	l.total++
+	l.mu.Unlock()
+}
+
+// Len returns the lifetime number of recorded transitions.
+func (l *TransitionLog) Len() uint64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.total
+}
+
+// Tail returns the most recent min(n, recorded) transitions, oldest first.
+func (l *TransitionLog) Tail(n int) []Transition {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	kept := int(l.total)
+	if kept > transitionLogCap {
+		kept = transitionLogCap
+	}
+	if n > kept {
+		n = kept
+	}
+	if n <= 0 {
+		return nil
+	}
+	out := make([]Transition, 0, n)
+	for i := l.next - n; i < l.next; i++ {
+		out = append(out, l.ring[(i+transitionLogCap)%transitionLogCap])
+	}
+	return out
+}
+
+// String renders the tail for post-mortems and debug endpoints: one line
+// per transition, oldest first.
+func (l *TransitionLog) String() string {
+	tail := l.Tail(transitionLogCap)
+	if len(tail) == 0 {
+		return "(no policy transitions)\n"
+	}
+	var b strings.Builder
+	for _, tr := range tail {
+		fmt.Fprintf(&b, "epoch=%-4d at=%-12d %s -> %s (%s)\n", tr.Epoch, tr.At, tr.From, tr.To, tr.Trigger)
+	}
+	return b.String()
+}
+
+// pinnedPolicy is the unit a PolicyBox publishes: policy and epoch travel
+// together behind one pointer, so no reader can tear them apart.
+type pinnedPolicy struct {
+	p     Policy
+	epoch uint64
+}
+
+// PolicyBox is the epoched holder every transition goes through. The zero
+// value is empty (Get returns nil, epoch 0) so it can live inside
+// zero-value locks; the owning lock substitutes its default policy.
+type PolicyBox struct {
+	cur atomic.Pointer[pinnedPolicy]
+	log TransitionLog
+}
+
+// Get returns the current policy with a single atomic load, or nil when no
+// policy was ever installed. Callers must hold the returned value for the
+// full walk they are about to run — re-reading mid-walk is the torn-read
+// bug this type exists to prevent.
+func (b *PolicyBox) Get() Policy {
+	if pe := b.cur.Load(); pe != nil {
+		return pe.p
+	}
+	return nil
+}
+
+// Epoch returns the current fence value. It is monotone: a later call never
+// returns a smaller value.
+func (b *PolicyBox) Epoch() uint64 {
+	if pe := b.cur.Load(); pe != nil {
+		return pe.epoch
+	}
+	return 0
+}
+
+// Set installs p (nil restores the owner's default) under the next epoch
+// and records the transition. The CAS loop guarantees the epoch never goes
+// backward even under racing Sets; at is the caller's clock (see
+// Transition.At). Returns the new epoch.
+func (b *PolicyBox) Set(p Policy, trigger string, at uint64) uint64 {
+	for {
+		old := b.cur.Load()
+		var oldEpoch uint64
+		from := "default"
+		if old != nil {
+			oldEpoch = old.epoch
+			if old.p != nil {
+				from = old.p.Name()
+			}
+		}
+		next := &pinnedPolicy{p: p, epoch: oldEpoch + 1}
+		if b.cur.CompareAndSwap(old, next) {
+			to := "default"
+			if p != nil {
+				to = p.Name()
+			}
+			b.log.record(Transition{Epoch: next.epoch, From: from, To: to, Trigger: trigger, At: at})
+			return next.epoch
+		}
+	}
+}
+
+// Log exposes the box's transition record for post-mortems.
+func (b *PolicyBox) Log() *TransitionLog { return &b.log }
+
+// Pinner is implemented by composite policies (shuffle.Meta) whose
+// effective behaviour is a concrete stage that may change between rounds.
+// Pin returns the stage to use for exactly one walk; the returned policy is
+// held for the walk's whole duration.
+type Pinner interface {
+	Pin() Policy
+}
+
+// Pin resolves a policy to the concrete stage one walk must use. Plain
+// (stateless) policies return themselves; a Pinner picks its current stage.
+// Every call site that starts a shuffle round, a grant walk, or a head
+// abdication calls Pin exactly once and never re-reads: that is the
+// "one policy per round" half of the transition protocol.
+func Pin(p Policy) Policy {
+	if pp, ok := p.(Pinner); ok {
+		return pp.Pin()
+	}
+	return p
+}

@@ -21,6 +21,40 @@ type Injector interface {
 	// yield the CPU first, modelling the shuffler being descheduled at its
 	// most load-bearing moment.
 	ShufflerPreempt(t *Thread) bool
+	// PolicyFlip is consulted by lock substrates at the transition-
+	// adversarial moments (FlipMoment): a non-empty return names the
+	// shuffle policy the lock must switch to, right there, through its
+	// transition API. The injector returns a name rather than a policy so
+	// the sim package stays independent of internal/shuffle.
+	PolicyFlip(t *Thread, m FlipMoment) string
+}
+
+// FlipMoment classifies where a forced policy transition lands: the three
+// instants where a swap interacts with in-flight queue surgery.
+type FlipMoment uint8
+
+const (
+	// FlipMidShuffle fires as a shuffling round consumes the role — the
+	// walk is about to run under its pinned policy while the box changes.
+	FlipMidShuffle FlipMoment = iota
+	// FlipAbortReclaim fires as an abandoned node is unlinked (by a scan
+	// or by the grant walk).
+	FlipAbortReclaim
+	// FlipHeadAbdication fires as a timed-out queue head abdicates via the
+	// grant walk without taking the lock.
+	FlipHeadAbdication
+)
+
+func (m FlipMoment) String() string {
+	switch m {
+	case FlipMidShuffle:
+		return "mid-shuffle"
+	case FlipAbortReclaim:
+		return "abort-reclaim"
+	case FlipHeadAbdication:
+		return "head-abdication"
+	}
+	return "unknown"
 }
 
 // SetInjector installs a fault injector. Install before Run.

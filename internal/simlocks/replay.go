@@ -39,7 +39,7 @@ func ReplayShuffleSnapshot(snap shuffle.Snapshot) []string {
 	topo := topology.Machine{Sockets: sockets, CoresPerSocket: nn}
 	e := sim.NewEngine(sim.Config{Topo: topo, Seed: 1, HardStop: 1_000_000_000})
 	l := newShfl(e, "replay", snap.Blocking)
-	l.Policy = pol
+	l.SetPolicy(pol, "init", 0)
 
 	var trace shuffle.Trace
 	// The shuffler must run on its snapshot socket: ShufflerSocket is the

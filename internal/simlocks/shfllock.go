@@ -67,10 +67,15 @@ type ShflLock struct {
 	// stays enabled.
 	Blocking bool
 
-	// Policy drives the shuffling rounds. NUMA grouping by default; the
-	// ablation and priority makers install other registered policies.
-	// Replace before the lock is shared.
-	Policy shuffle.Policy
+	// policy is the epoched holder driving the shuffling rounds (NUMA
+	// grouping by default; the ablation and priority makers install other
+	// registered policies). Every walk reads it exactly once through pol()
+	// and pins the result, so SetPolicy is safe at any virtual instant —
+	// including mid-shuffle, mid-reclaim and mid-abdication, which the
+	// chaos PolicyFlip fault forces. The box and its TransitionLog are
+	// engine metadata: policy reads are never charged accesses, so runs
+	// that never transition keep their exact memory-access sequence.
+	policy shuffle.PolicyBox
 
 	// StealLocalOnly restricts TAS stealing to threads on the same socket
 	// as the previous holder (the "ShflLock (NUMA)" variant of Fig 11d).
@@ -112,10 +117,70 @@ func newShfl(e *sim.Engine, tag string, blocking bool) *ShflLock {
 	l := &ShflLock{
 		e: e, glock: ws[0], tail: ws[1],
 		Blocking: blocking,
-		Policy:   shuffle.NUMA(),
 	}
+	l.policy.Set(shuffle.NUMA(), "init", 0)
 	l.nodes = newNodeTable(e, tag, shWords, &l.cnt)
 	return l
+}
+
+// SetPolicy installs a policy through the epoched transition protocol,
+// recording (epoch, from, to, trigger, at) in the lock's TransitionLog.
+// Safe at any virtual instant; at is the engine's virtual time (0 for
+// construction-time installs).
+func (l *ShflLock) SetPolicy(p shuffle.Policy, trigger string, at uint64) {
+	l.policy.Set(p, trigger, at)
+}
+
+// Transitions exposes the lock's policy transition record.
+func (l *ShflLock) Transitions() *shuffle.TransitionLog { return l.policy.Log() }
+
+// PolicyEpoch returns the current transition fence value (monotone).
+func (l *ShflLock) PolicyEpoch() uint64 { return l.policy.Epoch() }
+
+// QueueResidue inspects the queue after a run completes (uncharged peeks;
+// only meaningful once every worker has exited). An empty tail is a clean
+// queue. A tail still pointing at an abandoned or reclaimed corpse is
+// legal: the aborter exited before any later arrival walked past it. Any
+// other resident is a stranded waiter — a lost wakeup — and is returned as
+// a description; "" means the queue is sound.
+func (l *ShflLock) QueueResidue() string {
+	mem := l.e.Mem()
+	tail := mem.Peek(l.tail)
+	if tail == 0 {
+		return ""
+	}
+	st := mem.Peek(l.node(tail)[shStatus])
+	if st == sAbandoned || st == sReclaimed {
+		return ""
+	}
+	return fmt.Sprintf("tail=T%d status=%d still queued after run", tail-1, st)
+}
+
+// pol returns the current policy (never nil). Callers hold the returned
+// value — after pinning via shuffle.Pin — for one complete walk.
+func (l *ShflLock) pol() shuffle.Policy {
+	if p := l.policy.Get(); p != nil {
+		return p
+	}
+	return shuffle.NUMA()
+}
+
+// maybeFlip consults the fault injector at a transition-adversarial moment
+// and applies any requested policy swap through the transition API. Engine
+// metadata only: no simulated memory is read or written, so runs without a
+// flip-armed injector keep their exact access sequence.
+func (l *ShflLock) maybeFlip(t *sim.Thread, m sim.FlipMoment) {
+	inj := l.e.Injector()
+	if inj == nil {
+		return
+	}
+	name := inj.PolicyFlip(t, m)
+	if name == "" {
+		return
+	}
+	if p := shuffle.ByName(name); p != nil {
+		l.SetPolicy(p, "chaos:"+m.String(), t.Now())
+	}
 }
 
 func (l *ShflLock) Name() string {
@@ -235,7 +300,9 @@ func (l *ShflLock) Lock(t *sim.Thread) {
 	roleMine := false
 	for {
 		if !roleMine && (t.Load(n[shBatch]) == 0 || t.Load(n[shShuffler]) != 0) {
-			roleMine = shuffle.Run(simSub{l, t}, l.Policy, handle(t),
+			// One policy read per round, pinned for the whole walk.
+			pol := shuffle.Pin(l.pol())
+			roleMine = shuffle.Run(simSub{l, t}, pol, handle(t),
 				shuffle.Input{Blocking: l.Blocking, VNext: true}).Retained
 		}
 		x := t.Load(l.glock)
@@ -266,6 +333,9 @@ func (l *ShflLock) Lock(t *sim.Thread) {
 // reclaims abandoned nodes and grants by CAS, so a grant cannot race an
 // abandonment: for each candidate exactly one of {grant, abandon} wins.
 func (l *ShflLock) passHead(t *sim.Thread, n []sim.Word, roleMine bool) {
+	// Pin the policy for the whole walk: abdication and reclaim run under
+	// the epoch observed here, whatever transitions land mid-walk.
+	pol := shuffle.Pin(l.pol())
 	if !l.mayAbort {
 		next := t.Load(n[shNext])
 		if next == 0 {
@@ -296,8 +366,8 @@ func (l *ShflLock) passHead(t *sim.Thread, n []sim.Word, roleMine bool) {
 		// successors; this is what makes +qlast "traverse mostly from the
 		// near end of the tail"). These stores happen while we hold the TAS
 		// lock, off the handoff path.
-		if l.Policy.PassRole() && (roleMine || l.e.Mem().Peek(n[shShuffler]) != 0) {
-			if l.Policy.UseHint() {
+		if pol.PassRole() && (roleMine || l.e.Mem().Peek(n[shShuffler]) != 0) {
+			if pol.UseHint() {
 				// Forward the frontier only if it names a node that is still
 				// queued behind the recipient: not the recipient, and not
 				// ourselves (we are about to leave the queue).
@@ -358,6 +428,7 @@ func (l *ShflLock) passHead(t *sim.Thread, n []sim.Word, roleMine bool) {
 				if t.CAS(l.tail, next, 0) {
 					t.Store(l.node(next)[shStatus], sReclaimed)
 					l.cnt.Reclaims++
+					l.maybeFlip(t, sim.FlipAbortReclaim)
 					if !l.Blocking {
 						x := t.Load(l.glock)
 						if x&shNoSteal != 0 {
@@ -370,11 +441,12 @@ func (l *ShflLock) passHead(t *sim.Thread, n []sim.Word, roleMine bool) {
 			}
 			t.Store(l.node(next)[shStatus], sReclaimed)
 			l.cnt.Reclaims++
+			l.maybeFlip(t, sim.FlipAbortReclaim)
 			next = nn
 			continue
 		}
-		if !roleDone && l.Policy.PassRole() && (roleMine || l.e.Mem().Peek(n[shShuffler]) != 0) {
-			if l.Policy.UseHint() {
+		if !roleDone && pol.PassRole() && (roleMine || l.e.Mem().Peek(n[shShuffler]) != 0) {
+			if pol.UseHint() {
 				if h := t.Load(n[shLastHint]); h != 0 && h != next && h != handle(t) {
 					t.Store(l.node(next)[shLastHint], h)
 				}
@@ -450,7 +522,9 @@ func (l *ShflLock) LockAbort(t *sim.Thread, budget uint64) bool {
 	roleMine := false
 	for {
 		if !roleMine && (t.Load(n[shBatch]) == 0 || t.Load(n[shShuffler]) != 0) {
-			roleMine = shuffle.Run(simSub{l, t}, l.Policy, handle(t),
+			// One policy read per round, pinned for the whole walk.
+			pol := shuffle.Pin(l.pol())
+			roleMine = shuffle.Run(simSub{l, t}, pol, handle(t),
 				shuffle.Input{Blocking: l.Blocking, VNext: true}).Retained
 		}
 		x := t.Load(l.glock)
@@ -464,7 +538,10 @@ func (l *ShflLock) LockAbort(t *sim.Thread, budget uint64) bool {
 		if now >= deadline {
 			// Head abdication: the head cannot abandon its node (nobody is
 			// ahead to reclaim it), so it performs the MCS unlock phase
-			// without ever taking the TAS lock and leaves cleanly.
+			// without ever taking the TAS lock and leaves cleanly. The
+			// abdication walk pins its policy at entry, so a flip landing
+			// here exercises the epoch fence at its sharpest.
+			l.maybeFlip(t, sim.FlipHeadAbdication)
 			l.passHead(t, n, roleMine)
 			l.cnt.Aborts++
 			return false
@@ -527,7 +604,8 @@ func (l *ShflLock) spinUntilAbortable(t *sim.Thread, prev uint64, n []sim.Word, 
 			continue
 		}
 		if t.Load(n[shShuffler]) != 0 {
-			shuffle.Run(simSub{l, t}, l.Policy, handle(t),
+			pol := shuffle.Pin(l.pol())
+			shuffle.Run(simSub{l, t}, pol, handle(t),
 				shuffle.Input{Blocking: l.Blocking, VNext: false, FromRole: true})
 			if t.Load(n[shShuffler]) != 0 {
 				t.Delay(shufflePoll)
@@ -586,7 +664,8 @@ func (l *ShflLock) spinUntilVeryNextWaiter(t *sim.Thread, prev uint64, n []sim.W
 			return
 		}
 		if t.Load(n[shShuffler]) != 0 {
-			shuffle.Run(simSub{l, t}, l.Policy, handle(t),
+			pol := shuffle.Pin(l.pol())
+			shuffle.Run(simSub{l, t}, pol, handle(t),
 				shuffle.Input{Blocking: l.Blocking, VNext: false, FromRole: true})
 			if t.Load(n[shShuffler]) != 0 {
 				// Still holding the role after an unproductive scan:
@@ -679,7 +758,7 @@ func ShflLockAblationMaker(stage int) Maker {
 		Kind: NonBlocking,
 		New: func(e *sim.Engine, tag string) Lock {
 			l := NewShflLockNB(e, tag)
-			l.Policy = shuffle.Ablation(stage)
+			l.SetPolicy(shuffle.Ablation(stage), "init", 0)
 			return l
 		},
 		Footprint: func(int) Footprint {
@@ -711,7 +790,7 @@ func ShflLockPriorityMaker() Maker {
 		New: func(e *sim.Engine, tag string) Lock {
 			l := NewShflLockNB(e, tag)
 			l.prios = make(map[int]uint64)
-			l.Policy = shuffle.Priority()
+			l.SetPolicy(shuffle.Priority(), "init", 0)
 			return l
 		},
 		Footprint: func(int) Footprint {

@@ -40,16 +40,27 @@ func (s simSub) MayAbort() bool { return s.l.mayAbort }
 
 // Reclaim records an abandoned node unlinked by a shuffling scan. The node
 // itself is left to its owner, which reuses it after observing sReclaimed.
-func (s simSub) Reclaim(uint64) { s.l.cnt.Reclaims++ }
+// Chaos hook: a forced policy flip here lands mid-scan, right after queue
+// surgery — the running round must finish under its pinned policy.
+func (s simSub) Reclaim(uint64) {
+	s.l.cnt.Reclaims++
+	s.l.maybeFlip(s.t, sim.FlipAbortReclaim)
+}
 
 func (s simSub) RoundStart(uint64) { s.l.cnt.Shuffles++ }
 
 func (s simSub) RoleTaken(uint64) {
 	s.l.takeRole(s.t)
-	// Chaos hook: model the shuffler being descheduled at its most
-	// load-bearing moment — right after consuming the role.
-	if inj := s.t.Engine().Injector(); inj != nil && inj.ShufflerPreempt(s.t) {
-		s.t.Yield()
+	// Chaos hooks: model the shuffler being descheduled at its most
+	// load-bearing moment — right after consuming the role — and force a
+	// policy flip mid-shuffle: the round already pinned its policy, so the
+	// swap must only take effect on the next walk. The preempt draw stays
+	// first so pre-existing fault schedules replay unchanged.
+	if inj := s.t.Engine().Injector(); inj != nil {
+		if inj.ShufflerPreempt(s.t) {
+			s.t.Yield()
+		}
+		s.l.maybeFlip(s.t, sim.FlipMidShuffle)
 	}
 }
 

@@ -24,8 +24,12 @@
 # The chaos gates pin the fault-injection layer: a fixed-seed run must be
 # byte-identical across invocations and to the committed golden (with the
 # watchdog quiet), and an injected holder-stall deadlock must fire the
-# watchdog and produce a post-mortem instead of hanging. A short native
-# abort torture closes the loop on the real locks.
+# watchdog and produce a post-mortem instead of hanging. A second seeded
+# run arms the policy-flip fault — live transitions forced mid-shuffle,
+# during abort reclaim, and at head abdication — and must certify queue
+# integrity (ops accounting, clean queue) against its own golden. A short
+# native abort torture closes the loop on the real locks, including one
+# run under the "auto" self-tuning meta-policy.
 set -eu
 
 cd "$(dirname "$0")"
@@ -64,6 +68,16 @@ echo "== registry gate: binaries pick locks by name, never by a local case-switc
 if grep -rnE 'case "(mutex|spinlock|rwmutex|shfl-[a-z]+|goro|goro-[a-z]+|sync\.(RW)?Mutex|sync-(mutex|rw)|tas|ticket|mcs|cna|fissile|hapax|reciprocating|shfllock[a-z+-]*)"' \
 	--include='*.go' cmd internal/kvserver internal/chaos | grep -v _test.go; then
 	echo "FAIL: a binary switches on lock names locally; register the lock in internal/lockreg instead" >&2
+	exit 1
+fi
+
+echo "== transition gate: policy stores go through the epoched transition API"
+# A live policy switch is only safe through PolicyBox.Set (epoch fence +
+# transition log); a direct store to a policy field reintroduces the torn
+# read the transition protocol exists to prevent. Only internal/shuffle
+# itself (which implements the box) and tests may touch such fields.
+if grep -rnE '\.(policy|Policy)\s*=[^=]' --include='*.go' internal cmd | grep -v 'internal/shuffle/' | grep -v '_test.go'; then
+	echo "FAIL: a policy field is stored directly; route the switch through the lock's SetPolicy / shuffle.PolicyBox" >&2
 	exit 1
 fi
 
@@ -125,6 +139,21 @@ diff cmd/locktorture/testdata/chaos_seed42.golden /tmp/chaos-a.txt
 grep -q "watchdog quiet" /tmp/chaos-a.txt
 echo "chaos run byte-identical across invocations and to committed golden"
 
+echo "== chaos gate: forced policy flips at the adversarial moments, byte-reproducible"
+# PolicyFlip forces live transitions mid-shuffle, during abort reclaim, and
+# at head abdication; the run must land at least one flip at each moment
+# (locktorture exits nonzero otherwise), account for every acquisition
+# (ops + timeouts == workers * iters: no lost wakeups), leave the queue
+# clean, and replay byte-identically against its committed golden.
+go run ./cmd/locktorture -chaos -chaos-seed 42 -chaos-flip >/tmp/chaos-flip-a.txt
+go run ./cmd/locktorture -chaos -chaos-seed 42 -chaos-flip >/tmp/chaos-flip-b.txt
+diff /tmp/chaos-flip-a.txt /tmp/chaos-flip-b.txt
+diff cmd/locktorture/testdata/chaos_flip_seed42.golden /tmp/chaos-flip-a.txt
+grep -q "watchdog quiet" /tmp/chaos-flip-a.txt
+grep -q "policy-flips=" /tmp/chaos-flip-a.txt
+grep -q "ops-accounting=ok queue=clean" /tmp/chaos-flip-a.txt
+echo "policy-flip chaos run byte-identical, all three moments hit, queue certified"
+
 echo "== chaos gate: watchdog fires on injected holder-stall deadlock"
 go run ./cmd/locktorture -chaos -chaos-seed 42 -chaos-deadlock >/tmp/chaos-deadlock.txt
 grep -q "chaos deadlock detected as expected" /tmp/chaos-deadlock.txt
@@ -135,6 +164,15 @@ go run ./cmd/locktorture -lock mutex -threads 8 -duration 1s -abort-frac 0.3 -de
 
 echo "== native abort torture: goroutine-native mutex"
 go run ./cmd/locktorture -lock goro -threads 8 -duration 1s -abort-frac 0.3 -deadline 120s
+
+echo "== native abort torture: self-tuning meta-policy steering a live mutex"
+# -policy auto attaches the lockstat-fed meta-policy; the run must survive
+# aborts while the meta switches stages underneath the waiters, and the
+# transition log must show the boot transition at minimum.
+go run ./cmd/locktorture -lock mutex -policy auto -threads 8 -duration 1s -abort-frac 0.3 -deadline 120s >/tmp/torture-auto.txt
+grep -q "policy transitions (auto)" /tmp/torture-auto.txt
+grep -q "epoch=1" /tmp/torture-auto.txt
+cat /tmp/torture-auto.txt
 
 echo "== goroutine-scaling gate: goro survives oversubscription, artifact holds margins"
 # Two layers: a short live smoke (10k goroutines with all three locks,
